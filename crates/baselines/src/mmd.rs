@@ -1,0 +1,211 @@
+//! The MMD transformation-based synthesis algorithm
+//! (Miller, Maslov, Dueck, DAC 2003 — reference [7] of the paper).
+//!
+//! Works directly on the truth table: rows are fixed in lexicographic
+//! order by appending Toffoli gates that map each output assignment back
+//! to its input assignment. Gates chosen at row `i` never disturb rows
+//! `< i`, so the procedure always terminates with a valid circuit — the
+//! guarantee the paper contrasts against in §III.
+//!
+//! Both the unidirectional variant (gates at the output side only) and
+//! the bidirectional variant (per row, the cheaper of output-side and
+//! input-side fixing) are provided; the bidirectional one is the column
+//! the paper's Table I compares against.
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_spec::Permutation;
+
+/// Which MMD variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MmdVariant {
+    /// Gates appended at the output side only.
+    Unidirectional,
+    /// Per row, the cheaper of output-side and input-side fixing.
+    #[default]
+    Bidirectional,
+}
+
+/// Synthesizes a permutation with the MMD transformation-based
+/// algorithm. Always succeeds.
+///
+/// ```
+/// use rmrls_baselines::{mmd_synthesize, MmdVariant};
+/// use rmrls_spec::Permutation;
+///
+/// let spec = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6])?;
+/// let circuit = mmd_synthesize(&spec, MmdVariant::Bidirectional);
+/// assert_eq!(circuit.to_permutation(), spec.as_slice());
+/// # Ok::<(), rmrls_spec::InvalidSpecError>(())
+/// ```
+pub fn mmd_synthesize(spec: &Permutation, variant: MmdVariant) -> Circuit {
+    let n = spec.num_vars();
+    let size = 1usize << n;
+    let mut table: Vec<u64> = spec.as_slice().to_vec();
+    // Gates applied at the output side (new_f = g ∘ f), in application
+    // order; ends up reversed at the output end of the circuit.
+    let mut output_gates: Vec<Gate> = Vec::new();
+    // Gates applied at the input side (new_f = f ∘ h), in application
+    // order; ends up at the input end of the circuit.
+    let mut input_gates: Vec<Gate> = Vec::new();
+
+    let apply_output = |table: &mut Vec<u64>, gate: Gate| {
+        for v in table.iter_mut() {
+            *v = gate.apply(*v);
+        }
+    };
+    let apply_input = |table: &mut Vec<u64>, gate: Gate| {
+        let old = table.clone();
+        for (x, slot) in table.iter_mut().enumerate() {
+            *slot = old[gate.apply(x as u64) as usize];
+        }
+    };
+
+    // Row 0: plain NOTs on the output side.
+    let y0 = table[0];
+    for j in 0..n {
+        if y0 >> j & 1 == 1 {
+            let g = Gate::not(j);
+            apply_output(&mut table, g);
+            output_gates.push(g);
+        }
+    }
+
+    for i in 1..size as u64 {
+        if table[i as usize] == i {
+            continue;
+        }
+        let y = table[i as usize];
+        debug_assert!(y > i, "rows below {i} are already identity");
+        let output_cost = fixing_gates(i, y).len();
+        let use_input = match variant {
+            MmdVariant::Unidirectional => false,
+            MmdVariant::Bidirectional => {
+                let x = table.iter().position(|&v| v == i).expect("bijective") as u64;
+                fixing_gates(i, x).len() < output_cost
+            }
+        };
+        if use_input {
+            let x = table.iter().position(|&v| v == i).expect("bijective") as u64;
+            // Transform index x down to i: the same gate schedule maps
+            // i ↔ x (each gate is self-inverse and the schedule is
+            // symmetric in the pair), applied on the input side.
+            for g in fixing_gates(i, x) {
+                apply_input(&mut table, g);
+                input_gates.push(g);
+            }
+        } else {
+            for g in fixing_gates(i, y) {
+                apply_output(&mut table, g);
+                output_gates.push(g);
+            }
+        }
+        debug_assert_eq!(table[i as usize], i, "row {i} not fixed");
+    }
+
+    debug_assert!(table.iter().enumerate().all(|(x, &v)| v == x as u64));
+    let mut gates = input_gates;
+    gates.extend(output_gates.into_iter().rev());
+    Circuit::from_gates(n, gates)
+}
+
+/// The MMD gate schedule transforming word `y` into word `i` (`y > i`)
+/// without disturbing any word `< i`: first set the bits of `i ∖ y`
+/// (controls = current word's ones), then clear the bits of `y ∖ i`
+/// (controls = current word's ones minus the target).
+fn fixing_gates(i: u64, y: u64) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    let mut current = y;
+    // Bits that must be turned on.
+    let mut p = i & !current;
+    while p != 0 {
+        let j = p.trailing_zeros() as usize;
+        p &= p - 1;
+        gates.push(Gate::toffoli_mask(current as u32, j));
+        current |= 1 << j;
+    }
+    // Bits that must be turned off.
+    let mut q = current & !i;
+    while q != 0 {
+        let j = q.trailing_zeros() as usize;
+        q &= q - 1;
+        let controls = (current as u32) & !(1 << j);
+        gates.push(Gate::toffoli_mask(controls, j));
+        current &= !(1 << j);
+    }
+    debug_assert_eq!(current, i);
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(map: Vec<u64>, variant: MmdVariant) -> Circuit {
+        let spec = Permutation::from_vec(map).unwrap();
+        let c = mmd_synthesize(&spec, variant);
+        assert_eq!(c.to_permutation(), spec.as_slice(), "variant {variant:?}");
+        c
+    }
+
+    #[test]
+    fn identity_is_empty() {
+        let c = roundtrip((0..8).collect(), MmdVariant::Bidirectional);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fig1_roundtrips_both_variants() {
+        roundtrip(vec![1, 0, 7, 2, 3, 4, 5, 6], MmdVariant::Unidirectional);
+        roundtrip(vec![1, 0, 7, 2, 3, 4, 5, 6], MmdVariant::Bidirectional);
+    }
+
+    #[test]
+    fn all_two_variable_functions_roundtrip() {
+        for rank in 0..24u128 {
+            let spec = Permutation::from_rank(2, rank);
+            for variant in [MmdVariant::Unidirectional, MmdVariant::Bidirectional] {
+                let c = mmd_synthesize(&spec, variant);
+                assert_eq!(c.to_permutation(), spec.as_slice(), "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_variable_sample_roundtrips() {
+        for rank in (0..40320u128).step_by(397) {
+            let spec = Permutation::from_rank(3, rank);
+            let c = mmd_synthesize(&spec, MmdVariant::Bidirectional);
+            assert_eq!(c.to_permutation(), spec.as_slice(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_never_worse_on_average() {
+        let (mut uni, mut bi) = (0usize, 0usize);
+        for rank in (0..40320u128).step_by(97) {
+            let spec = Permutation::from_rank(3, rank);
+            uni += mmd_synthesize(&spec, MmdVariant::Unidirectional).gate_count();
+            bi += mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count();
+        }
+        assert!(bi <= uni, "bidirectional {bi} should not exceed unidirectional {uni}");
+    }
+
+    #[test]
+    fn five_variable_random_roundtrips() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let spec = rmrls_spec::random_permutation(5, &mut rng);
+            let c = mmd_synthesize(&spec, MmdVariant::Bidirectional);
+            assert_eq!(c.to_permutation(), spec.as_slice());
+        }
+    }
+
+    #[test]
+    fn worst_case_reverse_permutation() {
+        // {7,6,5,4,3,2,1,0} = complement of every bit: 3 NOTs.
+        let c = roundtrip(vec![7, 6, 5, 4, 3, 2, 1, 0], MmdVariant::Unidirectional);
+        assert_eq!(c.gate_count(), 3);
+    }
+}

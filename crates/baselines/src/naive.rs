@@ -1,0 +1,178 @@
+//! The naive greedy PPRM cascade the paper's introduction contrasts
+//! against: no search tree, no backtracking — at every step apply the
+//! single locally best substitution, and give up when stuck.
+//!
+//! Serves as the no-search ablation for the RMRLS priority-queue
+//! algorithm.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_pprm::{MultiPprm, Term};
+use rmrls_spec::Permutation;
+
+/// The greedy descent got stuck: no substitution made progress, or the
+/// step budget ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyStuckError {
+    /// Gates emitted before getting stuck.
+    pub gates_applied: usize,
+    /// Remaining PPRM terms when stuck.
+    pub remaining_terms: usize,
+}
+
+impl fmt::Display for GreedyStuckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "greedy cascade stuck after {} gates with {} terms remaining",
+            self.gates_applied, self.remaining_terms
+        )
+    }
+}
+
+impl Error for GreedyStuckError {}
+
+/// Synthesizes by pure greedy descent on the PPRM term count: at each
+/// step, apply the substitution that minimizes the remaining terms
+/// (ties: fewest factor literals, lowest target variable). Never
+/// revisits a state; fails when no unvisited substitution reduces terms
+/// or after `max_gates` steps.
+///
+/// # Errors
+///
+/// Returns [`GreedyStuckError`] when stuck — frequent on functions that
+/// need non-monotone moves, which is exactly the gap the RMRLS search
+/// closes.
+///
+/// ```
+/// use rmrls_baselines::naive_greedy;
+/// use rmrls_pprm::MultiPprm;
+///
+/// let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+/// let circuit = naive_greedy(&spec, 40)?;
+/// assert_eq!(circuit.to_permutation(), vec![1, 0, 7, 2, 3, 4, 5, 6]);
+/// # Ok::<(), rmrls_baselines::GreedyStuckError>(())
+/// ```
+pub fn naive_greedy(spec: &MultiPprm, max_gates: usize) -> Result<Circuit, GreedyStuckError> {
+    let n = spec.num_vars();
+    let mut state = spec.clone();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut seen: HashSet<MultiPprm> = HashSet::new();
+    seen.insert(state.clone());
+
+    while !state.is_identity() {
+        if gates.len() >= max_gates {
+            return Err(GreedyStuckError {
+                gates_applied: gates.len(),
+                remaining_terms: state.total_terms(),
+            });
+        }
+        let mut best: Option<(usize, u32, usize, Term, MultiPprm)> = None;
+        for var in 0..n {
+            let factors: Vec<Term> = state
+                .output(var)
+                .terms()
+                .iter()
+                .copied()
+                .filter(|t| !t.contains_var(var))
+                .collect();
+            for factor in factors {
+                let (next, _) = state.substitute(var, factor);
+                if seen.contains(&next) {
+                    continue;
+                }
+                let key = (next.total_terms(), factor.literal_count(), var);
+                let better = match &best {
+                    None => true,
+                    Some((t, l, v, _, _)) => key < (*t, *l, *v),
+                };
+                if next.is_identity() || better {
+                    let is_solution = next.is_identity();
+                    best = Some((key.0, key.1, key.2, factor, next));
+                    if is_solution {
+                        break;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((terms, _, var, factor, next)) if terms <= state.total_terms() || next.is_identity() => {
+                gates.push(Gate::toffoli_mask(factor.mask(), var));
+                seen.insert(next.clone());
+                state = next;
+            }
+            _ => {
+                return Err(GreedyStuckError {
+                    gates_applied: gates.len(),
+                    remaining_terms: state.total_terms(),
+                });
+            }
+        }
+    }
+    Ok(Circuit::from_gates(n, gates))
+}
+
+/// Permutation-input convenience wrapper for [`naive_greedy`].
+///
+/// # Errors
+///
+/// Same as [`naive_greedy`].
+pub fn naive_greedy_permutation(
+    spec: &Permutation,
+    max_gates: usize,
+) -> Result<Circuit, GreedyStuckError> {
+    naive_greedy(&spec.to_multi_pprm(), max_gates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_succeeds() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let c = naive_greedy(&spec, 40).expect("greedy should handle Fig. 1");
+        assert_eq!(c.to_permutation(), vec![1, 0, 7, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn identity_is_empty() {
+        let c = naive_greedy(&MultiPprm::identity(3), 40).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn gate_budget_is_enforced() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let err = naive_greedy(&spec, 0).unwrap_err();
+        assert_eq!(err.gates_applied, 0);
+        assert!(err.remaining_terms > 0);
+    }
+
+    #[test]
+    fn results_are_valid_when_found() {
+        for rank in (0..40320u128).step_by(557) {
+            let p = Permutation::from_rank(3, rank);
+            if let Ok(c) = naive_greedy_permutation(&p, 40) {
+                assert_eq!(c.to_permutation(), p.as_slice(), "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_fails_on_some_functions() {
+        // The no-search baseline must be measurably weaker than RMRLS:
+        // some 3-variable functions defeat it.
+        let mut failures = 0;
+        for rank in (0..40320u128).step_by(557) {
+            let p = Permutation::from_rank(3, rank);
+            if naive_greedy_permutation(&p, 40).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "expected the naive baseline to fail somewhere");
+    }
+}

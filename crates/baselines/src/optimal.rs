@@ -1,0 +1,221 @@
+//! Exhaustive breadth-first optimal synthesis for three-variable
+//! reversible functions (the method of Shende et al. [16] that produces
+//! the "Optimal" columns of the paper's Table I).
+//!
+//! All `8! = 40 320` three-variable reversible functions are reachable
+//! from the identity by composing gates from the NCT (NOT, CNOT,
+//! 3-bit Toffoli) or NCTS (NCT + SWAP) library; a BFS over this Cayley
+//! graph yields the exact optimal gate count for every function at once.
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_spec::Permutation;
+
+/// Gate library for optimal synthesis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptimalLibrary {
+    /// NOT, CNOT, and the 3-bit Toffoli (12 gates on 3 wires).
+    Nct,
+    /// NCT plus the SWAP gate (15 gates on 3 wires).
+    Ncts,
+}
+
+/// The table of optimal gate counts for **all** three-variable reversible
+/// functions under a given library.
+///
+/// ```
+/// use rmrls_baselines::{OptimalLibrary, OptimalTable};
+/// use rmrls_spec::Permutation;
+///
+/// let table = OptimalTable::build(OptimalLibrary::Nct);
+/// let fig1 = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6])?;
+/// assert_eq!(table.gate_count(&fig1), 3);
+/// // Table I, "Optimal [16] NCT": 577 functions need 8 gates.
+/// assert_eq!(table.histogram()[8], 577);
+/// # Ok::<(), rmrls_spec::InvalidSpecError>(())
+/// ```
+pub struct OptimalTable {
+    library: OptimalLibrary,
+    gates: Vec<Gate>,
+    /// Optimal distance from the identity, indexed by permutation rank.
+    dist: Vec<u8>,
+}
+
+const NUM_FUNCTIONS: usize = 40_320; // 8!
+
+fn library_gates(library: OptimalLibrary) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    for t in 0..3usize {
+        gates.push(Gate::not(t));
+    }
+    for c in 0..3usize {
+        for t in 0..3usize {
+            if c != t {
+                gates.push(Gate::cnot(c, t));
+            }
+        }
+    }
+    for t in 0..3usize {
+        let controls: Vec<usize> = (0..3).filter(|&w| w != t).collect();
+        gates.push(Gate::toffoli(&controls, t));
+    }
+    if library == OptimalLibrary::Ncts {
+        gates.push(Gate::swap(0, 1));
+        gates.push(Gate::swap(0, 2));
+        gates.push(Gate::swap(1, 2));
+    }
+    gates
+}
+
+impl OptimalTable {
+    /// Runs the BFS and tabulates the optimal gate count of every
+    /// three-variable function. Takes a few hundred milliseconds.
+    pub fn build(library: OptimalLibrary) -> Self {
+        let gates = library_gates(library);
+        let mut dist = vec![u8::MAX; NUM_FUNCTIONS];
+        let identity = Permutation::identity(3);
+        let id_rank = identity.rank() as usize;
+        dist[id_rank] = 0;
+        let mut frontier: Vec<Vec<u64>> = vec![identity.as_slice().to_vec()];
+        let mut level = 0u8;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for table in frontier {
+                for &gate in &gates {
+                    // Prepend the gate at the output side: one more gate.
+                    let neighbor: Vec<u64> = table.iter().map(|&v| gate.apply(v)).collect();
+                    let rank =
+                        Permutation::from_vec(neighbor.clone()).expect("bijection").rank() as usize;
+                    if dist[rank] == u8::MAX {
+                        dist[rank] = level + 1;
+                        next.push(neighbor);
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+        debug_assert!(dist.iter().all(|&d| d != u8::MAX), "library is complete");
+        OptimalTable {
+            library,
+            gates,
+            dist,
+        }
+    }
+
+    /// The library the table was built for.
+    pub fn library(&self) -> OptimalLibrary {
+        self.library
+    }
+
+    /// The optimal gate count of a three-variable function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation is not over three variables.
+    pub fn gate_count(&self, spec: &Permutation) -> usize {
+        assert_eq!(spec.num_vars(), 3, "optimal table covers 3 variables");
+        self.dist[spec.rank() as usize] as usize
+    }
+
+    /// Histogram of optimal gate counts: entry `g` is the number of
+    /// functions whose optimal circuit has `g` gates (Table I columns).
+    pub fn histogram(&self) -> Vec<usize> {
+        let max = *self.dist.iter().max().expect("nonempty") as usize;
+        let mut h = vec![0usize; max + 1];
+        for &d in &self.dist {
+            h[d as usize] += 1;
+        }
+        h
+    }
+
+    /// Average optimal gate count over all functions (Table I bottom
+    /// row: 5.87 for NCT, 5.63 for NCTS).
+    pub fn average(&self) -> f64 {
+        self.dist.iter().map(|&d| d as u64).sum::<u64>() as f64 / NUM_FUNCTIONS as f64
+    }
+
+    /// An optimal circuit for the given function, reconstructed by greedy
+    /// descent on the distance table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation is not over three variables.
+    pub fn circuit(&self, spec: &Permutation) -> Circuit {
+        assert_eq!(spec.num_vars(), 3, "optimal table covers 3 variables");
+        let mut table: Vec<u64> = spec.as_slice().to_vec();
+        let mut gates_rev: Vec<Gate> = Vec::new();
+        let mut d = self.dist[Permutation::from_vec(table.clone()).unwrap().rank() as usize];
+        while d > 0 {
+            let mut stepped = false;
+            for &gate in &self.gates {
+                let neighbor: Vec<u64> = table.iter().map(|&v| gate.apply(v)).collect();
+                let rank = Permutation::from_vec(neighbor.clone()).unwrap().rank() as usize;
+                if self.dist[rank] == d - 1 {
+                    // `gate` undoes the last output-side gate, so the
+                    // circuit gains `gate` at its output end.
+                    gates_rev.push(gate);
+                    table = neighbor;
+                    d -= 1;
+                    stepped = true;
+                    break;
+                }
+            }
+            assert!(stepped, "distance table is inconsistent");
+        }
+        gates_rev.reverse();
+        Circuit::from_gates(3, gates_rev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nct_histogram_matches_table1() {
+        let t = OptimalTable::build(OptimalLibrary::Nct);
+        assert_eq!(
+            t.histogram(),
+            vec![1, 12, 102, 625, 2780, 8921, 17049, 10253, 577],
+            "Optimal [16] NCT column of Table I"
+        );
+        assert!((t.average() - 5.87).abs() < 0.005, "avg {}", t.average());
+    }
+
+    #[test]
+    fn ncts_histogram_matches_table1() {
+        let t = OptimalTable::build(OptimalLibrary::Ncts);
+        assert_eq!(
+            t.histogram(),
+            vec![1, 15, 134, 844, 3752, 11194, 17531, 6817, 32],
+            "Optimal [16] NCTS column of Table I"
+        );
+        assert!((t.average() - 5.63).abs() < 0.005, "avg {}", t.average());
+    }
+
+    #[test]
+    fn reconstructed_circuits_are_optimal_and_correct() {
+        let t = OptimalTable::build(OptimalLibrary::Nct);
+        for rank in (0..40320u128).step_by(4093) {
+            let spec = Permutation::from_rank(3, rank);
+            let c = t.circuit(&spec);
+            assert_eq!(c.to_permutation(), spec.as_slice(), "rank {rank}");
+            assert_eq!(c.gate_count(), t.gate_count(&spec), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn fig1_needs_three_gates() {
+        let t = OptimalTable::build(OptimalLibrary::Nct);
+        let spec = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(t.gate_count(&spec), 3);
+    }
+
+    #[test]
+    fn benchmark_3_17_needs_six_gates() {
+        // Its name records exactly this: function #17 needs 6 gates.
+        let t = OptimalTable::build(OptimalLibrary::Nct);
+        let spec = Permutation::from_vec(vec![7, 1, 4, 3, 0, 2, 6, 5]).unwrap();
+        assert_eq!(t.gate_count(&spec), 6);
+    }
+}

@@ -1,0 +1,261 @@
+//! Peephole optimization by windowed optimal resynthesis — the "local
+//! optimization (similar to peephole optimization in compilers)" of
+//! Shende et al., reference [17] of the paper.
+//!
+//! A sliding window collects maximal gate runs whose combined support
+//! fits on three wires; each window's permutation is looked up in the
+//! exhaustive [`OptimalTable`] and the run is replaced by a provably
+//! minimal realization whenever that is shorter. Iterated to a fixpoint,
+//! this subsumes large families of hand-written templates.
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_spec::Permutation;
+
+use crate::{OptimalLibrary, OptimalTable};
+
+/// A peephole optimizer backed by the exhaustive three-wire optimal
+/// table.
+///
+/// Building the table costs a couple of seconds once; `optimize` runs
+/// are then fast. Reuse one optimizer across many circuits.
+///
+/// ```
+/// use rmrls_baselines::PeepholeOptimizer;
+/// use rmrls_circuit::{Circuit, Gate};
+///
+/// let opt = PeepholeOptimizer::new();
+/// // A redundant 3-wire run: the two middle gates cancel.
+/// let mut c = Circuit::from_gates(3, vec![
+///     Gate::cnot(2, 1),
+///     Gate::toffoli(&[2, 1], 0),
+///     Gate::toffoli(&[2, 1], 0),
+///     Gate::cnot(2, 1),
+/// ]);
+/// let removed = opt.optimize(&mut c);
+/// assert_eq!(removed, 4, "the whole run is the identity");
+/// assert!(c.is_empty());
+/// ```
+pub struct PeepholeOptimizer {
+    table: OptimalTable,
+}
+
+impl PeepholeOptimizer {
+    /// Builds the optimizer (runs the NCT BFS once).
+    pub fn new() -> Self {
+        PeepholeOptimizer {
+            table: OptimalTable::build(OptimalLibrary::Nct),
+        }
+    }
+
+    /// Rewrites the circuit to a local optimum, returning the number of
+    /// gates removed. The computed function is preserved exactly.
+    pub fn optimize(&self, circuit: &mut Circuit) -> usize {
+        let before = circuit.gate_count();
+        while self.improve_once(circuit) {}
+        before - circuit.gate_count()
+    }
+
+    /// Finds and applies one improving window rewrite. Returns `true` if
+    /// the circuit changed.
+    fn improve_once(&self, circuit: &mut Circuit) -> bool {
+        let gates = circuit.gates().to_vec();
+        for start in 0..gates.len() {
+            let mut support = 0u32;
+            let mut end = start;
+            while end < gates.len() {
+                let next = support | gates[end].support();
+                if next.count_ones() > 3 {
+                    break;
+                }
+                support = next;
+                end += 1;
+            }
+            // Try the longest window first, shrinking from the right.
+            let mut window_end = end;
+            while window_end > start + 1 {
+                let window = &gates[start..window_end];
+                if let Some(replacement) = self.shrink_window(window) {
+                    let mut new_gates = Vec::with_capacity(
+                        gates.len() - window.len() + replacement.len(),
+                    );
+                    new_gates.extend_from_slice(&gates[..start]);
+                    new_gates.extend_from_slice(&replacement);
+                    new_gates.extend_from_slice(&gates[window_end..]);
+                    *circuit = Circuit::from_gates(circuit.width(), new_gates);
+                    return true;
+                }
+                window_end -= 1;
+            }
+        }
+        false
+    }
+
+    /// Returns a strictly shorter realization of the window, if the
+    /// optimal table has one.
+    fn shrink_window(&self, window: &[Gate]) -> Option<Vec<Gate>> {
+        let support: u32 = window.iter().fold(0, |acc, g| acc | g.support());
+        debug_assert!(support.count_ones() <= 3);
+        let wires: Vec<usize> = (0..32).filter(|&w| support >> w & 1 == 1).collect();
+
+        // Compress the window onto wires 0..k and tabulate it.
+        let local = Circuit::from_gates(
+            3,
+            window
+                .iter()
+                .map(|g| remap_gate(*g, &|w| wires.iter().position(|&x| x == w).unwrap()))
+                .collect(),
+        );
+        // Pad to exactly 3 wires for the table (idle wires are identity).
+        let perm = Permutation::from_vec(local.to_permutation()).expect("window is reversible");
+        let perm3 = if perm.num_vars() == 3 {
+            perm
+        } else {
+            let k = perm.num_vars();
+            Permutation::from_fn(3, |x| {
+                let low = x & ((1 << k) - 1);
+                (x & !((1 << k) - 1)) | perm.apply(low)
+            })
+            .expect("padded permutation")
+        };
+
+        if self.table.gate_count(&perm3) >= window.len() {
+            return None;
+        }
+        let optimal = self.table.circuit(&perm3);
+        Some(
+            optimal
+                .gates()
+                .iter()
+                .map(|g| remap_gate(*g, &|w| wires.get(w).copied().unwrap_or(w)))
+                .collect(),
+        )
+    }
+}
+
+impl Default for PeepholeOptimizer {
+    fn default() -> Self {
+        PeepholeOptimizer::new()
+    }
+}
+
+/// Renames the wires of a gate through `map`.
+fn remap_gate(gate: Gate, map: &dyn Fn(usize) -> usize) -> Gate {
+    let remap_mask = |mask: u32| -> u32 {
+        (0..32)
+            .filter(|&w| mask >> w & 1 == 1)
+            .map(|w| 1u32 << map(w))
+            .sum()
+    };
+    match gate {
+        Gate::Toffoli { controls, target } => {
+            Gate::toffoli_mask(remap_mask(controls), map(target as usize))
+        }
+        Gate::Fredkin { controls, targets } => Gate::fredkin_mask(
+            remap_mask(controls),
+            map(targets.0 as usize),
+            map(targets.1 as usize),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn optimizer() -> &'static PeepholeOptimizer {
+        static OPT: OnceLock<PeepholeOptimizer> = OnceLock::new();
+        OPT.get_or_init(PeepholeOptimizer::new)
+    }
+
+    #[test]
+    fn identity_runs_vanish() {
+        let mut c = Circuit::from_gates(
+            4,
+            vec![Gate::cnot(0, 1), Gate::cnot(0, 1), Gate::not(3)],
+        );
+        let removed = optimizer().optimize(&mut c);
+        assert_eq!(removed, 2);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn example4_paper_circuit_shrinks() {
+        // The paper's printed Example 4 circuit (6 gates) contains a
+        // reducible subsequence; the exhaustive table finds the 4-gate
+        // optimum for its function.
+        let mut c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::cnot(2, 1),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::toffoli(&[1, 0], 2),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::cnot(2, 1),
+            ],
+        );
+        let before = c.to_permutation();
+        let removed = optimizer().optimize(&mut c);
+        assert!(removed >= 2, "removed {removed}");
+        assert_eq!(c.to_permutation(), before);
+        // The window spans all three wires, so the result is optimal.
+        let spec = Permutation::from_vec(before).unwrap();
+        assert_eq!(c.gate_count(), optimizer().table.gate_count(&spec));
+    }
+
+    #[test]
+    fn preserves_function_on_random_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..40 {
+            let width = rng.random_range(3..=6usize);
+            let gates: Vec<Gate> = (0..rng.random_range(0..=10usize))
+                .map(|_| {
+                    let t = rng.random_range(0..width);
+                    let controls: Vec<usize> = (0..width)
+                        .filter(|&w| w != t && rng.random_bool(0.4))
+                        .collect();
+                    Gate::toffoli(&controls, t)
+                })
+                .collect();
+            let mut c = Circuit::from_gates(width, gates);
+            let before = c.to_permutation();
+            optimizer().optimize(&mut c);
+            assert_eq!(c.to_permutation(), before, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn windows_ignore_wide_gates() {
+        // A 4-wire gate cannot enter a 3-wire window; it must survive.
+        let mut c = Circuit::from_gates(4, vec![Gate::toffoli(&[0, 1, 2], 3)]);
+        assert_eq!(optimizer().optimize(&mut c), 0);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn improves_mmd_output() {
+        // The MMD baseline is known to emit simplifiable sequences (§III);
+        // peephole must make average progress on them.
+        use crate::{mmd_synthesize, MmdVariant};
+        let mut total_removed = 0usize;
+        for rank in (0..40320u128).step_by(2003) {
+            let spec = Permutation::from_rank(3, rank);
+            let mut c = mmd_synthesize(&spec, MmdVariant::Unidirectional);
+            let before = c.to_permutation();
+            total_removed += optimizer().optimize(&mut c);
+            assert_eq!(c.to_permutation(), before, "rank {rank}");
+        }
+        assert!(total_removed > 0, "peephole should improve MMD output");
+    }
+
+    #[test]
+    fn two_wire_windows_pad_correctly() {
+        // CNOT·CNOT on two of four wires (window narrower than 3 wires).
+        let mut c = Circuit::from_gates(4, vec![Gate::cnot(3, 1), Gate::cnot(3, 1)]);
+        assert_eq!(optimizer().optimize(&mut c), 2);
+        assert!(c.is_empty());
+    }
+}

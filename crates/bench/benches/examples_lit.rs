@@ -1,0 +1,56 @@
+//! Examples 1–8 (§V-C) and Figs. 7/8: each literature example is
+//! synthesized, verified by simulation, and compared against the gate
+//! count of the circuit published in the paper.
+
+use rmrls_bench::{print_row, print_rule, table4_options};
+use rmrls_circuit::render;
+use rmrls_core::synthesize;
+use rmrls_spec::benchmarks::paper_example;
+
+/// Gate counts of the circuits printed in the paper for Examples 1–8.
+const PAPER_GATES: [usize; 8] = [4, 3, 3, 6, 7, 3, 4, 4];
+
+fn main() {
+    println!("# Examples 1-8 (§V-C) and Figs. 7/8\n");
+    let opts = table4_options();
+
+    let widths = [8usize, 6, 12, 10, 40];
+    print_row(
+        &[
+            "example".into(),
+            "gates".into(),
+            "paper gates".into(),
+            "cost".into(),
+            "circuit".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    for n in 1..=8usize {
+        let bench = paper_example(n);
+        let spec = bench.to_multi_pprm();
+        let result = synthesize(&spec, &opts).unwrap_or_else(|e| panic!("ex{n}: {e}"));
+        assert_eq!(
+            result.circuit.to_permutation(),
+            spec.to_permutation(),
+            "ex{n}: circuit does not realize the published specification"
+        );
+        print_row(
+            &[
+                format!("ex{n}"),
+                result.circuit.gate_count().to_string(),
+                PAPER_GATES[n - 1].to_string(),
+                result.circuit.quantum_cost().to_string(),
+                result.circuit.to_string(),
+            ],
+            &widths,
+        );
+        if n == 1 {
+            println!("\nFig. 7 — Example 1 realization:\n{}", render(&result.circuit));
+        }
+        if n == 8 {
+            println!("\nFig. 8 — augmented full-adder realization:\n{}", render(&result.circuit));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the individual components: the ANF
+//! transform, PPRM substitution, a full RMRLS synthesis, the MMD
+//! baseline, and the optimal-table BFS.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rmrls_baselines::{mmd_synthesize, MmdVariant, OptimalLibrary, OptimalTable, PeepholeOptimizer};
+use rmrls_circuit::decompose_to_nct;
+use rmrls_core::{synthesize, SynthesisOptions};
+use rmrls_pprm::{anf_transform, walsh_spectrum, BitTable, MultiPprm, Term};
+use rmrls_spec::Permutation;
+
+fn bench_anf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anf_transform");
+    for n in [8usize, 12, 16] {
+        let table = BitTable::from_fn(1 << n, |x| x.count_ones() % 3 == 1);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter_batched(
+                || table.clone(),
+                |mut t| {
+                    anf_transform(&mut t, n);
+                    black_box(t)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_substitution(c: &mut Criterion) {
+    let spec = Permutation::from_rank(4, 20_123_456_789).to_multi_pprm();
+    c.bench_function("multipprm_substitute", |b| {
+        b.iter(|| {
+            let (next, elim) = spec.substitute(1, Term::of(&[0, 2]));
+            black_box((next.total_terms(), elim))
+        })
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(20);
+    let fig1 = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+    let opts = SynthesisOptions::new();
+    group.bench_function("fig1_3var", |b| {
+        b.iter(|| black_box(synthesize(&fig1, &opts).expect("solvable").circuit.gate_count()))
+    });
+    let four = Permutation::from_rank(4, 9_876_543_210).to_multi_pprm();
+    let opts4 = SynthesisOptions::new()
+        .with_stop_at_first(true)
+        .with_max_gates(40)
+        .with_max_nodes(100_000);
+    group.bench_function("random_4var_first_solution", |b| {
+        b.iter(|| black_box(synthesize(&four, &opts4).expect("solvable").circuit.gate_count()))
+    });
+    group.finish();
+}
+
+fn bench_mmd(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("mmd");
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [3usize, 6, 8] {
+        let spec = rmrls_spec::random_permutation(n, &mut rng);
+        group.bench_function(format!("bidirectional_n{n}"), |b| {
+            b.iter(|| black_box(mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let table = BitTable::from_fn(1 << 12, |x| x.count_ones() % 3 == 1);
+    c.bench_function("walsh_spectrum_n12", |b| {
+        b.iter(|| black_box(walsh_spectrum(&table, 12).len()))
+    });
+}
+
+fn bench_fredkin_substitution(c: &mut Criterion) {
+    let spec = Permutation::from_rank(4, 9_876_543_210).to_multi_pprm();
+    c.bench_function("multipprm_substitute_fredkin", |b| {
+        b.iter(|| black_box(spec.substitute_fredkin(0, 1, Term::var(3)).1))
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    use rmrls_circuit::{Circuit, Gate};
+    let wide = Circuit::from_gates(10, vec![Gate::toffoli(&[0, 1, 2, 3, 4, 5, 6, 7], 8)]);
+    c.bench_function("decompose_tof9_to_nct", |b| {
+        b.iter(|| black_box(decompose_to_nct(&wide).expect("free line").gate_count()))
+    });
+}
+
+fn bench_peephole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peephole");
+    group.sample_size(10);
+    let optimizer = PeepholeOptimizer::new();
+    let spec = Permutation::from_rank(3, 20_000);
+    let circuit = mmd_synthesize(&spec, MmdVariant::Unidirectional);
+    group.bench_function("optimize_mmd_3var", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |mut c| {
+                optimizer.optimize(&mut c);
+                black_box(c.gate_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_optimal_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_bfs");
+    group.sample_size(10);
+    group.bench_function("build_nct_40320", |b| {
+        b.iter(|| black_box(OptimalTable::build(OptimalLibrary::Nct).average()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_anf,
+    bench_substitution,
+    bench_synthesis,
+    bench_mmd,
+    bench_spectrum,
+    bench_fredkin_substitution,
+    bench_decompose,
+    bench_peephole,
+    bench_optimal_bfs
+);
+criterion_main!(benches);

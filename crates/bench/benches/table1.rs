@@ -1,0 +1,128 @@
+//! Table I: gate-count distribution over all 40 320 three-variable
+//! reversible functions.
+//!
+//! Columns regenerated: RMRLS (ours, NCT), the MMD transformation-based
+//! baseline (the "Miller [7]" comparison column, NCTS in the paper —
+//! ours is NCT-only so slightly pessimistic), and the exact optimal
+//! distributions for the NCT and NCTS libraries (the "Optimal [16]"
+//! columns, reproduced exactly by BFS).
+//!
+//! Default: every 20th function by lexicographic rank (2 016 functions);
+//! `RMRLS_FULL=1` sweeps all 40 320.
+
+use rmrls_baselines::{mmd_synthesize, MmdVariant, OptimalLibrary, OptimalTable};
+use rmrls_bench::{full_scale, print_row, print_rule, table1_options, SizeHistogram};
+use rmrls_core::{synthesize, FredkinMode};
+use rmrls_spec::Permutation;
+
+/// Paper Table I, for side-by-side printing: (gates, ours, miller,
+/// kerntopf, optimal-NCT, optimal-NCTS).
+const PAPER: &[(usize, usize, usize, usize, usize, usize)] = &[
+    (11, 0, 5, 0, 0, 0),
+    (10, 0, 110, 0, 0, 0),
+    (9, 36, 792, 86, 0, 0),
+    (8, 3351, 4726, 2740, 577, 32),
+    (7, 12476, 11199, 11774, 10253, 6817),
+    (6, 13596, 12076, 13683, 17049, 17531),
+    (5, 7479, 7518, 8068, 8921, 11194),
+    (4, 2642, 2981, 3038, 2780, 3752),
+    (3, 625, 767, 781, 625, 844),
+    (2, 102, 130, 134, 102, 134),
+    (1, 12, 15, 15, 12, 15),
+    (0, 1, 1, 1, 1, 1),
+];
+
+fn main() {
+    let step = if full_scale() { 1 } else { 20 };
+    let total = (0..40320u128).step_by(step).count();
+    println!("# Table I — all 3-variable reversible functions");
+    println!("sample: {total} of 40320 functions (step {step}); RMRLS_FULL=1 for the full sweep\n");
+
+    let opts = table1_options();
+    let opts_ncts = table1_options().with_fredkin_substitutions(FredkinMode::SwapOnly);
+    let mut ours = SizeHistogram::new();
+    let mut ours_ncts = SizeHistogram::new();
+    let mut mmd = SizeHistogram::new();
+    let mut opt_nct_h = SizeHistogram::new();
+    let mut opt_ncts_h = SizeHistogram::new();
+
+    let opt_nct = OptimalTable::build(OptimalLibrary::Nct);
+    let opt_ncts = OptimalTable::build(OptimalLibrary::Ncts);
+
+    for rank in (0..40320u128).step_by(step) {
+        let spec = Permutation::from_rank(3, rank);
+        let result = synthesize(&spec.to_multi_pprm(), &opts)
+            .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
+        assert_eq!(
+            result.circuit.to_permutation(),
+            spec.as_slice(),
+            "rank {rank}: circuit does not realize the function"
+        );
+        ours.record(result.circuit.gate_count());
+        let ncts = synthesize(&spec.to_multi_pprm(), &opts_ncts)
+            .unwrap_or_else(|e| panic!("rank {rank} (NCTS) failed: {e}"));
+        assert_eq!(ncts.circuit.to_permutation(), spec.as_slice(), "rank {rank} NCTS");
+        ours_ncts.record(ncts.circuit.gate_count());
+        mmd.record(mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count());
+        opt_nct_h.record(opt_nct.gate_count(&spec));
+        opt_ncts_h.record(opt_ncts.gate_count(&spec));
+    }
+
+    let widths = [5usize, 10, 10, 10, 11, 12, 13, 13];
+    print_row(
+        &[
+            "gates".into(),
+            "ours NCT".into(),
+            "ours NCTS".into(),
+            "MMD bidi".into(),
+            "opt NCT".into(),
+            "opt NCTS".into(),
+            "paper ours".into(),
+            "paper opt".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+    let max = ours
+        .max_size()
+        .max(mmd.max_size())
+        .max(opt_nct_h.max_size());
+    for gates in (0..=max).rev() {
+        let paper = PAPER.iter().find(|r| r.0 == gates);
+        print_row(
+            &[
+                gates.to_string(),
+                ours.count(gates).to_string(),
+                ours_ncts.count(gates).to_string(),
+                mmd.count(gates).to_string(),
+                opt_nct_h.count(gates).to_string(),
+                opt_ncts_h.count(gates).to_string(),
+                paper.map(|r| r.1.to_string()).unwrap_or_default(),
+                paper.map(|r| r.4.to_string()).unwrap_or_default(),
+            ],
+            &widths,
+        );
+    }
+    print_rule(&widths);
+    print_row(
+        &[
+            "avg".into(),
+            format!("{:.2}", ours.average()),
+            format!("{:.2}", ours_ncts.average()),
+            format!("{:.2}", mmd.average()),
+            format!("{:.2}", opt_nct_h.average()),
+            format!("{:.2}", opt_ncts_h.average()),
+            "6.10".into(),
+            "5.87".into(),
+        ],
+        &widths,
+    );
+    println!(
+        "\npaper row: ours 6.10 | Miller [7] 6.18 | Kerntopf [6] 6.01 | optimal NCT 5.87 | optimal NCTS 5.63"
+    );
+    println!(
+        "exact full-sweep optimal averages from our BFS: NCT {:.4}, NCTS {:.4}",
+        opt_nct.average(),
+        opt_ncts.average()
+    );
+}

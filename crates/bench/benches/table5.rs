@@ -1,0 +1,13 @@
+//! Table V: random reversible circuits of 6-16 variables with at most
+//! 15 gates (500 samples each in the paper).
+
+use rmrls_bench::run_scalability_table;
+
+const PAPER_FAIL: &[(usize, f64)] = &[
+    (6, 0.2), (7, 0.0), (8, 0.8), (9, 1.2), (10, 0.6), (11, 1.4),
+    (12, 2.8), (13, 3.2), (14, 3.0), (15, 4.6), (16, 3.6),
+];
+
+fn main() {
+    run_scalability_table("Table V", 15, 25, 500, PAPER_FAIL, 0x55);
+}

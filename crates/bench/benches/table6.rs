@@ -1,0 +1,13 @@
+//! Table VI: random reversible circuits of 6-16 variables with at most
+//! 20 gates (1000 samples each in the paper).
+
+use rmrls_bench::run_scalability_table;
+
+const PAPER_FAIL: &[(usize, f64)] = &[
+    (6, 0.1), (7, 0.5), (8, 2.6), (9, 5.6), (10, 6.6), (11, 9.0),
+    (12, 11.1), (13, 12.5), (14, 15.1), (15, 16.2), (16, 16.0),
+];
+
+fn main() {
+    run_scalability_table("Table VI", 20, 25, 1000, PAPER_FAIL, 0x66);
+}

@@ -1,0 +1,14 @@
+//! Table VII: random reversible circuits of 6-16 variables with at most
+//! 25 gates (1000 samples each in the paper) — the hardest scalability
+//! setting, where the paper reports 1-45% failures.
+
+use rmrls_bench::run_scalability_table;
+
+const PAPER_FAIL: &[(usize, f64)] = &[
+    (6, 1.1), (7, 5.4), (8, 9.7), (9, 15.7), (10, 21.9), (11, 23.0),
+    (12, 27.5), (13, 26.3), (14, 29.5), (15, 45.2), (16, 38.3),
+];
+
+fn main() {
+    run_scalability_table("Table VII", 25, 25, 1000, PAPER_FAIL, 0x77);
+}

@@ -1,0 +1,286 @@
+//! Shared infrastructure for the experiment harness that regenerates
+//! every table and figure of the paper.
+//!
+//! Each `benches/tableN.rs` target is a plain `harness = false` binary
+//! run by `cargo bench`: it generates the paper's workload, synthesizes
+//! with the configuration the paper describes, and prints the same rows
+//! the paper reports, side by side with the paper's published numbers.
+//!
+//! Sample sizes default to laptop scale; set `RMRLS_FULL=1` to run the
+//! paper-scale workloads (50 000 four-variable functions, 60-second time
+//! limits, …). Every table header states the sample size actually used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use rmrls_core::{Pruning, SynthesisOptions};
+
+/// Whether paper-scale workloads were requested via `RMRLS_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("RMRLS_FULL").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Picks the reduced or full-scale value.
+pub fn scaled(reduced: usize, full: usize) -> usize {
+    if full_scale() {
+        full
+    } else {
+        reduced
+    }
+}
+
+/// Per-function time limit, scaled the same way.
+pub fn scaled_time(reduced: Duration, full: Duration) -> Duration {
+    if full_scale() {
+        full
+    } else {
+        reduced
+    }
+}
+
+/// The synthesis configuration for the Table I sweep (basic algorithm,
+/// three variables).
+pub fn table1_options() -> SynthesisOptions {
+    SynthesisOptions::new()
+        .with_max_gates(20)
+        .with_max_nodes(20_000)
+        .with_time_limit(Duration::from_millis(500))
+}
+
+/// The synthesis configuration of §V-B for four-variable functions:
+/// greedy-family pruning, 40-gate cap, 60-second limit in the paper.
+pub fn table2_options() -> SynthesisOptions {
+    SynthesisOptions::new()
+        .with_pruning(Pruning::TopK(4))
+        .with_max_gates(40)
+        .with_time_limit(scaled_time(Duration::from_millis(250), Duration::from_secs(60)))
+}
+
+/// The §V-B five-variable configuration: 60-gate cap, 180 s in the paper.
+pub fn table3_options() -> SynthesisOptions {
+    SynthesisOptions::new()
+        .with_pruning(Pruning::TopK(4))
+        // Deep solutions (30-50 gates) need the greedier heuristic
+        // weight; see the AStar weight docs and the ablation bench.
+        .with_astar_weight(1.0)
+        .with_max_gates(60)
+        .with_time_limit(scaled_time(Duration::from_millis(600), Duration::from_secs(180)))
+}
+
+/// The benchmark-suite configuration (§V-C/V-D): 60 s in the paper.
+pub fn table4_options() -> SynthesisOptions {
+    SynthesisOptions::new()
+        .with_pruning(Pruning::TopK(4))
+        .with_max_gates(150)
+        .with_time_limit(scaled_time(Duration::from_secs(3), Duration::from_secs(60)))
+}
+
+/// The scalability configuration (§V-E): greedy pruning, 60 s in the
+/// paper, and "as soon as a solution was found we chose to move on".
+pub fn scalability_options() -> SynthesisOptions {
+    SynthesisOptions::new()
+        .with_pruning(Pruning::Greedy)
+        .with_max_gates(60)
+        .with_stop_at_first(true)
+        .with_time_limit(scaled_time(Duration::from_millis(500), Duration::from_secs(60)))
+}
+
+/// A histogram over exact circuit sizes.
+#[derive(Clone, Debug, Default)]
+pub struct SizeHistogram {
+    counts: Vec<usize>,
+    total_gates: usize,
+    samples: usize,
+}
+
+impl SizeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        SizeHistogram::default()
+    }
+
+    /// Records one synthesized circuit size.
+    pub fn record(&mut self, gates: usize) {
+        if self.counts.len() <= gates {
+            self.counts.resize(gates + 1, 0);
+        }
+        self.counts[gates] += 1;
+        self.total_gates += gates;
+        self.samples += 1;
+    }
+
+    /// Number of circuits with exactly `gates` gates.
+    pub fn count(&self, gates: usize) -> usize {
+        self.counts.get(gates).copied().unwrap_or(0)
+    }
+
+    /// Largest recorded size.
+    pub fn max_size(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Number of recorded circuits.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Mean circuit size.
+    pub fn average(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_gates as f64 / self.samples as f64
+        }
+    }
+
+    /// Counts bucketed into the ranges used by Tables V–VII
+    /// (1–5, 6–10, …, 36–40).
+    pub fn bucketed(&self, bucket_width: usize, num_buckets: usize) -> Vec<usize> {
+        let mut out = vec![0usize; num_buckets];
+        for (size, &count) in self.counts.iter().enumerate() {
+            if size == 0 {
+                continue;
+            }
+            let b = ((size - 1) / bucket_width).min(num_buckets - 1);
+            out[b] += count;
+        }
+        out
+    }
+}
+
+/// Runs one of the scalability experiments (Tables V–VII, §V-E): for
+/// each width 6..=16, generate random GT-library circuits with
+/// `workload_gates` gates, simulate them into specifications, and
+/// re-synthesize with the greedy option, moving on at the first solution
+/// exactly as the paper does. Prints the bucketed size histogram and the
+/// failure rate next to the paper's reported failure rate.
+pub fn run_scalability_table(
+    table_name: &str,
+    workload_gates: usize,
+    default_samples: usize,
+    full_samples: usize,
+    paper_failure_pct: &[(usize, f64)],
+    seed: u64,
+) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmrls_core::synthesize;
+    use rmrls_spec::{random_circuit_spec, GateLibrary};
+
+    let samples = scaled(default_samples, full_samples);
+    let opts = scalability_options();
+    println!("# {table_name} — random reversible circuits, max {workload_gates} gates");
+    println!(
+        "sample: {samples} specs per width (paper: {full_samples}), time limit {:?} (paper: 60s), greedy pruning, first solution\n",
+        opts.time_limit.unwrap()
+    );
+
+    let buckets = ["1-5", "6-10", "11-15", "16-20", "21-25", "26-30", "31-35", "36-40"];
+    let mut widths_fmt = vec![9usize];
+    widths_fmt.extend(std::iter::repeat(7).take(buckets.len()));
+    widths_fmt.extend([7, 7, 12]);
+    let mut header: Vec<String> = vec!["variables".into()];
+    header.extend(buckets.iter().map(|b| b.to_string()));
+    header.extend(["failed".into(), "fail %".into(), "paper fail %".into()]);
+    print_row(&header, &widths_fmt);
+    print_rule(&widths_fmt);
+
+    for num_vars in 6..=16usize {
+        let mut rng = StdRng::seed_from_u64(seed ^ (num_vars as u64) << 8);
+        let mut hist = SizeHistogram::new();
+        let mut failures = 0usize;
+        for i in 0..samples {
+            let (spec, _circuit) = random_circuit_spec(num_vars, workload_gates, GateLibrary::Gt, &mut rng);
+            match synthesize(&spec.to_multi_pprm(), &opts) {
+                Ok(r) => {
+                    debug_assert_eq!(
+                        r.circuit.to_permutation(),
+                        spec.as_slice(),
+                        "width {num_vars} sample {i}"
+                    );
+                    hist.record(r.circuit.gate_count());
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        let bucketed = hist.bucketed(5, buckets.len());
+        let mut row: Vec<String> = vec![num_vars.to_string()];
+        row.extend(bucketed.iter().map(|c| c.to_string()));
+        row.push(failures.to_string());
+        row.push(format!("{:.1}", 100.0 * failures as f64 / samples as f64));
+        row.push(
+            paper_failure_pct
+                .iter()
+                .find(|(v, _)| *v == num_vars)
+                .map(|(_, p)| format!("{p:.1}"))
+                .unwrap_or_default(),
+        );
+        print_row(&row, &widths_fmt);
+    }
+}
+
+/// Prints a Markdown-ish table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::from("|");
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!(" {cell:>w$} |"));
+    }
+    println!("{line}");
+}
+
+/// Prints a rule under a header.
+pub fn print_rule(widths: &[usize]) {
+    let mut line = String::from("|");
+    for w in widths {
+        line.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_average() {
+        let mut h = SizeHistogram::new();
+        for g in [3, 3, 5, 7] {
+            h.record(g);
+        }
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.max_size(), 7);
+        assert_eq!(h.samples(), 4);
+        assert!((h.average() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketing_matches_table5_ranges() {
+        let mut h = SizeHistogram::new();
+        for g in [1, 5, 6, 10, 11, 40, 60] {
+            h.record(g);
+        }
+        let b = h.bucketed(5, 8);
+        assert_eq!(b[0], 2, "sizes 1-5");
+        assert_eq!(b[1], 2, "sizes 6-10");
+        assert_eq!(b[2], 1, "sizes 11-15");
+        assert_eq!(b[7], 2, "sizes 36+ clamp into the last bucket");
+    }
+
+    #[test]
+    fn scaled_respects_env() {
+        // Not set in the test environment by default.
+        if !full_scale() {
+            assert_eq!(scaled(10, 100), 10);
+        }
+    }
+
+    #[test]
+    fn option_presets_differ() {
+        assert_eq!(table2_options().max_gates, Some(40));
+        assert_eq!(table3_options().max_gates, Some(60));
+        assert!(scalability_options().stop_at_first);
+    }
+}

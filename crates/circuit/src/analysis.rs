@@ -1,0 +1,191 @@
+//! Circuit analysis: the structural metrics reported alongside gate
+//! count and quantum cost in the reversible-logic literature.
+
+use std::fmt;
+
+use crate::{gate_cost, Circuit};
+
+/// Structural statistics of a circuit.
+///
+/// ```
+/// use rmrls_circuit::{analyze, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(3, vec![
+///     Gate::not(0),
+///     Gate::not(1),              // parallel with the first
+///     Gate::toffoli(&[0, 1], 2), // must wait for both
+/// ]);
+/// let stats = analyze(&c);
+/// assert_eq!(stats.gate_count, 3);
+/// assert_eq!(stats.logical_depth, 2);
+/// assert_eq!(stats.gate_size_histogram, vec![0, 2, 0, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of gates.
+    pub gate_count: usize,
+    /// Total quantum cost.
+    pub quantum_cost: u64,
+    /// Logical depth: length of the longest chain of gates that share a
+    /// wire (gates on disjoint wire sets execute in parallel).
+    pub logical_depth: usize,
+    /// Entry `n` counts the gates of size `n` (`TOFn`/`FREn`).
+    pub gate_size_histogram: Vec<usize>,
+    /// Total control connections across all gates.
+    pub total_controls: usize,
+    /// Per-wire gate-touch counts (how busy each line is).
+    pub wire_usage: Vec<usize>,
+}
+
+impl CircuitStats {
+    /// The size of the largest gate.
+    pub fn max_gate_size(&self) -> usize {
+        self.gate_size_histogram.len().saturating_sub(1)
+    }
+
+    /// Mean gate size, 0.0 for an empty circuit.
+    pub fn average_gate_size(&self) -> f64 {
+        if self.gate_count == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .gate_size_histogram
+            .iter()
+            .enumerate()
+            .map(|(size, count)| size * count)
+            .sum();
+        total as f64 / self.gate_count as f64
+    }
+
+    /// Wires never touched by any gate.
+    pub fn idle_wires(&self) -> usize {
+        self.wire_usage.iter().filter(|&&u| u == 0).count()
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates (max size {}, avg {:.2}), cost {}, depth {}, {} controls",
+            self.gate_count,
+            self.max_gate_size(),
+            self.average_gate_size(),
+            self.quantum_cost,
+            self.logical_depth,
+            self.total_controls
+        )
+    }
+}
+
+/// Computes the structural statistics of a circuit in one pass.
+pub fn analyze(circuit: &Circuit) -> CircuitStats {
+    let width = circuit.width();
+    let mut gate_size_histogram = vec![0usize; circuit.max_gate_size() + 1];
+    let mut total_controls = 0usize;
+    let mut quantum_cost = 0u64;
+    let mut wire_usage = vec![0usize; width];
+    // ASAP scheduling: a gate starts after every wire it touches is free.
+    let mut wire_free_at = vec![0usize; width];
+    let mut logical_depth = 0usize;
+
+    for &gate in circuit.gates() {
+        gate_size_histogram[gate.size()] += 1;
+        total_controls += gate.control_count();
+        quantum_cost += gate_cost(gate, width);
+
+        let support = gate.support();
+        let mut start = 0usize;
+        for w in 0..width {
+            if support >> w & 1 == 1 {
+                start = start.max(wire_free_at[w]);
+                wire_usage[w] += 1;
+            }
+        }
+        let finish = start + 1;
+        for w in 0..width {
+            if support >> w & 1 == 1 {
+                wire_free_at[w] = finish;
+            }
+        }
+        logical_depth = logical_depth.max(finish);
+    }
+
+    CircuitStats {
+        gate_count: circuit.gate_count(),
+        quantum_cost,
+        logical_depth,
+        gate_size_histogram,
+        total_controls,
+        wire_usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = analyze(&Circuit::new(3));
+        assert_eq!(s.gate_count, 0);
+        assert_eq!(s.logical_depth, 0);
+        assert_eq!(s.idle_wires(), 3);
+        assert_eq!(s.average_gate_size(), 0.0);
+    }
+
+    #[test]
+    fn parallel_gates_share_depth() {
+        let c = Circuit::from_gates(4, vec![Gate::cnot(0, 1), Gate::cnot(2, 3)]);
+        let s = analyze(&c);
+        assert_eq!(s.logical_depth, 1, "disjoint gates run in parallel");
+        assert_eq!(s.gate_count, 2);
+    }
+
+    #[test]
+    fn chained_gates_stack_depth() {
+        let c = Circuit::from_gates(
+            2,
+            vec![Gate::cnot(0, 1), Gate::cnot(1, 0), Gate::cnot(0, 1)],
+        );
+        assert_eq!(analyze(&c).logical_depth, 3);
+    }
+
+    #[test]
+    fn histogram_and_controls() {
+        let c = Circuit::from_gates(
+            3,
+            vec![Gate::not(0), Gate::cnot(0, 1), Gate::toffoli(&[0, 1], 2)],
+        );
+        let s = analyze(&c);
+        assert_eq!(s.gate_size_histogram, vec![0, 1, 1, 1]);
+        assert_eq!(s.total_controls, 3);
+        assert_eq!(s.max_gate_size(), 3);
+        assert!((s.average_gate_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_usage_counts_touches() {
+        let c = Circuit::from_gates(3, vec![Gate::cnot(0, 1), Gate::cnot(0, 2)]);
+        let s = analyze(&c);
+        assert_eq!(s.wire_usage, vec![2, 1, 1]);
+        assert_eq!(s.idle_wires(), 0);
+    }
+
+    #[test]
+    fn cost_matches_circuit_method() {
+        let c = Circuit::from_gates(
+            5,
+            vec![Gate::toffoli(&[0, 1, 2, 3], 4), Gate::not(0)],
+        );
+        assert_eq!(analyze(&c).quantum_cost, c.quantum_cost());
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let c = Circuit::from_gates(2, vec![Gate::cnot(0, 1)]);
+        let text = analyze(&c).to_string();
+        assert!(text.contains("1 gates") && text.contains("depth 1"), "{text}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Cascades of reversible gates.
+
+use std::fmt;
+
+use crate::{circuit_cost, Gate, MAX_WIDTH};
+
+/// A reversible circuit: a cascade of gates over `width` wires, applied
+/// left to right (inputs to outputs). Fanout and feedback are
+/// structurally impossible, matching the constraints of reversible logic.
+///
+/// ```
+/// use rmrls_circuit::{Circuit, Gate};
+///
+/// // The paper's Example 1: TOF3(c,a,b) TOF3(c,b,a) TOF3(c,a,b) TOF1(a).
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::toffoli(&[2, 0], 1));
+/// c.push(Gate::toffoli(&[2, 1], 0));
+/// c.push(Gate::toffoli(&[2, 0], 1));
+/// c.push(Gate::not(0));
+/// assert_eq!(c.to_permutation(), vec![1, 0, 3, 2, 5, 7, 4, 6]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Circuit {
+    width: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (the identity) over `width` wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_WIDTH`.
+    pub fn new(width: usize) -> Self {
+        assert!(width <= MAX_WIDTH, "width {width} exceeds {MAX_WIDTH}");
+        Circuit {
+            width,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates a circuit from a gate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate touches a wire `>= width`.
+    pub fn from_gates(width: usize, gates: Vec<Gate>) -> Self {
+        let mut c = Circuit::new(width);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    }
+
+    /// Number of wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The gate cascade, input side first.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates — the paper's primary cost metric.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Total quantum cost (§II-D); see [`circuit_cost`].
+    pub fn quantum_cost(&self) -> u64 {
+        circuit_cost(self)
+    }
+
+    /// Size of the largest gate (`n` of the widest `TOFn`/`FREn`), 0 if
+    /// empty.
+    pub fn max_gate_size(&self) -> usize {
+        self.gates.iter().map(|g| g.size()).max().unwrap_or(0)
+    }
+
+    /// Appends a gate at the output side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a wire `>= width`.
+    pub fn push(&mut self, gate: Gate) {
+        assert!(
+            gate.min_width() <= self.width,
+            "gate {gate} does not fit in width {}",
+            self.width
+        );
+        self.gates.push(gate);
+    }
+
+    /// Inserts a gate at the input side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a wire `>= width`.
+    pub fn push_front(&mut self, gate: Gate) {
+        assert!(
+            gate.min_width() <= self.width,
+            "gate {gate} does not fit in width {}",
+            self.width
+        );
+        self.gates.insert(0, gate);
+    }
+
+    /// Applies the circuit to an input word.
+    pub fn apply(&self, x: u64) -> u64 {
+        self.gates.iter().fold(x, |x, g| g.apply(x))
+    }
+
+    /// The permutation computed by the circuit: entry `x` is the output
+    /// word for input `x`.
+    pub fn to_permutation(&self) -> Vec<u64> {
+        (0..1u64 << self.width).map(|x| self.apply(x)).collect()
+    }
+
+    /// The inverse circuit: gates reversed (each gate is self-inverse).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            width: self.width,
+            gates: self.gates.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Concatenates another cascade after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn extend(&mut self, other: &Circuit) {
+        assert_eq!(self.width, other.width, "circuit widths differ");
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Whether the circuit computes the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        (0..1u64 << self.width.min(20)).all(|x| self.apply(x) == x)
+            && (self.width <= 20 || self.gates.is_empty() || {
+                // For very wide circuits exhaustive checking is infeasible;
+                // fall back to spot checks on random-ish words.
+                (0..4096u64)
+                    .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .all(|x| {
+                        let x = x & ((1u64 << self.width) - 1);
+                        self.apply(x) == x
+                    })
+            })
+    }
+
+    /// Returns the same cascade over a wider register (extra idle wires
+    /// at the top). Useful before [NCT decomposition](crate::decompose_to_nct),
+    /// which needs a borrowed ancilla line for full-width gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width or exceeds
+    /// `MAX_WIDTH`.
+    pub fn widened(&self, width: usize) -> Circuit {
+        assert!(width >= self.width, "cannot narrow a circuit");
+        assert!(width <= MAX_WIDTH, "width {width} exceeds {MAX_WIDTH}");
+        Circuit {
+            width,
+            gates: self.gates.clone(),
+        }
+    }
+
+    /// Removes all gates.
+    pub fn clear(&mut self) {
+        self.gates.clear();
+    }
+}
+
+impl FromIterator<Gate> for Circuit {
+    /// Collects gates into a circuit just wide enough to contain them.
+    fn from_iter<I: IntoIterator<Item = Gate>>(iter: I) -> Self {
+        let gates: Vec<Gate> = iter.into_iter().collect();
+        let width = gates.iter().map(|g| g.min_width()).max().unwrap_or(0);
+        Circuit { width, gates }
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<I: IntoIterator<Item = Gate>>(&mut self, iter: I) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    /// Paper notation: the gate cascade left (inputs) to right (outputs),
+    /// e.g. `TOF3(a,c,b) TOF3(b,c,a) TOF3(a,c,b) TOF1(a)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.gates.is_empty() {
+            return write!(f, "(identity)");
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 1 of the paper: spec {1,0,3,2,5,7,4,6}.
+    fn example1() -> Circuit {
+        Circuit::from_gates(
+            3,
+            vec![
+                Gate::toffoli(&[2, 0], 1),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::toffoli(&[2, 0], 1),
+                Gate::not(0),
+            ],
+        )
+    }
+
+    #[test]
+    fn example1_realizes_published_spec() {
+        assert_eq!(example1().to_permutation(), vec![1, 0, 3, 2, 5, 7, 4, 6]);
+    }
+
+    #[test]
+    fn example2_wraparound_right_shift() {
+        // TOF1(a) TOF2(a,b) TOF3(b,a,c) realizes {7,0,1,2,3,4,5,6}.
+        let c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::not(0),
+                Gate::cnot(0, 1),
+                Gate::toffoli(&[1, 0], 2),
+            ],
+        );
+        assert_eq!(c.to_permutation(), vec![7, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn example3_fredkin_from_toffolis() {
+        // TOF3(c,a,b) TOF3(c,b,a) TOF3(c,a,b) realizes {0,1,2,3,4,6,5,7}.
+        let c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::toffoli(&[2, 0], 1),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::toffoli(&[2, 0], 1),
+            ],
+        );
+        assert_eq!(c.to_permutation(), vec![0, 1, 2, 3, 4, 6, 5, 7]);
+        // And it matches the actual Fredkin gate.
+        let f = Circuit::from_gates(3, vec![Gate::fredkin(&[2], 0, 1)]);
+        assert_eq!(f.to_permutation(), c.to_permutation());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let c = example1();
+        let mut both = c.clone();
+        both.extend(&c.inverse());
+        assert!(both.is_identity());
+    }
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        assert!(Circuit::new(4).is_identity());
+        assert_eq!(Circuit::new(2).to_string(), "(identity)");
+    }
+
+    #[test]
+    fn push_front_prepends() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cnot(0, 1));
+        c.push_front(Gate::not(0));
+        // NOT(a) then CNOT(a,b): 00 → 01 → 11.
+        assert_eq!(c.apply(0b00), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_gate_rejected() {
+        Circuit::new(2).push(Gate::not(2));
+    }
+
+    #[test]
+    fn from_iter_sizes_width() {
+        let c: Circuit = [Gate::not(0), Gate::cnot(1, 4)].into_iter().collect();
+        assert_eq!(c.width(), 5);
+    }
+
+    #[test]
+    fn display_matches_paper_order() {
+        assert_eq!(
+            example1().to_string(),
+            "TOF3(a,c,b) TOF3(b,c,a) TOF3(a,c,b) TOF1(a)"
+        );
+    }
+
+    #[test]
+    fn widened_keeps_semantics_on_low_wires() {
+        let c = example1();
+        let w = c.widened(5);
+        assert_eq!(w.width(), 5);
+        for x in 0..8u64 {
+            assert_eq!(w.apply(x), c.apply(x));
+        }
+        // High wires pass through.
+        assert_eq!(w.apply(0b10000) & 0b11000, 0b10000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot narrow")]
+    fn widened_rejects_narrowing() {
+        let _ = Circuit::new(3).widened(2);
+    }
+
+    #[test]
+    fn max_gate_size() {
+        assert_eq!(example1().max_gate_size(), 3);
+        assert_eq!(Circuit::new(3).max_gate_size(), 0);
+    }
+}

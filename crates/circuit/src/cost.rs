@@ -1,0 +1,128 @@
+//! Quantum-cost model for generalized Toffoli and Fredkin gates.
+//!
+//! Follows the structure of Maslov's cost table used by the paper
+//! (§II-D): NOT and CNOT cost 1, the three-bit Toffoli costs 5
+//! (Barenco et al.), and larger gates cost exponentially more unless the
+//! circuit is wider than the gate, in which case unused wires serve as
+//! ancillae and a linear-cost decomposition applies.
+
+use crate::{Circuit, Gate};
+
+/// Quantum cost of an `n`-wire Toffoli gate.
+///
+/// `free_lines` is the number of circuit wires the gate does not touch;
+/// when at least one is available and `n ≥ 5`, the Barenco-style linear
+/// decomposition of cost `12n − 34` replaces the exponential `2^n − 3`
+/// realization.
+///
+/// ```
+/// use rmrls_circuit::toffoli_cost;
+///
+/// assert_eq!(toffoli_cost(1, 0), 1);  // NOT
+/// assert_eq!(toffoli_cost(2, 0), 1);  // CNOT
+/// assert_eq!(toffoli_cost(3, 0), 5);  // Toffoli
+/// assert_eq!(toffoli_cost(4, 0), 13);
+/// assert_eq!(toffoli_cost(5, 0), 29);
+/// assert_eq!(toffoli_cost(6, 1), 38); // 12·6 − 34, one free line
+/// assert_eq!(toffoli_cost(6, 0), 61); // 2^6 − 3, no free line
+/// ```
+pub fn toffoli_cost(n: usize, free_lines: usize) -> u64 {
+    match n {
+        0 => 0,
+        1 | 2 => 1,
+        3 => 5,
+        4 => 13,
+        _ => {
+            if free_lines >= 1 {
+                12 * n as u64 - 34
+            } else {
+                (1u64 << n) - 3
+            }
+        }
+    }
+}
+
+/// Quantum cost of an `n`-wire Fredkin gate (n = controls + 2).
+///
+/// Decomposed as CNOT · Toffoli(n+? ) · CNOT: a Fredkin with `c` controls
+/// equals two CNOTs conjugating a Toffoli with `c + 1` controls, so its
+/// cost is `toffoli_cost(n, free_lines) + 2` — except the unconditional
+/// SWAP (`n = 2`), which is three CNOTs.
+pub fn fredkin_cost(n: usize, free_lines: usize) -> u64 {
+    if n == 2 {
+        3
+    } else {
+        toffoli_cost(n, free_lines) + 2
+    }
+}
+
+/// Quantum cost of a gate inside a circuit of the given width.
+pub fn gate_cost(gate: Gate, width: usize) -> u64 {
+    let n = gate.size();
+    let free = width.saturating_sub(n);
+    match gate {
+        Gate::Toffoli { .. } => toffoli_cost(n, free),
+        Gate::Fredkin { .. } => fredkin_cost(n, free),
+    }
+}
+
+/// Total quantum cost of a circuit: the sum of its gate costs (§II-D).
+pub fn circuit_cost(circuit: &Circuit) -> u64 {
+    circuit
+        .gates()
+        .iter()
+        .map(|&g| gate_cost(g, circuit.width()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_gate_costs_match_table() {
+        assert_eq!(toffoli_cost(1, 5), 1);
+        assert_eq!(toffoli_cost(2, 5), 1);
+        assert_eq!(toffoli_cost(3, 5), 5);
+        assert_eq!(toffoli_cost(4, 5), 13);
+    }
+
+    #[test]
+    fn large_gates_exponential_without_ancilla() {
+        assert_eq!(toffoli_cost(5, 0), 29);
+        assert_eq!(toffoli_cost(6, 0), 61);
+        assert_eq!(toffoli_cost(10, 0), 1021);
+    }
+
+    #[test]
+    fn large_gates_linear_with_ancilla() {
+        assert_eq!(toffoli_cost(5, 1), 26);
+        assert_eq!(toffoli_cost(7, 2), 50);
+        assert_eq!(toffoli_cost(8, 1), 62);
+    }
+
+    #[test]
+    fn fredkin_costs() {
+        assert_eq!(fredkin_cost(2, 0), 3, "SWAP = 3 CNOTs");
+        assert_eq!(fredkin_cost(3, 0), 7, "CSWAP = 2 CNOT + TOF3");
+    }
+
+    #[test]
+    fn circuit_cost_sums_gates() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::not(0));
+        c.push(Gate::cnot(0, 1));
+        c.push(Gate::toffoli(&[0, 1], 2));
+        assert_eq!(circuit_cost(&c), 1 + 1 + 5);
+    }
+
+    #[test]
+    fn cost_uses_free_lines_from_width() {
+        let mut narrow = Circuit::new(5);
+        narrow.push(Gate::toffoli(&[0, 1, 2, 3], 4));
+        let mut wide = Circuit::new(6);
+        wide.push(Gate::toffoli(&[0, 1, 2, 3], 4));
+        assert_eq!(circuit_cost(&narrow), 29);
+        assert_eq!(circuit_cost(&wide), 26);
+    }
+}

@@ -1,0 +1,244 @@
+//! Decomposition of generalized Toffoli/Fredkin gates into the NCT
+//! library (NOT, CNOT, 3-bit Toffoli).
+//!
+//! §II-D of the paper notes that wide `TOFn` gates are expected to be
+//! macros realized by elementary gates, citing Barenco et al. [12] for
+//! the constructions and bounds. This module implements the classic
+//! borrowed-ancilla split: for a gate with controls `P·Q` and a dirty
+//! ancilla `a`,
+//!
+//! ```text
+//! t ^= P·Q   =   a ^= P;  t ^= Q·a;  a ^= P;  t ^= Q·a
+//! ```
+//!
+//! — the ancilla is restored, no clean ancilla is needed, and recursing
+//! on both halves terminates at 3-bit Toffoli gates. The expansion is
+//! `O(k²)` elementary gates for `k` controls, matching the quadratic
+//! ancilla-free bounds of [12]/[14].
+//!
+//! A gate that touches **every** wire of the circuit cannot be
+//! decomposed this way (and in fact no NCT realization on the same wires
+//! exists for `n ≥ 4`, because `TOFn` is an odd permutation while every
+//! narrower gate acts evenly on the full space); such gates are reported
+//! via [`DecomposeError`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// A gate could not be decomposed: it touches every wire, leaving no
+/// borrowed ancilla.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposeError {
+    /// The offending gate.
+    pub gate: Gate,
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate {} touches every wire; add a line to decompose it into NCT",
+            self.gate
+        )
+    }
+}
+
+impl Error for DecomposeError {}
+
+/// Decomposes one gate into NCT gates over `width` wires.
+///
+/// # Errors
+///
+/// Returns [`DecomposeError`] if the gate has more than two controls and
+/// touches every wire (no borrowed ancilla available).
+pub fn decompose_gate(gate: Gate, width: usize) -> Result<Vec<Gate>, DecomposeError> {
+    match gate {
+        Gate::Toffoli { controls, target } => {
+            decompose_toffoli(controls, target as usize, width)
+        }
+        Gate::Fredkin { controls, targets } => {
+            // FRED(C; x, y) = CNOT(y→x) · TOF(C∪{x}; y) · CNOT(y→x).
+            let (x, y) = (targets.0 as usize, targets.1 as usize);
+            let mut out = vec![Gate::cnot(y, x)];
+            out.extend(decompose_toffoli(
+                controls | (1 << x),
+                y,
+                width,
+            )?);
+            out.push(Gate::cnot(y, x));
+            Ok(out)
+        }
+    }
+}
+
+fn decompose_toffoli(
+    controls: u32,
+    target: usize,
+    width: usize,
+) -> Result<Vec<Gate>, DecomposeError> {
+    let k = controls.count_ones() as usize;
+    if k <= 2 {
+        return Ok(vec![Gate::toffoli_mask(controls, target)]);
+    }
+    // A dirty ancilla: any wire that is neither a control nor the target.
+    let support = controls | (1 << target);
+    let ancilla = (0..width).find(|&w| support >> w & 1 == 0).ok_or(DecomposeError {
+        gate: Gate::toffoli_mask(controls, target),
+    })?;
+
+    // Split the controls into halves P and Q, P taking the larger half:
+    // both recursive gate families (`P → a` with ⌈k/2⌉ controls and
+    // `Q∪{a} → t` with ⌊k/2⌋+1 controls) then have strictly fewer than
+    // `k` controls for every k ≥ 3, so the recursion terminates.
+    let mut control_list: Vec<usize> = (0..width).filter(|&w| controls >> w & 1 == 1).collect();
+    let half = control_list.len().div_ceil(2);
+    let q: u32 = control_list.split_off(half).iter().map(|&w| 1u32 << w).sum();
+    let p: u32 = control_list.iter().map(|&w| 1u32 << w).sum();
+
+    // t ^= P·Q  =  a ^= P; t ^= Q·a; a ^= P; t ^= Q·a.
+    let first = Gate::toffoli_mask(p, ancilla);
+    let second = Gate::toffoli_mask(q | (1 << ancilla), target);
+    let mut out = Vec::new();
+    for g in [first, second, first, second] {
+        out.extend(decompose_toffoli(g.controls(), g.target_mask().trailing_zeros() as usize, width)?);
+    }
+    Ok(out)
+}
+
+/// Decomposes every gate of a circuit into the NCT library, preserving
+/// the computed function exactly (no added lines; wide gates borrow idle
+/// wires as dirty ancillae).
+///
+/// # Errors
+///
+/// Returns [`DecomposeError`] if some gate leaves no borrowed ancilla
+/// (it touches every wire). Widening the circuit by one line always
+/// makes decomposition possible.
+///
+/// ```
+/// use rmrls_circuit::{decompose_to_nct, Circuit, Gate};
+///
+/// let wide = Circuit::from_gates(5, vec![Gate::toffoli(&[0, 1, 2], 3)]);
+/// let nct = decompose_to_nct(&wide)?;
+/// assert!(nct.max_gate_size() <= 3);
+/// assert_eq!(nct.to_permutation(), wide.to_permutation());
+/// # Ok::<(), rmrls_circuit::DecomposeError>(())
+/// ```
+pub fn decompose_to_nct(circuit: &Circuit) -> Result<Circuit, DecomposeError> {
+    let mut out = Circuit::new(circuit.width());
+    for &gate in circuit.gates() {
+        for g in decompose_gate(gate, circuit.width())? {
+            out.push(g);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_gates_pass_through() {
+        for g in [Gate::not(0), Gate::cnot(1, 0), Gate::toffoli(&[0, 1], 2)] {
+            assert_eq!(decompose_gate(g, 4).unwrap(), vec![g]);
+        }
+    }
+
+    #[test]
+    fn tof4_with_ancilla_decomposes_correctly() {
+        let gate = Gate::toffoli(&[0, 1, 2], 3);
+        let gates = decompose_gate(gate, 5).expect("wire 4 is free");
+        let c = Circuit::from_gates(5, gates);
+        assert!(c.max_gate_size() <= 3);
+        let reference = Circuit::from_gates(5, vec![gate]);
+        assert_eq!(c.to_permutation(), reference.to_permutation());
+    }
+
+    #[test]
+    fn wide_gates_decompose_on_all_widths() {
+        for k in 3..=7usize {
+            let width = k + 2; // k controls + target + 1 borrowed line
+            let controls: Vec<usize> = (0..k).collect();
+            let gate = Gate::toffoli(&controls, k);
+            let nct =
+                decompose_to_nct(&Circuit::from_gates(width, vec![gate])).expect("ancilla free");
+            assert!(nct.max_gate_size() <= 3, "k={k}");
+            let reference = Circuit::from_gates(width, vec![gate]);
+            assert_eq!(
+                nct.to_permutation(),
+                reference.to_permutation(),
+                "k={k} semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_gate_count() {
+        // The expansion grows polynomially, not exponentially.
+        let mut last = 1usize;
+        for k in 3..=9usize {
+            let controls: Vec<usize> = (0..k).collect();
+            let gates = decompose_gate(Gate::toffoli(&controls, k), k + 2).unwrap();
+            assert!(gates.len() <= 4 * k * k, "k={k}: {} gates", gates.len());
+            assert!(gates.len() >= last, "monotone in k");
+            last = gates.len();
+        }
+    }
+
+    #[test]
+    fn full_width_gate_is_an_error() {
+        let gate = Gate::toffoli(&[0, 1, 2], 3);
+        let err = decompose_gate(gate, 4).unwrap_err();
+        assert_eq!(err.gate, gate);
+        assert!(err.to_string().contains("every wire"));
+    }
+
+    #[test]
+    fn fredkin_decomposes() {
+        let gate = Gate::fredkin(&[2, 3], 0, 1);
+        let gates = decompose_gate(gate, 5).expect("wire 4 free");
+        let c = Circuit::from_gates(5, gates);
+        assert!(c.max_gate_size() <= 3);
+        let reference = Circuit::from_gates(5, vec![gate]);
+        assert_eq!(c.to_permutation(), reference.to_permutation());
+    }
+
+    #[test]
+    fn whole_circuit_decomposition_roundtrips() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..20 {
+            let width = rng.random_range(5..=8usize);
+            let gates: Vec<Gate> = (0..rng.random_range(1..=6usize))
+                .map(|_| {
+                    let target = rng.random_range(0..width);
+                    let controls: Vec<usize> = (0..width)
+                        .filter(|&w| w != target && rng.random_bool(0.5))
+                        .collect();
+                    // Keep one line free so decomposition is possible.
+                    let controls: Vec<usize> =
+                        controls.into_iter().take(width - 2).collect();
+                    Gate::toffoli(&controls, target)
+                })
+                .collect();
+            let c = Circuit::from_gates(width, gates);
+            let nct = decompose_to_nct(&c).expect("a line is free");
+            assert!(nct.max_gate_size() <= 3, "trial {trial}");
+            assert_eq!(nct.to_permutation(), c.to_permutation(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn decomposition_matches_quantum_cost_order() {
+        // NCT expansion of TOF5 on 6 wires should cost no less than the
+        // macro's table cost (the table assumes the best construction).
+        let gate = Gate::toffoli(&[0, 1, 2, 3], 4);
+        let macro_cost = Circuit::from_gates(6, vec![gate]).quantum_cost();
+        let nct = decompose_to_nct(&Circuit::from_gates(6, vec![gate])).unwrap();
+        assert!(nct.quantum_cost() >= macro_cost);
+    }
+}

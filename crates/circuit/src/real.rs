@@ -1,0 +1,352 @@
+//! Reading and writing the RevLib `.real` circuit format.
+//!
+//! `.real` is the format of the RevLib successor to Maslov's benchmark
+//! page the paper compares against. It is line-oriented with
+//! space-separated signals and explicit constant-input/garbage-output
+//! annotations:
+//!
+//! ```text
+//! .version 2.0
+//! .numvars 3
+//! .variables a b c
+//! .constants --0
+//! .garbage -1-
+//! .begin
+//! t1 a
+//! t2 a b
+//! t3 a b c
+//! .end
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// A `.real` document: the circuit plus its wire annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RealDocument {
+    /// The gate cascade.
+    pub circuit: Circuit,
+    /// Wire names, one per line.
+    pub variables: Vec<String>,
+    /// Per-wire constant input: `None` = real input, `Some(bit)` =
+    /// constant.
+    pub constants: Vec<Option<bool>>,
+    /// Per-wire garbage flag for the output side.
+    pub garbage: Vec<bool>,
+}
+
+impl RealDocument {
+    /// Wraps a bare circuit with default annotations (all inputs real,
+    /// no garbage) and wire names `a, b, c, …`.
+    pub fn new(circuit: Circuit) -> Self {
+        let width = circuit.width();
+        RealDocument {
+            circuit,
+            variables: (0..width).map(default_name).collect(),
+            constants: vec![None; width],
+            garbage: vec![false; width],
+        }
+    }
+}
+
+fn default_name(w: usize) -> String {
+    if w < 26 {
+        ((b'a' + w as u8) as char).to_string()
+    } else {
+        format!("x{w}")
+    }
+}
+
+/// Error parsing a `.real` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRealError {
+    line: usize,
+    message: String,
+}
+
+impl ParseRealError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseRealError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseRealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "real parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseRealError {}
+
+/// Serializes a document in `.real` syntax.
+///
+/// ```
+/// use rmrls_circuit::{real, Circuit, Gate};
+///
+/// let doc = real::RealDocument::new(Circuit::from_gates(2, vec![Gate::cnot(0, 1)]));
+/// let text = real::write(&doc);
+/// assert!(text.contains(".numvars 2") && text.contains("t2 a b"));
+/// assert_eq!(real::parse(&text)?, doc);
+/// # Ok::<(), real::ParseRealError>(())
+/// ```
+pub fn write(doc: &RealDocument) -> String {
+    let mut out = String::from(".version 2.0\n");
+    out.push_str(&format!(".numvars {}\n", doc.circuit.width()));
+    out.push_str(&format!(".variables {}\n", doc.variables.join(" ")));
+    let constants: String = doc
+        .constants
+        .iter()
+        .map(|c| match c {
+            None => '-',
+            Some(false) => '0',
+            Some(true) => '1',
+        })
+        .collect();
+    out.push_str(&format!(".constants {constants}\n"));
+    let garbage: String = doc
+        .garbage
+        .iter()
+        .map(|&g| if g { '1' } else { '-' })
+        .collect();
+    out.push_str(&format!(".garbage {garbage}\n.begin\n"));
+    for gate in doc.circuit.gates() {
+        let mut signals: Vec<&str> = (0..doc.circuit.width())
+            .filter(|&w| gate.controls() >> w & 1 == 1)
+            .map(|w| doc.variables[w].as_str())
+            .collect();
+        match *gate {
+            Gate::Toffoli { target, .. } => {
+                signals.push(&doc.variables[target as usize]);
+                out.push_str(&format!("t{} {}\n", signals.len(), signals.join(" ")));
+            }
+            Gate::Fredkin { targets, .. } => {
+                signals.push(&doc.variables[targets.0 as usize]);
+                signals.push(&doc.variables[targets.1 as usize]);
+                out.push_str(&format!("f{} {}\n", signals.len(), signals.join(" ")));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses a `.real` document.
+///
+/// # Errors
+///
+/// Returns [`ParseRealError`] on malformed headers, unknown signals, or
+/// invalid gate lines.
+pub fn parse(text: &str) -> Result<RealDocument, ParseRealError> {
+    let mut variables: Vec<String> = Vec::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut constants: Option<Vec<Option<bool>>> = None;
+    let mut garbage: Option<Vec<bool>> = None;
+    let mut gates: Vec<Gate> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".numvars") {
+            declared_vars = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| ParseRealError::new(lineno, "bad .numvars"))?,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".variables") {
+            variables = rest.split_whitespace().map(str::to_string).collect();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".constants") {
+            constants = Some(
+                rest.trim()
+                    .chars()
+                    .map(|c| match c {
+                        '-' => Ok(None),
+                        '0' => Ok(Some(false)),
+                        '1' => Ok(Some(true)),
+                        other => Err(ParseRealError::new(
+                            lineno,
+                            format!("bad constants flag '{other}'"),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".garbage") {
+            garbage = Some(rest.trim().chars().map(|c| c == '1').collect());
+            continue;
+        }
+        if line.starts_with('.') {
+            continue; // .version / .inputs / .outputs / .begin / .end …
+        }
+
+        let (head, args) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseRealError::new(lineno, format!("malformed gate line '{line}'")))?;
+        let signals: Vec<usize> = args
+            .split_whitespace()
+            .map(|s| {
+                variables
+                    .iter()
+                    .position(|v| v == s)
+                    .ok_or_else(|| ParseRealError::new(lineno, format!("unknown signal '{s}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        for (i, s) in signals.iter().enumerate() {
+            if signals[..i].contains(s) {
+                return Err(ParseRealError::new(lineno, "repeated signal in gate"));
+            }
+        }
+        let kind = head.chars().next().unwrap_or('?').to_ascii_lowercase();
+        match kind {
+            't' => {
+                let (&target, controls) = signals
+                    .split_last()
+                    .ok_or_else(|| ParseRealError::new(lineno, "toffoli needs a target"))?;
+                gates.push(Gate::toffoli(controls, target));
+            }
+            'f' => {
+                if signals.len() < 2 {
+                    return Err(ParseRealError::new(lineno, "fredkin needs two targets"));
+                }
+                let (t1, t0) = (signals[signals.len() - 1], signals[signals.len() - 2]);
+                gates.push(Gate::fredkin(&signals[..signals.len() - 2], t0, t1));
+            }
+            other => {
+                return Err(ParseRealError::new(
+                    lineno,
+                    format!("unsupported gate kind '{other}'"),
+                ));
+            }
+        }
+    }
+
+    if variables.is_empty() {
+        return Err(ParseRealError::new(0, "missing .variables"));
+    }
+    if let Some(n) = declared_vars {
+        if n != variables.len() {
+            return Err(ParseRealError::new(
+                0,
+                format!(".numvars {n} does not match {} variables", variables.len()),
+            ));
+        }
+    }
+    let width = variables.len();
+    let constants = constants.unwrap_or_else(|| vec![None; width]);
+    let garbage = garbage.unwrap_or_else(|| vec![false; width]);
+    if constants.len() != width || garbage.len() != width {
+        return Err(ParseRealError::new(
+            0,
+            "constants/garbage annotations do not match the variable count",
+        ));
+    }
+    Ok(RealDocument {
+        circuit: Circuit::from_gates(width, gates),
+        variables,
+        constants,
+        garbage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RealDocument {
+        RealDocument::new(Circuit::from_gates(
+            3,
+            vec![
+                Gate::not(0),
+                Gate::cnot(0, 1),
+                Gate::toffoli(&[0, 1], 2),
+                Gate::fredkin(&[2], 0, 1),
+            ],
+        ))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = sample();
+        assert_eq!(parse(&write(&doc)).expect("parse"), doc);
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let mut doc = sample();
+        doc.constants[2] = Some(false);
+        doc.garbage[0] = true;
+        let back = parse(&write(&doc)).expect("parse");
+        assert_eq!(back.constants, doc.constants);
+        assert_eq!(back.garbage, doc.garbage);
+    }
+
+    #[test]
+    fn parses_reference_document() {
+        let text = "\
+# rd32-like header
+.version 2.0
+.numvars 3
+.variables a b c
+.constants --0
+.garbage 1--
+.begin
+t1 a
+t2 a b
+t3 b a c
+.end
+";
+        let doc = parse(text).expect("parse");
+        assert_eq!(doc.circuit.width(), 3);
+        assert_eq!(doc.circuit.gate_count(), 3);
+        assert_eq!(doc.constants, vec![None, None, Some(false)]);
+        assert_eq!(doc.garbage, vec![true, false, false]);
+        // Same cascade as the paper's Example 2.
+        assert_eq!(doc.circuit.to_permutation(), vec![7, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn numvars_mismatch_is_error() {
+        let text = ".numvars 4\n.variables a b\n.begin\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_signal_is_error() {
+        let text = ".variables a b\n.begin\nt2 a z\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("unknown signal"));
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn bad_constants_flag_is_error() {
+        let text = ".variables a\n.constants x\n.begin\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn semantic_equivalence_with_tfc() {
+        // The same circuit serialized both ways parses to equal cascades.
+        let doc = sample();
+        let via_real = parse(&write(&doc)).unwrap().circuit;
+        let via_tfc = crate::tfc::parse(&crate::tfc::write(&doc.circuit)).unwrap();
+        assert_eq!(via_real, via_tfc);
+    }
+}

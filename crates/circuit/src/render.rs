@@ -1,0 +1,116 @@
+//! ASCII rendering of reversible circuits in the paper's diagram style
+//! (Figs. 3, 7, 8): one row per wire, controls drawn as `●`, Toffoli
+//! targets as `⊕`, Fredkin targets as `×`, with vertical connectors.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+/// Renders a circuit as a multi-line ASCII diagram, inputs on the left.
+///
+/// ```
+/// use rmrls_circuit::{render, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(2, vec![Gate::cnot(0, 1)]);
+/// let art = render(&c);
+/// assert!(art.contains('●') && art.contains('⊕'));
+/// ```
+pub fn render(circuit: &Circuit) -> String {
+    let width = circuit.width();
+    let mut rows: Vec<String> = (0..width)
+        .map(|w| {
+            let name = if w < 26 {
+                format!("{} ", (b'a' + w as u8) as char)
+            } else {
+                format!("x{w} ")
+            };
+            format!("{name:<4}")
+        })
+        .collect();
+
+    for gate in circuit.gates() {
+        let support = gate.support();
+        let lo = support.trailing_zeros() as usize;
+        let hi = 31 - support.leading_zeros() as usize;
+        for (w, row) in rows.iter_mut().enumerate() {
+            let symbol = if gate.controls() >> w & 1 == 1 {
+                '●'
+            } else {
+                match *gate {
+                    Gate::Toffoli { target, .. } if target as usize == w => '⊕',
+                    Gate::Fredkin { targets, .. }
+                        if targets.0 as usize == w || targets.1 as usize == w =>
+                    {
+                        '×'
+                    }
+                    _ if w > lo && w < hi => '┼',
+                    _ => '─',
+                }
+            };
+            let _ = write!(row, "─{symbol}─");
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push_str("─\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_example1_shape() {
+        // Fig. 7 of the paper.
+        let c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::toffoli(&[2, 0], 1),
+                Gate::toffoli(&[2, 1], 0),
+                Gate::toffoli(&[2, 0], 1),
+                Gate::not(0),
+            ],
+        );
+        let art = render(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("c "));
+        assert_eq!(art.matches('⊕').count(), 4);
+        assert_eq!(art.matches('●').count(), 6);
+    }
+
+    #[test]
+    fn wires_have_equal_length() {
+        let c = Circuit::from_gates(4, vec![Gate::toffoli(&[0, 3], 1), Gate::not(2)]);
+        let art = render(&c);
+        let lens: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn crossing_wires_get_connector() {
+        let c = Circuit::from_gates(3, vec![Gate::toffoli(&[0], 2)]);
+        let art = render(&c);
+        let middle = art.lines().nth(1).unwrap();
+        assert!(middle.contains('┼'), "{art}");
+    }
+
+    #[test]
+    fn fredkin_targets_are_crosses() {
+        let c = Circuit::from_gates(3, vec![Gate::fredkin(&[2], 0, 1)]);
+        let art = render(&c);
+        assert_eq!(art.matches('×').count(), 2);
+        assert_eq!(art.matches('●').count(), 1);
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let art = render(&Circuit::new(2));
+        assert_eq!(art.lines().count(), 2);
+        assert!(!art.contains('⊕'));
+    }
+}

@@ -1,0 +1,234 @@
+//! Template-based post-synthesis circuit simplification.
+//!
+//! The paper (§V-A) notes that template matching [20]–[22] is a useful
+//! post-processing step for any reversible synthesis algorithm. This
+//! module implements the core template classes as rewrite passes that
+//! provably preserve the circuit function:
+//!
+//! 1. **Duplicate cancellation** — two equal gates separated only by
+//!    gates each of them commutes with annihilate (every gate is
+//!    self-inverse).
+//! 2. **Control merge** — two Toffoli gates with the same target whose
+//!    control sets differ in exactly one wire `v`, where one set is the
+//!    other plus `v`, merge into a single gate conjugated by NOT(v):
+//!    `TOF(C∪{v},t) TOF(C,t) = NOT(v) TOF(C∪{v},t) NOT(v)`; the pass
+//!    applies it only when a neighbouring NOT(v) then cancels, so the
+//!    gate count never increases.
+//! 3. **NOT absorption** — `NOT(t) TOF(C,t) NOT(t) = TOF(C,t)` falls out
+//!    of rule 1 because same-target Toffoli gates commute.
+//!
+//! Passes iterate to a fixpoint. [`simplify`] returns the number of gates
+//! removed.
+
+use crate::{Circuit, Gate};
+
+/// Simplifies a circuit in place with the template passes described in
+/// the module docs, returning the number of gates removed.
+///
+/// The circuit function is preserved exactly (checked by property tests).
+///
+/// ```
+/// use rmrls_circuit::{simplify, Circuit, Gate};
+///
+/// let mut c = Circuit::from_gates(3, vec![
+///     Gate::cnot(0, 1),
+///     Gate::cnot(0, 2),  // commutes with both neighbours
+///     Gate::cnot(0, 1),  // cancels with the first gate
+/// ]);
+/// assert_eq!(simplify(&mut c), 2);
+/// assert_eq!(c.gate_count(), 1);
+/// ```
+pub fn simplify(circuit: &mut Circuit) -> usize {
+    let before = circuit.gate_count();
+    loop {
+        let changed = cancel_duplicates(circuit) || merge_controls(circuit);
+        if !changed {
+            break;
+        }
+    }
+    before - circuit.gate_count()
+}
+
+/// One sweep of duplicate cancellation across commuting windows.
+/// Returns true if anything was removed.
+fn cancel_duplicates(circuit: &mut Circuit) -> bool {
+    let gates = circuit.gates();
+    for i in 0..gates.len() {
+        let g = gates[i];
+        for j in (i + 1)..gates.len() {
+            if gates[j] == g {
+                let mut new_gates = gates.to_vec();
+                new_gates.remove(j);
+                new_gates.remove(i);
+                *circuit = Circuit::from_gates(circuit.width(), new_gates);
+                return true;
+            }
+            if !g.commutes_with(gates[j]) {
+                break;
+            }
+        }
+    }
+    false
+}
+
+/// One sweep of the control-merge template: rewrites
+/// `TOF(C∪{v},t) TOF(C,t)` (adjacent up to commutation) into
+/// `NOT(v) TOF(C∪{v},t) NOT(v)` when a NOT(v) adjacent (up to
+/// commutation) to the rewritten block cancels, for a net reduction of
+/// one gate. Returns true on success.
+fn merge_controls(circuit: &mut Circuit) -> bool {
+    let gates = circuit.gates();
+    for i in 0..gates.len() {
+        let Gate::Toffoli { controls: c1, target: t1 } = gates[i] else {
+            continue;
+        };
+        for j in (i + 1)..gates.len() {
+            if let Gate::Toffoli { controls: c2, target: t2 } = gates[j] {
+                if t1 == t2 && adjacent_up_to_commutation(gates, i, j) {
+                    let diff = c1 ^ c2;
+                    if diff.count_ones() == 1 && (c1 & c2 == c1.min(c2)) {
+                        let v = diff.trailing_zeros() as usize;
+                        let big = c1 | c2;
+                        // Rewrite pair as NOT(v) · TOF(big, t) · NOT(v).
+                        let candidate = vec![
+                            Gate::not(v),
+                            Gate::toffoli_mask(big, t1 as usize),
+                            Gate::not(v),
+                        ];
+                        let mut new_gates: Vec<Gate> = Vec::with_capacity(gates.len() + 1);
+                        new_gates.extend_from_slice(&gates[..i]);
+                        new_gates.extend_from_slice(&candidate);
+                        new_gates.extend(gates[i + 1..j].iter().copied());
+                        new_gates.extend(gates[j + 1..].iter().copied());
+                        // Only accept if the exposed NOTs cancel something,
+                        // i.e. duplicate cancellation shrinks the result
+                        // below the original size.
+                        let mut trial = Circuit::from_gates(circuit.width(), new_gates);
+                        while cancel_duplicates(&mut trial) {}
+                        if trial.gate_count() < circuit.gate_count() {
+                            *circuit = trial;
+                            return true;
+                        }
+                    }
+                }
+            }
+            if !gates[i].commutes_with(gates[j]) {
+                break;
+            }
+        }
+    }
+    false
+}
+
+/// Whether gate `j` can be moved next to gate `i` by commuting it past
+/// everything in between.
+fn adjacent_up_to_commutation(gates: &[Gate], i: usize, j: usize) -> bool {
+    gates[i + 1..j].iter().all(|&g| g.commutes_with(gates[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_duplicates_cancel() {
+        let mut c = Circuit::from_gates(2, vec![Gate::cnot(0, 1), Gate::cnot(0, 1)]);
+        assert_eq!(simplify(&mut c), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicates_cancel_across_commuting_gates() {
+        let mut c = Circuit::from_gates(
+            3,
+            vec![Gate::not(0), Gate::cnot(0, 1), Gate::cnot(0, 2), Gate::cnot(0, 1)],
+        );
+        // CNOT(0,2) commutes with CNOT(0,1); the pair cancels.
+        assert_eq!(simplify(&mut c), 2);
+        assert_eq!(c.gate_count(), 2);
+    }
+
+    #[test]
+    fn blocked_duplicates_do_not_cancel() {
+        let mut c = Circuit::from_gates(
+            2,
+            vec![Gate::cnot(0, 1), Gate::cnot(1, 0), Gate::cnot(0, 1)],
+        );
+        let before = c.to_permutation();
+        assert_eq!(simplify(&mut c), 0);
+        assert_eq!(c.to_permutation(), before);
+    }
+
+    #[test]
+    fn not_absorption_via_commutation() {
+        // NOT(t) TOF(C,t) NOT(t) = TOF(C,t): the NOTs commute past the
+        // Toffoli (same target) and cancel.
+        let mut c = Circuit::from_gates(
+            3,
+            vec![Gate::not(2), Gate::toffoli(&[0, 1], 2), Gate::not(2)],
+        );
+        let before = c.to_permutation();
+        assert_eq!(simplify(&mut c), 2);
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(c.to_permutation(), before);
+    }
+
+    #[test]
+    fn control_merge_with_cancelling_not() {
+        // NOT(b) · TOF({a,b},c) · TOF({a},c): rewriting the pair as
+        // NOT(b) TOF({a,b},c) NOT(b) lets the exposed NOT cancel the
+        // leading one, saving one gate overall.
+        let mut c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::not(1),
+                Gate::toffoli(&[0, 1], 2),
+                Gate::toffoli(&[0], 2),
+            ],
+        );
+        let before = c.to_permutation();
+        let removed = simplify(&mut c);
+        assert!(removed >= 1, "expected a net reduction, got {removed}");
+        assert_eq!(c.to_permutation(), before, "function must be preserved");
+    }
+
+    #[test]
+    fn simplification_preserves_function_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let width = rng.random_range(2..=5usize);
+            let len = rng.random_range(0..=12usize);
+            let gates: Vec<Gate> = (0..len)
+                .map(|_| {
+                    let target = rng.random_range(0..width);
+                    let mut controls = Vec::new();
+                    for w in 0..width {
+                        if w != target && rng.random_bool(0.4) {
+                            controls.push(w);
+                        }
+                    }
+                    Gate::toffoli(&controls, target)
+                })
+                .collect();
+            let mut c = Circuit::from_gates(width, gates);
+            let before = c.to_permutation();
+            simplify(&mut c);
+            assert_eq!(c.to_permutation(), before, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn identity_pair_sandwich() {
+        // g X g where X commutes with g: must reduce to X.
+        let g = Gate::toffoli(&[0, 1], 2);
+        let x = Gate::cnot(0, 1); // writes b, which g reads → does NOT commute
+        let mut c = Circuit::from_gates(3, vec![g, x, g]);
+        let before = c.to_permutation();
+        simplify(&mut c);
+        assert_eq!(c.to_permutation(), before);
+        // x writes a control of g, so no cancellation is possible here.
+        assert_eq!(c.gate_count(), 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Reading and writing the `.tfc` Toffoli-cascade text format.
+//!
+//! The TFC format is the de-facto interchange format of the reversible
+//! logic community (used by Maslov's benchmark page the paper compares
+//! against). A file lists the wire names and a `BEGIN`/`END` block of
+//! gates, one per line: `t<n>` for Toffoli (last signal is the target)
+//! and `f<n>` for Fredkin (last two signals are the swapped pair).
+//!
+//! ```text
+//! .v a,b,c
+//! .i a,b,c
+//! .o a,b,c
+//! BEGIN
+//! t1 a
+//! t2 a,b
+//! t3 a,b,c
+//! END
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// Error parsing a TFC document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTfcError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTfcError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTfcError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending input line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tfc parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTfcError {}
+
+/// Writes a circuit as a TFC document with wires named `a, b, c, ...`
+/// (or `x<i>` beyond 26 wires).
+///
+/// ```
+/// use rmrls_circuit::{tfc, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(2, vec![Gate::cnot(0, 1)]);
+/// let text = tfc::write(&c);
+/// assert!(text.contains("t2 a,b"));
+/// let back = tfc::parse(&text)?;
+/// assert_eq!(back, c);
+/// # Ok::<(), tfc::ParseTfcError>(())
+/// ```
+pub fn write(circuit: &Circuit) -> String {
+    let names: Vec<String> = (0..circuit.width()).map(wire_name).collect();
+    let header = names.join(",");
+    let mut out = String::new();
+    out.push_str(&format!(".v {header}\n.i {header}\n.o {header}\nBEGIN\n"));
+    for gate in circuit.gates() {
+        let controls: Vec<&str> = (0..circuit.width())
+            .filter(|&w| gate.controls() >> w & 1 == 1)
+            .map(|w| names[w].as_str())
+            .collect();
+        match *gate {
+            Gate::Toffoli { target, .. } => {
+                let mut sig = controls;
+                sig.push(&names[target as usize]);
+                out.push_str(&format!("t{} {}\n", sig.len(), sig.join(",")));
+            }
+            Gate::Fredkin { targets, .. } => {
+                let mut sig = controls;
+                sig.push(&names[targets.0 as usize]);
+                sig.push(&names[targets.1 as usize]);
+                out.push_str(&format!("f{} {}\n", sig.len(), sig.join(",")));
+            }
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn wire_name(w: usize) -> String {
+    if w < 26 {
+        ((b'a' + w as u8) as char).to_string()
+    } else {
+        format!("x{w}")
+    }
+}
+
+/// Parses a TFC document into a circuit.
+///
+/// Wire order follows the `.v` declaration. Lines starting with `#` and
+/// blank lines are ignored; `.i`, `.o`, `.c`, `.ol` headers are accepted
+/// and ignored for simulation purposes.
+///
+/// # Errors
+///
+/// Returns [`ParseTfcError`] on unknown signals, malformed gate lines,
+/// missing `.v`, or gates with repeated signals.
+pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
+    let mut wires: Vec<String> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut seen_v = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".v") {
+            wires = rest
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if wires.is_empty() {
+                return Err(ParseTfcError::new(lineno, "empty .v wire list"));
+            }
+            seen_v = true;
+            continue;
+        }
+        if line.starts_with('.') || line.eq_ignore_ascii_case("begin") || line.eq_ignore_ascii_case("end") {
+            continue;
+        }
+        if !seen_v {
+            return Err(ParseTfcError::new(lineno, "gate before .v declaration"));
+        }
+        let (head, args) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseTfcError::new(lineno, format!("malformed gate line '{line}'")))?;
+        let kind = head
+            .chars()
+            .next()
+            .map(|c| c.to_ascii_lowercase())
+            .ok_or_else(|| ParseTfcError::new(lineno, "empty gate name"))?;
+        let signals: Vec<usize> = args
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                wires
+                    .iter()
+                    .position(|w| w == s)
+                    .ok_or_else(|| ParseTfcError::new(lineno, format!("unknown signal '{s}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        if let Ok(declared) = head[1..].parse::<usize>() {
+            if declared != signals.len() {
+                return Err(ParseTfcError::new(
+                    lineno,
+                    format!("gate arity {declared} does not match {} signals", signals.len()),
+                ));
+            }
+        }
+        for (i, s) in signals.iter().enumerate() {
+            if signals[..i].contains(s) {
+                return Err(ParseTfcError::new(
+                    lineno,
+                    "invalid gate (repeated or overlapping signals)",
+                ));
+            }
+        }
+        let gate = match kind {
+            't' => {
+                let (&target, controls) = signals
+                    .split_last()
+                    .ok_or_else(|| ParseTfcError::new(lineno, "toffoli needs a target"))?;
+                Gate::toffoli(controls, target)
+            }
+            'f' => {
+                if signals.len() < 2 {
+                    return Err(ParseTfcError::new(lineno, "fredkin needs two targets"));
+                }
+                let t1 = signals[signals.len() - 1];
+                let t0 = signals[signals.len() - 2];
+                Gate::fredkin(&signals[..signals.len() - 2], t0, t1)
+            }
+            other => {
+                return Err(ParseTfcError::new(lineno, format!("unknown gate kind '{other}'")));
+            }
+        };
+        gates.push(gate);
+    }
+
+    if !seen_v {
+        return Err(ParseTfcError::new(0, "missing .v declaration"));
+    }
+    Ok(Circuit::from_gates(wires.len(), gates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let c = Circuit::from_gates(
+            3,
+            vec![
+                Gate::not(0),
+                Gate::cnot(0, 1),
+                Gate::toffoli(&[0, 1], 2),
+                Gate::fredkin(&[2], 0, 1),
+            ],
+        );
+        let text = write(&c);
+        let back = parse(&text).expect("parse");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parses_reference_document() {
+        let text = "\
+.v a,b,c
+.i a,b,c
+.o a,b,c
+BEGIN
+t1 a
+t2 a,b
+t3 b,a,c
+END
+";
+        let c = parse(text).expect("parse");
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.gate_count(), 3);
+        // Example 2 of the paper: wraparound right shift.
+        assert_eq!(c.to_permutation(), vec![7, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ignores_comments_and_blank_lines() {
+        let text = "# header comment\n.v a,b\n\nBEGIN\nt2 a,b # cnot\nEND\n";
+        let c = parse(text).expect("parse");
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn unknown_signal_is_error() {
+        let text = ".v a,b\nBEGIN\nt2 a,z\nEND\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("unknown signal"), "{err}");
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let text = ".v a,b\nBEGIN\nt3 a,b\nEND\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn missing_v_is_error() {
+        assert!(parse("BEGIN\nt1 a\nEND\n").is_err());
+    }
+
+    #[test]
+    fn repeated_signal_is_error() {
+        let text = ".v a,b\nBEGIN\nt2 a,a\nEND\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("invalid gate"), "{err}");
+    }
+
+    #[test]
+    fn fredkin_roundtrip_semantics() {
+        let text = ".v a,b,c\nBEGIN\nf3 c,a,b\nEND\n";
+        let c = parse(text).expect("parse");
+        assert_eq!(c.apply(0b101), 0b110);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the circuit substrate.
+
+use proptest::prelude::*;
+
+use rmrls_circuit::{analyze, real, simplify, tfc, Circuit, Gate};
+
+/// Strategy: an arbitrary mixed Toffoli/Fredkin circuit.
+fn circuit(width: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (any::<bool>(), 0..width, 0..width, any::<u32>()).prop_filter_map(
+        "targets must differ",
+        move |(is_fredkin, t0, t1, controls)| {
+            let mask = controls & ((1u32 << width) - 1);
+            if is_fredkin {
+                if t0 == t1 {
+                    return None;
+                }
+                Some(Gate::fredkin_mask(mask & !(1 << t0) & !(1 << t1), t0, t1))
+            } else {
+                Some(Gate::toffoli_mask(mask & !(1 << t0), t0))
+            }
+        },
+    );
+    proptest::collection::vec(gate, 0..max_gates)
+        .prop_map(move |gates| Circuit::from_gates(width, gates))
+}
+
+proptest! {
+    /// Simulation is a bijection: applying the inverse undoes the
+    /// circuit on every input.
+    #[test]
+    fn circuits_are_bijective(c in circuit(4, 14)) {
+        let inv = c.inverse();
+        for x in 0..16u64 {
+            prop_assert_eq!(inv.apply(c.apply(x)), x);
+        }
+    }
+
+    /// TFC and .real round-trips agree with each other.
+    #[test]
+    fn formats_roundtrip_and_agree(c in circuit(5, 10)) {
+        let via_tfc = tfc::parse(&tfc::write(&c)).expect("tfc");
+        let doc = real::RealDocument::new(c.clone());
+        let via_real = real::parse(&real::write(&doc)).expect("real").circuit;
+        prop_assert_eq!(&via_tfc, &c);
+        prop_assert_eq!(&via_real, &c);
+    }
+
+    /// Template simplification preserves semantics on mixed-gate
+    /// circuits too.
+    #[test]
+    fn simplify_preserves_mixed_circuits(c in circuit(4, 12)) {
+        let before = c.to_permutation();
+        let mut s = c;
+        simplify(&mut s);
+        prop_assert_eq!(s.to_permutation(), before);
+    }
+
+    /// Analysis invariants: depth ≤ gates, sum of histogram = gates,
+    /// controls ≤ gates·(width−1).
+    #[test]
+    fn analysis_invariants(c in circuit(5, 12)) {
+        let stats = analyze(&c);
+        prop_assert!(stats.logical_depth <= stats.gate_count);
+        prop_assert_eq!(stats.gate_size_histogram.iter().sum::<usize>(), stats.gate_count);
+        prop_assert!(stats.total_controls <= stats.gate_count * 4);
+        prop_assert_eq!(stats.quantum_cost, c.quantum_cost());
+        // Depth 0 iff empty.
+        prop_assert_eq!(stats.logical_depth == 0, c.is_empty());
+    }
+
+    /// Gate application preserves Hamming weight parity relationships:
+    /// a Fredkin gate never changes the weight of a word.
+    #[test]
+    fn fredkin_preserves_weight(control in 0u32..4, x in 0u64..32) {
+        let g = Gate::fredkin_mask(control << 3 & 0b11000, 0, 1);
+        prop_assert_eq!(g.apply(x).count_ones(), x.count_ones());
+    }
+}
+
+#[test]
+fn tfc_parser_rejects_garbage_gracefully() {
+    // Failure injection: no panics on malformed input, only errors.
+    for text in [
+        "",
+        "BEGIN\nEND",
+        ".v a\nBEGIN\nq1 a\nEND",
+        ".v a,b\nBEGIN\nt9 a,b\nEND",
+        ".v a\nBEGIN\nt1\nEND",
+        ".v a,a\nBEGIN\nt2 a,a\nEND",
+        ".v \nBEGIN\nEND",
+    ] {
+        assert!(tfc::parse(text).is_err(), "should reject: {text:?}");
+    }
+}
+
+#[test]
+fn real_parser_rejects_garbage_gracefully() {
+    for text in [
+        "",
+        ".begin\n.end",
+        ".variables a\n.begin\nz1 a\n.end",
+        ".variables a\n.constants 01\n.begin\n.end",
+        ".numvars 3\n.variables a\n.begin\n.end",
+    ] {
+        assert!(real::parse(text).is_err(), "should reject: {text:?}");
+    }
+}

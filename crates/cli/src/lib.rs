@@ -1,0 +1,721 @@
+//! Implementation of the `rmrls` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `rmrls synth` — synthesize a specification (inline permutation,
+//!   named benchmark, or TFC file) with RMRLS;
+//! - `rmrls mmd` — synthesize with the MMD transformation baseline;
+//! - `rmrls info` — inspect a TFC circuit (gates, cost, diagram);
+//! - `rmrls benchmarks` — list the built-in benchmark suite.
+//!
+//! The library layer exists so argument parsing and command execution
+//! are unit-testable; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use rmrls_baselines::{mmd_synthesize, MmdVariant};
+use rmrls_circuit::{analyze, real, render, simplify, tfc, Circuit};
+use rmrls_core::{
+    synthesize, synthesize_bidirectional, synthesize_embedded, FredkinMode, Pruning,
+    SynthesisOptions,
+};
+use rmrls_pprm::MultiPprm;
+use rmrls_spec::{benchmarks, Permutation};
+
+/// A usage or input error, printed to stderr with exit code 2.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+rmrls — Reed-Muller reversible logic synthesizer
+
+USAGE:
+  rmrls synth    [OPTIONS] (--spec \"1,0,7,2,...\" | --benchmark NAME |
+                            --tfc FILE | --spec-file FILE)
+  rmrls mmd      (--spec \"...\" | --benchmark NAME | --tfc FILE) [--uni]
+  rmrls info     --tfc FILE
+  rmrls analyze  --tfc FILE
+  rmrls simplify --tfc FILE [--tfc-out FILE]
+  rmrls embed    --table FILE --outputs N   (irreversible truth table:
+                 2^k output words, whitespace-separated; embeds with the
+                 don't-care portfolio, then synthesizes)
+  rmrls benchmarks
+
+SYNTH OPTIONS:
+  --pruning greedy|exhaustive|topN   substitution pruning (default exhaustive)
+  --time-limit SECONDS               wall-clock budget
+  --max-gates N                      circuit size cap
+  --bidi                             synthesize f and f^-1, keep the smaller
+  --fredkin swap|full                enable Fredkin substitutions (SVI ext.)
+  --simplify                         post-process with templates
+  --render                           print an ASCII diagram
+  --tfc-out FILE                     write the circuit as TFC
+  --real-out FILE                    write the circuit as RevLib .real
+";
+
+/// Where the input specification comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSource {
+    /// Inline permutation, e.g. `1,0,7,2,3,4,5,6`.
+    Inline(String),
+    /// Named benchmark from the built-in suite.
+    Benchmark(String),
+    /// TFC circuit file whose permutation is re-synthesized.
+    Tfc(String),
+    /// `.perm` specification file.
+    PermFile(String),
+}
+
+impl SpecSource {
+    /// Resolves the source into a multi-output PPRM plus a display name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed inline specs, unknown benchmarks, or unreadable
+    /// TFC files.
+    pub fn resolve(&self) -> Result<(MultiPprm, String), CliError> {
+        match self {
+            SpecSource::Inline(text) => {
+                let values: Result<Vec<u64>, _> =
+                    text.split(',').map(|s| s.trim().parse::<u64>()).collect();
+                let values = values.map_err(|e| err(format!("bad --spec: {e}")))?;
+                let perm = Permutation::from_vec(values)
+                    .map_err(|e| err(format!("bad --spec: {e}")))?;
+                Ok((perm.to_multi_pprm(), format!("{perm}")))
+            }
+            SpecSource::Benchmark(name) => {
+                let b = benchmarks::find(name)
+                    .ok_or_else(|| err(format!("unknown benchmark '{name}'")))?;
+                Ok((b.to_multi_pprm(), b.to_string()))
+            }
+            SpecSource::PermFile(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+                let perm = rmrls_spec::formats::parse_permutation(&text)
+                    .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+                Ok((perm.to_multi_pprm(), format!("permutation from {path}")))
+            }
+            SpecSource::Tfc(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+                let circuit =
+                    tfc::parse(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+                if circuit.width() > 16 {
+                    return Err(err("TFC re-synthesis is limited to 16 wires"));
+                }
+                let perm = Permutation::from_circuit(&circuit);
+                Ok((perm.to_multi_pprm(), format!("circuit from {path}")))
+            }
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `rmrls synth`.
+    Synth {
+        /// Input specification.
+        source: SpecSource,
+        /// Pruning strategy.
+        pruning: Pruning,
+        /// Wall-clock budget.
+        time_limit: Option<Duration>,
+        /// Gate cap.
+        max_gates: Option<usize>,
+        /// Synthesize both directions, keep the smaller circuit.
+        bidirectional: bool,
+        /// Fredkin substitution mode.
+        fredkin: FredkinMode,
+        /// Run template simplification afterwards.
+        simplify: bool,
+        /// Print an ASCII diagram.
+        render: bool,
+        /// Write the result to this TFC file.
+        tfc_out: Option<String>,
+        /// Write the result to this RevLib .real file.
+        real_out: Option<String>,
+    },
+    /// `rmrls mmd`.
+    Mmd {
+        /// Input specification.
+        source: SpecSource,
+        /// Unidirectional instead of bidirectional.
+        unidirectional: bool,
+    },
+    /// `rmrls info`.
+    Info {
+        /// TFC file to inspect.
+        tfc_path: String,
+    },
+    /// `rmrls analyze`.
+    Analyze {
+        /// TFC file to analyze.
+        tfc_path: String,
+    },
+    /// `rmrls simplify`.
+    Simplify {
+        /// TFC file to simplify.
+        tfc_path: String,
+        /// Output file (stdout when absent).
+        tfc_out: Option<String>,
+    },
+    /// `rmrls embed`.
+    Embed {
+        /// Truth-table file (whitespace-separated output words).
+        table_path: String,
+        /// Number of output bits.
+        outputs: usize,
+        /// Wall-clock budget.
+        time_limit: Option<Duration>,
+    },
+    /// `rmrls benchmarks`.
+    Benchmarks,
+    /// `rmrls --help` / no arguments.
+    Help,
+}
+
+fn parse_source(
+    spec: Option<String>,
+    benchmark: Option<String>,
+    tfc_path: Option<String>,
+    spec_file: Option<String>,
+) -> Result<SpecSource, CliError> {
+    match (spec, benchmark, tfc_path, spec_file) {
+        (Some(s), None, None, None) => Ok(SpecSource::Inline(s)),
+        (None, Some(b), None, None) => Ok(SpecSource::Benchmark(b)),
+        (None, None, Some(t), None) => Ok(SpecSource::Tfc(t)),
+        (None, None, None, Some(p)) => Ok(SpecSource::PermFile(p)),
+        _ => Err(err(
+            "provide exactly one of --spec, --benchmark, --tfc, --spec-file",
+        )),
+    }
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or conflicting
+/// sources.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut args = args.into_iter().peekable();
+    let Some(cmd) = args.next() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        return Ok(Command::Help);
+    }
+
+    let mut spec = None;
+    let mut benchmark = None;
+    let mut tfc_path = None;
+    let mut pruning = Pruning::Exhaustive;
+    let mut time_limit = None;
+    let mut max_gates = None;
+    let mut do_simplify = false;
+    let mut do_render = false;
+    let mut tfc_out = None;
+    let mut real_out = None;
+    let mut unidirectional = false;
+    let mut bidirectional = false;
+    let mut fredkin = FredkinMode::Off;
+    let mut table_path = None;
+    let mut outputs = None;
+    let mut spec_file = None;
+
+    let take_value = |args: &mut std::iter::Peekable<I::IntoIter>,
+                          flag: &str|
+     -> Result<String, CliError> {
+        args.next()
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec = Some(take_value(&mut args, "--spec")?),
+            "--benchmark" => benchmark = Some(take_value(&mut args, "--benchmark")?),
+            "--tfc" => tfc_path = Some(take_value(&mut args, "--tfc")?),
+            "--pruning" => {
+                let v = take_value(&mut args, "--pruning")?;
+                pruning = match v.as_str() {
+                    "greedy" => Pruning::Greedy,
+                    "exhaustive" => Pruning::Exhaustive,
+                    other => match other.strip_prefix("top") {
+                        Some(k) => Pruning::TopK(
+                            k.parse()
+                                .map_err(|_| err(format!("bad --pruning value '{other}'")))?,
+                        ),
+                        None => return Err(err(format!("bad --pruning value '{other}'"))),
+                    },
+                };
+            }
+            "--time-limit" => {
+                let v = take_value(&mut args, "--time-limit")?;
+                let secs: f64 = v.parse().map_err(|_| err("bad --time-limit"))?;
+                time_limit = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-gates" => {
+                let v = take_value(&mut args, "--max-gates")?;
+                max_gates = Some(v.parse().map_err(|_| err("bad --max-gates"))?);
+            }
+            "--simplify" => do_simplify = true,
+            "--render" => do_render = true,
+            "--tfc-out" => tfc_out = Some(take_value(&mut args, "--tfc-out")?),
+            "--real-out" => real_out = Some(take_value(&mut args, "--real-out")?),
+            "--uni" => unidirectional = true,
+            "--bidi" => bidirectional = true,
+            "--table" => table_path = Some(take_value(&mut args, "--table")?),
+            "--spec-file" => spec_file = Some(take_value(&mut args, "--spec-file")?),
+            "--outputs" => {
+                let v = take_value(&mut args, "--outputs")?;
+                outputs = Some(v.parse().map_err(|_| err("bad --outputs"))?);
+            }
+            "--fredkin" => {
+                fredkin = match take_value(&mut args, "--fredkin")?.as_str() {
+                    "swap" => FredkinMode::SwapOnly,
+                    "full" => FredkinMode::Full,
+                    other => return Err(err(format!("bad --fredkin value '{other}'"))),
+                };
+            }
+            other => return Err(err(format!("unknown argument '{other}'"))),
+        }
+    }
+
+    match cmd.as_str() {
+        "synth" => Ok(Command::Synth {
+            source: parse_source(spec, benchmark, tfc_path, spec_file)?,
+            pruning,
+            time_limit,
+            max_gates,
+            bidirectional,
+            fredkin,
+            simplify: do_simplify,
+            render: do_render,
+            tfc_out,
+            real_out,
+        }),
+        "mmd" => Ok(Command::Mmd {
+            source: parse_source(spec, benchmark, tfc_path, spec_file)?,
+            unidirectional,
+        }),
+        "info" => Ok(Command::Info {
+            tfc_path: tfc_path.ok_or_else(|| err("info needs --tfc FILE"))?,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            tfc_path: tfc_path.ok_or_else(|| err("analyze needs --tfc FILE"))?,
+        }),
+        "simplify" => Ok(Command::Simplify {
+            tfc_path: tfc_path.ok_or_else(|| err("simplify needs --tfc FILE"))?,
+            tfc_out,
+        }),
+        "embed" => Ok(Command::Embed {
+            table_path: table_path.ok_or_else(|| err("embed needs --table FILE"))?,
+            outputs: outputs.ok_or_else(|| err("embed needs --outputs N"))?,
+            time_limit,
+        }),
+        "benchmarks" => Ok(Command::Benchmarks),
+        other => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+fn report(circuit: &Circuit, name: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    writeln!(out, "specification: {name}")?;
+    writeln!(out, "circuit: {circuit}")?;
+    writeln!(
+        out,
+        "gates: {}   quantum cost: {}   width: {}",
+        circuit.gate_count(),
+        circuit.quantum_cost(),
+        circuit.width()
+    )
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on input errors or failed synthesis.
+pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            out.write_str(USAGE).map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        Command::Benchmarks => {
+            for b in benchmarks::table4_suite().iter().chain(&benchmarks::example_suite()) {
+                writeln!(out, "{b}").map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        Command::Synth {
+            source,
+            pruning,
+            time_limit,
+            max_gates,
+            bidirectional,
+            fredkin,
+            simplify: do_simplify,
+            render: do_render,
+            tfc_out,
+            real_out,
+        } => {
+            let (pprm, name) = source.resolve()?;
+            let mut opts = SynthesisOptions::new()
+                .with_pruning(pruning)
+                .with_fredkin_substitutions(fredkin);
+            if let Some(t) = time_limit {
+                opts = opts.with_time_limit(t);
+            }
+            if let Some(g) = max_gates {
+                opts = opts.with_max_gates(g);
+            }
+            let result = if bidirectional {
+                if pprm.num_vars() > 16 {
+                    return Err(err("--bidi needs an explicit truth table (<= 16 wires)"));
+                }
+                let perm = Permutation::from_vec(pprm.to_permutation())
+                    .map_err(|e| err(format!("specification is not reversible: {e}")))?;
+                synthesize_bidirectional(&perm, &opts).map_err(|e| err(e.to_string()))?
+            } else {
+                synthesize(&pprm, &opts).map_err(|e| err(e.to_string()))?
+            };
+            let mut circuit = result.circuit;
+            if do_simplify {
+                let removed = simplify(&mut circuit);
+                writeln!(out, "template simplification removed {removed} gates")
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            report(&circuit, &name, out).map_err(|e| err(e.to_string()))?;
+            writeln!(out, "search: {}", result.stats).map_err(|e| err(e.to_string()))?;
+            if do_render {
+                out.write_str(&render(&circuit)).map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(path) = tfc_out {
+                std::fs::write(&path, tfc::write(&circuit))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(path) = real_out {
+                let doc = real::RealDocument::new(circuit.clone());
+                std::fs::write(&path, real::write(&doc))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        Command::Mmd {
+            source,
+            unidirectional,
+        } => {
+            let (pprm, name) = source.resolve()?;
+            if pprm.num_vars() > 16 {
+                return Err(err("mmd needs an explicit truth table (≤ 16 wires)"));
+            }
+            let perm = Permutation::from_vec(pprm.to_permutation())
+                .map_err(|e| err(format!("specification is not reversible: {e}")))?;
+            let variant = if unidirectional {
+                MmdVariant::Unidirectional
+            } else {
+                MmdVariant::Bidirectional
+            };
+            let circuit = mmd_synthesize(&perm, variant);
+            report(&circuit, &name, out).map_err(|e| err(e.to_string()))
+        }
+        Command::Embed {
+            table_path,
+            outputs,
+            time_limit,
+        } => {
+            let text = std::fs::read_to_string(&table_path)
+                .map_err(|e| err(format!("cannot read {table_path}: {e}")))?;
+            let rows: Vec<u64> = text
+                .split_whitespace()
+                .map(|w| w.parse().map_err(|e| err(format!("bad output word '{w}': {e}"))))
+                .collect::<Result<_, _>>()?;
+            if rows.is_empty() || !rows.len().is_power_of_two() {
+                return Err(err(format!(
+                    "table has {} rows; need a power of two",
+                    rows.len()
+                )));
+            }
+            let inputs = rows.len().trailing_zeros() as usize;
+            let table = rmrls_spec::TruthTable::from_rows(inputs, outputs, rows);
+            let mut opts = SynthesisOptions::new();
+            if let Some(t) = time_limit {
+                opts = opts.with_time_limit(t);
+            }
+            let best = synthesize_embedded(&table, &opts).map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "embedding ({:?}): {} wires = {} real + {} constant inputs; {} garbage outputs",
+                best.strategy,
+                best.embedding.width(),
+                best.embedding.real_inputs,
+                best.embedding.garbage_inputs,
+                best.embedding.garbage_outputs
+            )
+            .map_err(|e| err(e.to_string()))?;
+            report(&best.synthesis.circuit, &table_path, out).map_err(|e| err(e.to_string()))
+        }
+        Command::Info { tfc_path } => {
+            let circuit = load_tfc(&tfc_path)?;
+            report(&circuit, &tfc_path, out).map_err(|e| err(e.to_string()))?;
+            out.write_str(&render(&circuit)).map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        Command::Analyze { tfc_path } => {
+            let circuit = load_tfc(&tfc_path)?;
+            let stats = analyze(&circuit);
+            writeln!(out, "{tfc_path}: {stats}").map_err(|e| err(e.to_string()))?;
+            for (size, count) in stats.gate_size_histogram.iter().enumerate() {
+                if *count > 0 {
+                    writeln!(out, "  size-{size} gates: {count}").map_err(|e| err(e.to_string()))?;
+                }
+            }
+            writeln!(out, "  idle wires: {}", stats.idle_wires()).map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        Command::Simplify { tfc_path, tfc_out } => {
+            let mut circuit = load_tfc(&tfc_path)?;
+            let before = circuit.gate_count();
+            let removed = simplify(&mut circuit);
+            writeln!(out, "{before} gates -> {} (removed {removed})", circuit.gate_count())
+                .map_err(|e| err(e.to_string()))?;
+            match tfc_out {
+                Some(path) => {
+                    std::fs::write(&path, tfc::write(&circuit))
+                        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                    writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+                }
+                None => out.write_str(&tfc::write(&circuit)).map_err(|e| err(e.to_string()))?,
+            }
+            Ok(())
+        }
+    }
+}
+
+fn load_tfc(path: &str) -> Result<Circuit, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    tfc::parse(&text).map_err(|e| err(format!("cannot parse {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn synth_with_inline_spec() {
+        let c = parse(&["synth", "--spec", "1,0", "--max-gates", "5"]).unwrap();
+        match c {
+            Command::Synth {
+                source, max_gates, ..
+            } => {
+                assert_eq!(source, SpecSource::Inline("1,0".into()));
+                assert_eq!(max_gates, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_values_parse() {
+        for (text, expect) in [
+            ("greedy", Pruning::Greedy),
+            ("exhaustive", Pruning::Exhaustive),
+            ("top4", Pruning::TopK(4)),
+        ] {
+            match parse(&["synth", "--spec", "0,1", "--pruning", text]).unwrap() {
+                Command::Synth { pruning, .. } => assert_eq!(pruning, expect),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse(&["synth", "--spec", "0,1", "--pruning", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn conflicting_sources_rejected() {
+        assert!(parse(&["synth", "--spec", "0,1", "--benchmark", "rd32"]).is_err());
+        assert!(parse(&["synth"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["synth", "--spec", "0,1", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn run_synth_inline() {
+        let cmd = parse(&["synth", "--spec", "1,0,7,2,3,4,5,6", "--render"]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("synthesis should succeed");
+        assert!(out.contains("gates: 3"), "{out}");
+        assert!(out.contains('⊕'), "{out}");
+    }
+
+    #[test]
+    fn run_synth_benchmark() {
+        let cmd = parse(&["synth", "--benchmark", "ex1"]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("ex1 should synthesize");
+        assert!(out.contains("gates:"), "{out}");
+    }
+
+    #[test]
+    fn run_mmd() {
+        let cmd = parse(&["mmd", "--spec", "7,0,1,2,3,4,5,6"]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("mmd always succeeds");
+        assert!(out.contains("quantum cost"), "{out}");
+    }
+
+    #[test]
+    fn run_benchmarks_lists_suite() {
+        let mut out = String::new();
+        run(Command::Benchmarks, &mut out).unwrap();
+        assert!(out.contains("rd53") && out.contains("ex1"), "{out}");
+    }
+
+    #[test]
+    fn run_unknown_benchmark_fails() {
+        let cmd = parse(&["synth", "--benchmark", "nope"]).unwrap();
+        let mut out = String::new();
+        assert!(run(cmd, &mut out).is_err());
+    }
+
+    #[test]
+    fn analyze_and_simplify_commands() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("in.tfc");
+        // A circuit with a cancellable pair.
+        std::fs::write(&path, ".v a,b\nBEGIN\nt2 a,b\nt2 a,b\nt1 a\nEND\n").unwrap();
+
+        let cmd = parse(&["analyze", "--tfc", path.to_str().unwrap()]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("3 gates"), "{out}");
+
+        let cmd = parse(&["simplify", "--tfc", path.to_str().unwrap()]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("3 gates -> 1"), "{out}");
+    }
+
+    #[test]
+    fn synth_flags_parse() {
+        match parse(&["synth", "--spec", "0,1", "--bidi", "--fredkin", "full"]).unwrap() {
+            Command::Synth { bidirectional, fredkin, .. } => {
+                assert!(bidirectional);
+                assert_eq!(fredkin, FredkinMode::Full);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["synth", "--spec", "0,1", "--fredkin", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn real_out_writes_parseable_document() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.real");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "1,0,7,2,3,4,5,6",
+            "--real-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        let doc = rmrls_circuit::real::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.circuit.to_permutation(), vec![1, 0, 7, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn embed_command_synthesizes_irreversible_table() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("and.tt");
+        // AND of two inputs: rows 0 0 0 1.
+        std::fs::write(&path, "0 0 0 1\n").unwrap();
+        let cmd = parse(&["embed", "--table", path.to_str().unwrap(), "--outputs", "1"]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("embedding"), "{out}");
+        assert!(out.contains("gates:"), "{out}");
+    }
+
+    #[test]
+    fn embed_rejects_non_power_of_two() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tt");
+        std::fs::write(&path, "0 1 0\n").unwrap();
+        let cmd = parse(&["embed", "--table", path.to_str().unwrap(), "--outputs", "1"]).unwrap();
+        let mut out = String::new();
+        assert!(run(cmd, &mut out).is_err());
+    }
+
+    #[test]
+    fn spec_file_source_parses_and_runs() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.perm");
+        std::fs::write(&path, "# Fig. 1\n{1, 0, 7, 2, 3, 4, 5, 6}\n").unwrap();
+        let cmd = parse(&["synth", "--spec-file", path.to_str().unwrap()]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("gates: 3"), "{out}");
+    }
+
+    #[test]
+    fn tfc_roundtrip_through_cli() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.tfc");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "1,0,7,2,3,4,5,6",
+            "--tfc-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let circuit = rmrls_circuit::tfc::parse(&text).unwrap();
+        assert_eq!(circuit.to_permutation(), vec![1, 0, 7, 2, 3, 4, 5, 6]);
+    }
+}

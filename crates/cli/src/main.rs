@@ -1,0 +1,28 @@
+//! The `rmrls` command-line entry point; all logic lives in the library
+//! layer (`rmrls_cli`) so it can be unit-tested.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match rmrls_cli::parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", rmrls_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let mut out = String::new();
+    match rmrls_cli::run(command, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Synthesis of irreversible specifications with don't-care search.
+//!
+//! The paper's §VI lists "dynamically assign don't-care values during
+//! synthesis" as future work (its tool pre-assigns them). This module
+//! approximates that with a portfolio: the irreversible table is
+//! embedded under several deterministic completion strategies, each
+//! embedding is synthesized, and the best circuit wins. Different
+//! completions can differ by several gates, so the portfolio recovers
+//! much of the benefit of dynamic assignment at a bounded cost.
+
+use rmrls_spec::{embed_with_strategy, CompletionStrategy, Embedding, TruthTable};
+
+use crate::{synthesize, NoSolutionError, Synthesis, SynthesisOptions};
+
+/// The winning embedding and its synthesis.
+#[derive(Clone, Debug)]
+pub struct EmbeddedSynthesis {
+    /// The synthesized circuit and stats.
+    pub synthesis: Synthesis,
+    /// The embedding it realizes.
+    pub embedding: Embedding,
+    /// The completion strategy that produced it.
+    pub strategy: CompletionStrategy,
+}
+
+/// The portfolio tried by [`synthesize_embedded`], in order.
+pub const COMPLETION_PORTFOLIO: [CompletionStrategy; 4] = [
+    CompletionStrategy::HammingGreedy,
+    CompletionStrategy::HammingGreedyHighTies,
+    CompletionStrategy::Ascending,
+    CompletionStrategy::Descending,
+];
+
+/// Embeds an irreversible truth table under every portfolio strategy,
+/// synthesizes each embedding (splitting any time budget evenly), and
+/// returns the smallest circuit.
+///
+/// # Errors
+///
+/// Returns the last [`NoSolutionError`] if every embedding fails to
+/// synthesize within its budget.
+///
+/// ```
+/// use rmrls_core::{synthesize_embedded, SynthesisOptions};
+/// use rmrls_spec::TruthTable;
+///
+/// // The paper's augmented full adder (Fig. 2a).
+/// let adder = TruthTable::from_fn(3, 3, |x| {
+///     let ones = x.count_ones() as u64;
+///     (ones >> 1) << 2 | (ones & 1) << 1 | ((x ^ (x >> 1)) & 1)
+/// });
+/// let opts = SynthesisOptions::new().with_max_nodes(20_000);
+/// let best = synthesize_embedded(&adder, &opts)?;
+/// assert!(best.synthesis.circuit.gate_count() <= 6);
+/// # Ok::<(), rmrls_core::NoSolutionError>(())
+/// ```
+pub fn synthesize_embedded(
+    table: &TruthTable,
+    options: &SynthesisOptions,
+) -> Result<EmbeddedSynthesis, NoSolutionError> {
+    let mut per_try = options.clone();
+    if let Some(t) = options.time_limit {
+        per_try.time_limit = Some(t / COMPLETION_PORTFOLIO.len() as u32);
+    }
+    let mut best: Option<EmbeddedSynthesis> = None;
+    let mut last_err: Option<NoSolutionError> = None;
+
+    for strategy in COMPLETION_PORTFOLIO {
+        let embedding = embed_with_strategy(table, None, strategy);
+        match synthesize(&embedding.permutation.to_multi_pprm(), &per_try) {
+            Ok(synthesis) => {
+                let better = best
+                    .as_ref()
+                    .map(|b| synthesis.circuit.gate_count() < b.synthesis.circuit.gate_count())
+                    .unwrap_or(true);
+                if better {
+                    best = Some(EmbeddedSynthesis {
+                        synthesis,
+                        embedding,
+                        strategy,
+                    });
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| last_err.expect("no successes implies at least one failure"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder() -> TruthTable {
+        TruthTable::from_fn(3, 3, |x| {
+            let ones = x.count_ones() as u64;
+            (ones >> 1) << 2 | (ones & 1) << 1 | ((x ^ (x >> 1)) & 1)
+        })
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_single_embedding() {
+        let opts = SynthesisOptions::new().with_max_nodes(20_000);
+        let single = synthesize(
+            &rmrls_spec::embed(&adder()).permutation.to_multi_pprm(),
+            &opts,
+        )
+        .expect("adder synthesizes");
+        let best = synthesize_embedded(&adder(), &opts).expect("portfolio succeeds");
+        assert!(
+            best.synthesis.circuit.gate_count() <= single.circuit.gate_count(),
+            "portfolio must not be worse"
+        );
+    }
+
+    #[test]
+    fn winning_circuit_realizes_real_outputs() {
+        let table = adder();
+        let best = synthesize_embedded(&table, &SynthesisOptions::new().with_max_nodes(20_000))
+            .expect("succeeds");
+        let e = &best.embedding;
+        for x in 0..8u64 {
+            let out = best.synthesis.circuit.apply(x);
+            assert_eq!(e.real_output(out), table.row(x), "row {x}");
+        }
+    }
+
+    #[test]
+    fn rd32_portfolio_synthesis() {
+        let table = TruthTable::from_fn(3, 2, |x| u64::from(x.count_ones()));
+        let best = synthesize_embedded(&table, &SynthesisOptions::new().with_max_nodes(20_000))
+            .expect("rd32");
+        assert!(
+            best.synthesis.circuit.gate_count() <= 8,
+            "rd32 portfolio took {} gates",
+            best.synthesis.circuit.gate_count()
+        );
+        for x in 0..8u64 {
+            let out = best.synthesis.circuit.apply(x);
+            assert_eq!(
+                best.embedding.real_output(out),
+                u64::from(x.count_ones()),
+                "row {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_produce_distinct_embeddings() {
+        let table = adder();
+        let a = embed_with_strategy(&table, None, CompletionStrategy::HammingGreedy);
+        let b = embed_with_strategy(&table, None, CompletionStrategy::Ascending);
+        assert_ne!(a.permutation, b.permutation, "portfolio must have diversity");
+    }
+}

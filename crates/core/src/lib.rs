@@ -1,0 +1,43 @@
+//! RMRLS — the Reed–Muller reversible logic synthesizer.
+//!
+//! Implements the synthesis algorithm of Gupta, Agrawal and Jha (*An
+//! Algorithm for Synthesis of Reversible Logic Circuits*; conference
+//! version: *Synthesis of Reversible Logic*, DATE 2004): a best-first
+//! search over PPRM substitutions `v := v ⊕ factor`, each of which is a
+//! generalized Toffoli gate, until the expansion becomes the identity.
+//!
+//! - [`synthesize`] / [`synthesize_permutation`] — the algorithm of
+//!   Fig. 4 with the §IV-D additional substitutions and §IV-E heuristics;
+//! - [`SynthesisOptions`] — priority [`Weights`] (Eq. 4), [`Pruning`]
+//!   strategies (exhaustive / top-k / greedy), time & node budgets, gate
+//!   caps, restarts;
+//! - [`Synthesis`] / [`SearchStats`] / [`TraceEvent`] — results,
+//!   counters and an optional search trace reproducing the paper's
+//!   Fig. 5/6 walk.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rmrls_core::{synthesize_permutation, SynthesisOptions};
+//! use rmrls_spec::Permutation;
+//!
+//! let spec = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6])?;
+//! let result = synthesize_permutation(&spec, &SynthesisOptions::new())?;
+//! assert_eq!(result.circuit.gate_count(), 3); // Fig. 3(d)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod embedding_search;
+mod options;
+mod portfolio;
+mod search;
+mod stats;
+
+pub use options::{FredkinMode, PriorityMode, Pruning, SynthesisOptions, Weights};
+pub use embedding_search::{synthesize_embedded, EmbeddedSynthesis, COMPLETION_PORTFOLIO};
+pub use portfolio::{default_portfolio, synthesize_portfolio};
+pub use search::{synthesize, synthesize_bidirectional, synthesize_permutation, NoSolutionError, Synthesis};
+pub use stats::{SearchStats, StopReason, TraceEvent};

@@ -1,0 +1,156 @@
+//! Parallel portfolio synthesis: run several search configurations on
+//! OS threads and keep the best circuit.
+//!
+//! The paper tunes one configuration per experiment (greedy for scale,
+//! exhaustive for quality). On a multicore machine the better engineering
+//! answer is to run the complementary configurations simultaneously —
+//! the heuristic weight that cracks deep 5-variable functions and the
+//! near-admissible weight that polishes small ones cost one wall-clock
+//! budget together.
+
+use rmrls_pprm::MultiPprm;
+
+use crate::{synthesize, NoSolutionError, PriorityMode, Pruning, Synthesis, SynthesisOptions};
+
+/// A sensible default portfolio derived from the ablation study:
+/// near-admissible A* (quality), weighted A* (depth), greedy pruning
+/// (speed), and the paper's Eq. 4 reading (diversity).
+pub fn default_portfolio(base: &SynthesisOptions) -> Vec<SynthesisOptions> {
+    vec![
+        base.clone(),
+        base.clone().with_astar_weight(1.0),
+        base.clone().with_pruning(Pruning::Greedy).with_astar_weight(1.0),
+        base.clone()
+            .with_priority_mode(PriorityMode::CumulativeRate)
+            .with_pruning(Pruning::TopK(4)),
+    ]
+}
+
+/// Synthesizes the specification under every configuration in parallel
+/// and returns the smallest circuit (ties: lowest quantum cost, then
+/// earliest configuration).
+///
+/// # Errors
+///
+/// Returns the first configuration's [`NoSolutionError`] if every
+/// configuration fails.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+///
+/// ```
+/// use rmrls_core::{default_portfolio, synthesize_portfolio, SynthesisOptions};
+/// use rmrls_pprm::MultiPprm;
+///
+/// let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+/// let base = SynthesisOptions::new().with_max_nodes(10_000);
+/// let result = synthesize_portfolio(&spec, &default_portfolio(&base))?;
+/// assert_eq!(result.circuit.gate_count(), 3);
+/// # Ok::<(), rmrls_core::NoSolutionError>(())
+/// ```
+pub fn synthesize_portfolio(
+    spec: &MultiPprm,
+    configs: &[SynthesisOptions],
+) -> Result<Synthesis, NoSolutionError> {
+    assert!(!configs.is_empty(), "portfolio needs at least one configuration");
+    let mut results: Vec<Result<Synthesis, NoSolutionError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .iter()
+                .map(|opts| scope.spawn(move || synthesize(spec, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("synthesis threads do not panic"))
+                .collect()
+        });
+
+    let mut best: Option<Synthesis> = None;
+    let mut first_err: Option<NoSolutionError> = None;
+    for result in results.drain(..) {
+        match result {
+            Ok(s) => {
+                let better = best
+                    .as_ref()
+                    .map(|b| {
+                        let (sg, bg) = (s.circuit.gate_count(), b.circuit.gate_count());
+                        sg < bg
+                            || (sg == bg && s.circuit.quantum_cost() < b.circuit.quantum_cost())
+                    })
+                    .unwrap_or(true);
+                if better {
+                    best = Some(s);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| first_err.expect("all failed implies an error"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmrls_spec::Permutation;
+
+    fn budgeted() -> SynthesisOptions {
+        SynthesisOptions::new().with_max_nodes(10_000)
+    }
+
+    #[test]
+    fn portfolio_solves_and_round_trips() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let result = synthesize_portfolio(&spec, &default_portfolio(&budgeted())).unwrap();
+        assert_eq!(result.circuit.to_permutation(), spec.to_permutation());
+        assert_eq!(result.circuit.gate_count(), 3);
+    }
+
+    #[test]
+    fn portfolio_never_worse_than_first_config() {
+        for rank in (0..40320u128).step_by(6007) {
+            let spec = Permutation::from_rank(3, rank).to_multi_pprm();
+            let single = synthesize(&spec, &budgeted()).unwrap();
+            let many = synthesize_portfolio(&spec, &default_portfolio(&budgeted())).unwrap();
+            assert!(
+                many.circuit.gate_count() <= single.circuit.gate_count(),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_failures_propagate_an_error() {
+        // A cap below the optimum fails in every configuration.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let impossible = budgeted().with_max_gates(1);
+        let configs = vec![impossible.clone(), impossible];
+        assert!(synthesize_portfolio(&spec, &configs).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_portfolio_panics() {
+        let spec = MultiPprm::identity(2);
+        let _ = synthesize_portfolio(&spec, &[]);
+    }
+
+    #[test]
+    fn portfolio_handles_five_variables() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = rmrls_spec::random_permutation(5, &mut rng);
+        let base = SynthesisOptions::new()
+            .with_max_gates(60)
+            .with_max_nodes(60_000)
+            .with_stop_at_first(true);
+        let result = synthesize_portfolio(&p.to_multi_pprm(), &default_portfolio(&base))
+            .expect("some config cracks it");
+        assert_eq!(result.circuit.to_permutation(), p.as_slice());
+    }
+}

@@ -1,0 +1,1095 @@
+//! The RMRLS priority-queue search (Fig. 4 of the paper, plus the
+//! additional substitutions of §IV-D and the heuristics of §IV-E).
+//!
+//! # How substitutions become gates
+//!
+//! The search reduces the multi-output PPRM state to the identity through
+//! substitutions `v_i := v_i ⊕ factor`. Each substitution is the Toffoli
+//! gate `TOF(vars(factor); v_i)`. If `F` is the state before a
+//! substitution and `F'` after, then `F = F' ∘ G` (substituting into the
+//! expansion composes the gate on the *input* side), so when `F'` finally
+//! reaches the identity, `F = G_k ∘ … ∘ G_1` — the substitutions in
+//! root→leaf order are exactly the gate cascade from inputs to outputs.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::time::Instant;
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_pprm::{MultiPprm, Term};
+use rmrls_spec::Permutation;
+
+use crate::{SearchStats, StopReason, SynthesisOptions, TraceEvent};
+
+/// Cap on recorded trace events.
+const TRACE_CAP: usize = 100_000;
+
+/// How often (in popped nodes) the wall clock is consulted.
+const TIME_CHECK_INTERVAL: u64 = 256;
+
+/// Priority penalty applied to substitutions that do not strictly
+/// decrease the term count. Large enough that every improving candidate
+/// outranks every non-improving one: the search behaves exactly like the
+/// paper's monotone algorithm until improving moves run out, then falls
+/// back to the escape moves its completeness argument requires.
+const NON_IMPROVING_PENALTY: f64 = 1.0e3;
+
+/// A successful synthesis: the circuit plus run statistics.
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The synthesized Toffoli cascade (inputs left, outputs right).
+    pub circuit: Circuit,
+    /// Counters and optional trace of the search.
+    pub stats: SearchStats,
+}
+
+/// The search terminated without finding any solution (possible only
+/// with pruning heuristics, budgets, or gate caps — the basic algorithm
+/// is complete, §IV-F).
+#[derive(Debug)]
+pub struct NoSolutionError {
+    /// Statistics of the failed run.
+    pub stats: SearchStats,
+}
+
+impl fmt::Display for NoSolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no solution found ({}; stopped by {})",
+            self.stats,
+            self.stats
+                .stop_reason
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".into())
+        )
+    }
+}
+
+impl Error for NoSolutionError {}
+
+/// One link of the root→leaf substitution chain. Only the gate is stored
+/// at interior nodes (the paper's memory optimization, §IV-C: PPRM
+/// expansions live only in queued leaves).
+struct PathNode {
+    parent: Option<Rc<PathNode>>,
+    gate: Gate,
+}
+
+fn path_to_gates(leaf: &Option<Rc<PathNode>>) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    let mut cursor = leaf.as_ref().map(Rc::clone);
+    while let Some(node) = cursor {
+        gates.push(node.gate);
+        cursor = node.parent.as_ref().map(Rc::clone);
+    }
+    gates.reverse();
+    gates
+}
+
+/// A queued search-tree leaf.
+struct QueueEntry {
+    priority: f64,
+    /// FIFO tiebreak: earlier-generated entries win among equal
+    /// priorities, keeping runs deterministic.
+    seq: u64,
+    depth: u32,
+    state: MultiPprm,
+    path: Option<Rc<PathNode>>,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A candidate substitution produced while expanding a node.
+struct Candidate {
+    gate: Gate,
+    state: MultiPprm,
+    eliminated: i64,
+    priority: f64,
+}
+
+struct Search<'a> {
+    options: &'a SynthesisOptions,
+    stats: SearchStats,
+    start: Instant,
+    seq: u64,
+    /// Terms in the root expansion (`initTerms`); Eq. 4's `elim` is the
+    /// cumulative count of terms eliminated relative to this, so
+    /// `elim/depth` is the paper's "number of terms eliminated per
+    /// stage".
+    init_terms: usize,
+    /// Best solution: (gate count, quantum cost, path).
+    best: Option<(u32, u64, Option<Rc<PathNode>>)>,
+    queue: BinaryHeap<QueueEntry>,
+    /// State fingerprint → shallowest depth at which it was queued.
+    /// Re-queuing is allowed when a strictly shallower path is found, so
+    /// deduplication never hides a shorter circuit.
+    visited: HashMap<u64, u32>,
+    steps_since_restart: u64,
+}
+
+fn state_fingerprint(state: &MultiPprm) -> u64 {
+    let mut h = DefaultHasher::new();
+    state.hash(&mut h);
+    h.finish()
+}
+
+impl<'a> Search<'a> {
+    fn new(options: &'a SynthesisOptions, init_terms: usize) -> Self {
+        Search {
+            options,
+            stats: SearchStats::default(),
+            start: Instant::now(),
+            seq: 0,
+            init_terms,
+            best: None,
+            queue: BinaryHeap::new(),
+            visited: HashMap::new(),
+            steps_since_restart: 0,
+        }
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if self.options.trace && self.stats.trace.len() < TRACE_CAP {
+            self.stats.trace.push(event);
+        }
+    }
+
+    /// Depth bound children must stay under to remain useful.
+    fn depth_cutoff(&self) -> u32 {
+        let slack = u32::from(self.options.tie_break_cost);
+        let from_best = self
+            .best
+            .as_ref()
+            .map(|(d, _, _)| (d + slack).saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        let from_cap = self
+            .options
+            .max_gates
+            .map(|g| g as u32)
+            .unwrap_or(u32::MAX);
+        from_best.min(from_cap)
+    }
+
+    /// Expands a node: enumerates candidate substitutions per target
+    /// variable (types 1–3), records solutions, prunes per §IV-E, and
+    /// pushes survivors. Returns `true` if a first solution was found
+    /// and `stop_at_first` is set.
+    fn expand(&mut self, entry: &QueueEntry) -> bool {
+        let state = &entry.state;
+        let n = state.num_vars();
+        let child_depth = entry.depth + 1;
+        let parent_gate = entry.path.as_ref().map(|p| p.gate);
+
+        self.trace(TraceEvent::Expand {
+            depth: entry.depth,
+            terms: state.total_terms(),
+        });
+
+        for var in 0..n {
+            let expansion = state.output(var);
+            // Type 1 requires the bare target term `v_i` in its own
+            // output expansion (the paper's basic algorithm does not list
+            // c-targeted substitutions for Fig. 1's `c_out = b ⊕ ab ⊕ ac`
+            // at the root — only §IV-D type 2 adds them).
+            if !self.options.additional_substitutions && !expansion.contains(Term::var(var)) {
+                continue;
+            }
+            let mut candidates: Vec<Candidate> = Vec::new();
+            let mut saw_constant_one = false;
+
+            let factors: Vec<Term> = expansion
+                .terms()
+                .iter()
+                .copied()
+                .filter(|t| !t.contains_var(var))
+                .collect();
+            for factor in factors {
+                if factor.is_one() {
+                    saw_constant_one = true;
+                }
+                if self.consider(entry, var, factor, child_depth, false, &mut candidates) {
+                    return true;
+                }
+            }
+
+            // Type 3 (§IV-D): v := v ⊕ 1 even when 1 is absent, with the
+            // exception that the term count may grow. Skipped if it would
+            // immediately undo the parent's NOT on the same wire (which
+            // state dedup would also catch).
+            if self.options.additional_substitutions && !saw_constant_one {
+                let undoes_parent = parent_gate == Some(Gate::not(var));
+                if !undoes_parent
+                    && self.consider(entry, var, Term::ONE, child_depth, true, &mut candidates)
+                {
+                    return true;
+                }
+            }
+
+            if let Some(keep) = self.options.pruning.keep() {
+                candidates.sort_by(|a, b| b.priority.total_cmp(&a.priority));
+                candidates.truncate(keep);
+            }
+            for c in candidates {
+                self.push_child(entry, c, child_depth);
+            }
+        }
+
+        // §VI future work: Fredkin substitutions — swap a variable pair
+        // under a control monomial drawn from the pair's expansions.
+        if self.options.fredkin_substitutions != crate::FredkinMode::Off {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let mut controls: Vec<Term> = vec![Term::ONE];
+                    if self.options.fredkin_substitutions == crate::FredkinMode::Full {
+                        for (va, vb) in [(a, b), (b, a)] {
+                            for &t in state.output(va).terms() {
+                                if t.contains_var(vb) {
+                                    let c = t.without_var(va).without_var(vb);
+                                    if !controls.contains(&c) {
+                                        controls.push(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    let mut candidates: Vec<Candidate> = Vec::new();
+                    for control in controls {
+                        if self.consider_fredkin(entry, a, b, control, child_depth, &mut candidates)
+                        {
+                            return true;
+                        }
+                    }
+                    if let Some(keep) = self.options.pruning.keep() {
+                        candidates.sort_by(|x, y| y.priority.total_cmp(&x.priority));
+                        candidates.truncate(keep);
+                    }
+                    for c in candidates {
+                        self.push_child(entry, c, child_depth);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Evaluates one Toffoli substitution. Returns `true` when a solution
+    /// was found and the caller should stop immediately (`stop_at_first`).
+    fn consider(
+        &mut self,
+        entry: &QueueEntry,
+        var: usize,
+        factor: Term,
+        child_depth: u32,
+        allow_growth: bool,
+        candidates: &mut Vec<Candidate>,
+    ) -> bool {
+        let (new_state, eliminated) = entry.state.substitute(var, factor);
+        let gate = Gate::toffoli_mask(factor.mask(), var);
+        self.consider_gate(
+            entry,
+            gate,
+            new_state,
+            eliminated,
+            factor.literal_count(),
+            child_depth,
+            allow_growth,
+            candidates,
+        )
+    }
+
+    /// Evaluates one Fredkin substitution (§VI future work): swap the
+    /// variable pair under the control monomial.
+    #[allow(clippy::too_many_arguments)]
+    fn consider_fredkin(
+        &mut self,
+        entry: &QueueEntry,
+        a: usize,
+        b: usize,
+        control: Term,
+        child_depth: u32,
+        candidates: &mut Vec<Candidate>,
+    ) -> bool {
+        let (new_state, eliminated) = entry.state.substitute_fredkin(a, b, control);
+        let gate = Gate::fredkin_mask(control.mask(), a, b);
+        self.consider_gate(
+            entry,
+            gate,
+            new_state,
+            eliminated,
+            control.literal_count() + 1,
+            child_depth,
+            false,
+            candidates,
+        )
+    }
+
+    /// Shared candidate evaluation: solution check, priority, pruning
+    /// eligibility.
+    #[allow(clippy::too_many_arguments)]
+    fn consider_gate(
+        &mut self,
+        entry: &QueueEntry,
+        gate: Gate,
+        new_state: MultiPprm,
+        eliminated: i64,
+        lits: u32,
+        child_depth: u32,
+        allow_growth: bool,
+        candidates: &mut Vec<Candidate>,
+    ) -> bool {
+        self.stats.children_generated += 1;
+
+        if new_state.is_identity() {
+            self.stats.solutions_seen += 1;
+            let path = Some(Rc::new(PathNode {
+                parent: entry.path.as_ref().map(Rc::clone),
+                gate,
+            }));
+            let cost = if self.options.tie_break_cost {
+                let width = entry.state.num_vars();
+                path_to_gates(&path)
+                    .iter()
+                    .map(|&g| rmrls_circuit::gate_cost(g, width))
+                    .sum()
+            } else {
+                0
+            };
+            let improved = self
+                .best
+                .as_ref()
+                .map(|&(d, c, _)| {
+                    child_depth < d
+                        || (self.options.tie_break_cost && child_depth == d && cost < c)
+                })
+                .unwrap_or(true);
+            let within_cap = self
+                .options
+                .max_gates
+                .map(|g| child_depth as usize <= g)
+                .unwrap_or(true);
+            self.trace(TraceEvent::Solution {
+                depth: child_depth,
+                improved: improved && within_cap,
+            });
+            if improved && within_cap {
+                self.best = Some((child_depth, cost, path));
+                self.steps_since_restart = 0;
+                if self.options.stop_at_first {
+                    self.stats.stop_reason = Some(StopReason::FirstSolution);
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        let terms = new_state.total_terms();
+        let cumulative = self.init_terms as i64 - terms as i64;
+        let improving = eliminated > 0 || allow_growth;
+        if improving || !self.options.monotone_only {
+            let mut priority = match self.options.priority_mode {
+                crate::PriorityMode::CumulativeRate => {
+                    self.options.weights.priority(child_depth, cumulative, lits)
+                }
+                crate::PriorityMode::StepElim => {
+                    self.options.weights.priority(child_depth, eliminated, lits)
+                }
+                crate::PriorityMode::FewestTerms => {
+                    -(terms as f64) + 0.01 * f64::from(child_depth) - 0.05 * f64::from(lits)
+                }
+                crate::PriorityMode::AStar => {
+                    let n = entry.state.num_vars() as f64;
+                    let h = (terms as f64 - n).max(0.0) * self.options.astar_weight;
+                    -(f64::from(child_depth) + h) - 0.05 * f64::from(lits)
+                }
+            };
+            if !improving {
+                priority -= NON_IMPROVING_PENALTY;
+            }
+            candidates.push(Candidate {
+                gate,
+                state: new_state,
+                eliminated,
+                priority,
+            });
+        }
+        false
+    }
+
+    fn push_child(&mut self, entry: &QueueEntry, candidate: Candidate, child_depth: u32) {
+        if child_depth >= self.depth_cutoff() {
+            return;
+        }
+        if self.options.dedup_states {
+            let fp = state_fingerprint(&candidate.state);
+            match self.visited.get(&fp) {
+                Some(&seen) if seen <= child_depth => return,
+                _ => {
+                    self.visited.insert(fp, child_depth);
+                }
+            }
+        }
+        self.trace(TraceEvent::Push {
+            gate: candidate.gate,
+            depth: child_depth,
+            eliminated: candidate.eliminated,
+            priority: candidate.priority,
+        });
+        self.stats.children_pushed += 1;
+        self.seq += 1;
+        self.queue.push(QueueEntry {
+            priority: candidate.priority,
+            seq: self.seq,
+            depth: child_depth,
+            state: candidate.state.clone(),
+            path: Some(Rc::new(PathNode {
+                parent: entry.path.as_ref().map(Rc::clone),
+                gate: candidate.gate,
+            })),
+        });
+        if let Some(cap) = self.options.max_queue {
+            if self.queue.len() > cap {
+                // Beam trim: keep the better half, drop the rest.
+                let mut entries: Vec<QueueEntry> = std::mem::take(&mut self.queue).into_vec();
+                entries.sort_by(|a, b| b.cmp(a));
+                entries.truncate(cap / 2);
+                self.queue = BinaryHeap::from(entries);
+            }
+        }
+    }
+
+    fn over_time(&self) -> bool {
+        self.options
+            .time_limit
+            .map(|limit| self.start.elapsed() >= limit)
+            .unwrap_or(false)
+    }
+
+    fn finish(mut self, num_vars: usize) -> Result<Synthesis, NoSolutionError> {
+        self.stats.elapsed = self.start.elapsed();
+        match self.best.take() {
+            Some((_, _, path)) => {
+                let circuit = Circuit::from_gates(num_vars, path_to_gates(&path));
+                Ok(Synthesis {
+                    circuit,
+                    stats: self.stats,
+                })
+            }
+            None => Err(NoSolutionError { stats: self.stats }),
+        }
+    }
+}
+
+/// A cheap greedy dive from the root: repeatedly apply the locally best
+/// improving substitution (max elimination, then fewest literals, then
+/// lowest variable). Used to seed `bestDepth` so the best-first search
+/// starts with an upper bound — linear functions (Gray codes, shifters)
+/// solve outright here.
+fn greedy_dive(spec: &MultiPprm, options: &SynthesisOptions) -> Option<Vec<Gate>> {
+    let n = spec.num_vars();
+    let cap = options.max_gates.unwrap_or(4 * spec.total_terms().max(n) + 8);
+    let mut state = spec.clone();
+    let mut gates = Vec::new();
+    while !state.is_identity() {
+        if gates.len() >= cap {
+            return None;
+        }
+        // (elim desc, literal count asc, var asc)
+        let mut best: Option<(i64, u32, usize, Term, MultiPprm)> = None;
+        for var in 0..n {
+            let factors: Vec<Term> = state
+                .output(var)
+                .terms()
+                .iter()
+                .copied()
+                .filter(|t| !t.contains_var(var))
+                .collect();
+            for factor in factors {
+                let (next, elim) = state.substitute(var, factor);
+                if next.is_identity() {
+                    gates.push(Gate::toffoli_mask(factor.mask(), var));
+                    return Some(gates);
+                }
+                if elim <= 0 {
+                    continue;
+                }
+                let lits = factor.literal_count();
+                let better = match &best {
+                    None => true,
+                    Some((be, bl, bv, _, _)) => (-elim, lits, var) < (-*be, *bl, *bv),
+                };
+                if better {
+                    best = Some((elim, lits, var, factor, next));
+                }
+            }
+        }
+        match best {
+            Some((_, _, var, factor, next)) => {
+                gates.push(Gate::toffoli_mask(factor.mask(), var));
+                state = next;
+            }
+            None => return None,
+        }
+    }
+    Some(gates)
+}
+
+/// Synthesizes a reversible function, given as a multi-output PPRM
+/// expansion, into a cascade of generalized Toffoli gates.
+///
+/// This is the RMRLS algorithm: a best-first search over substitutions
+/// `v := v ⊕ factor` ranked by Eq. 4, reducing the expansion to the
+/// identity. The returned circuit always realizes the specification
+/// exactly (verified cheaply by the caller via simulation if desired).
+///
+/// # Errors
+///
+/// Returns [`NoSolutionError`] when the search stops (time limit, node
+/// budget, queue exhaustion under pruning, or gate cap) without having
+/// found a solution. With [`Pruning::Exhaustive`] and no budgets the
+/// basic algorithm is complete and this cannot happen (§IV-F).
+///
+/// # Example
+///
+/// ```
+/// use rmrls_core::{synthesize, SynthesisOptions};
+/// use rmrls_pprm::MultiPprm;
+///
+/// // Fig. 1 of the paper: expect the 3-gate circuit of Fig. 3(d).
+/// let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+/// let result = synthesize(&spec, &SynthesisOptions::new())?;
+/// assert_eq!(result.circuit.gate_count(), 3);
+/// assert_eq!(result.circuit.to_permutation(), vec![1, 0, 7, 2, 3, 4, 5, 6]);
+/// # Ok::<(), rmrls_core::NoSolutionError>(())
+/// ```
+pub fn synthesize(
+    spec: &MultiPprm,
+    options: &SynthesisOptions,
+) -> Result<Synthesis, NoSolutionError> {
+    let n = spec.num_vars();
+    let mut search = Search::new(options, spec.total_terms());
+
+    if spec.is_identity() {
+        search.stats.stop_reason = Some(StopReason::QueueExhausted);
+        search.best = Some((0, 0, None));
+        return search.finish(n);
+    }
+
+    // Seed bestDepth with a greedy dive (engineering addition, see
+    // DESIGN.md): gives the search an immediate upper bound and solves
+    // purely monotone (e.g. linear) functions outright.
+    if options.initial_dive {
+        if let Some(gates) = greedy_dive(spec, options) {
+            let within_cap = options.max_gates.map(|g| gates.len() <= g).unwrap_or(true);
+            if within_cap {
+                search.stats.solutions_seen += 1;
+                search.trace(TraceEvent::Solution {
+                    depth: gates.len() as u32,
+                    improved: true,
+                });
+                let cost = if options.tie_break_cost {
+                    gates.iter().map(|&g| rmrls_circuit::gate_cost(g, n)).sum()
+                } else {
+                    0
+                };
+                let mut path: Option<Rc<PathNode>> = None;
+                for &gate in &gates {
+                    path = Some(Rc::new(PathNode { parent: path, gate }));
+                }
+                search.best = Some((gates.len() as u32, cost, path));
+                if options.stop_at_first {
+                    search.stats.stop_reason = Some(StopReason::FirstSolution);
+                    return search.finish(n);
+                }
+            }
+        }
+    }
+
+    // Expand the root once; remember its (pruned) children for restarts.
+    let root = QueueEntry {
+        priority: f64::INFINITY,
+        seq: 0,
+        depth: 0,
+        state: spec.clone(),
+        path: None,
+    };
+    search.visited.insert(state_fingerprint(spec), 0);
+    if search.expand(&root) {
+        return search.finish(n);
+    }
+    let mut root_children: Vec<QueueEntry> = search.queue.drain().collect();
+    root_children.sort_by(|a, b| b.cmp(a)); // best first
+    // Restart schedule (§IV-E): the r-th restart reseeds the queue with
+    // only the r-th best first-level substitution, forcing an alternative
+    // path; once every first-level alternative has had its budget, a final
+    // phase reseeds everything and runs without further restarts.
+    let mut restarts_left = root_children.len().saturating_sub(1);
+    let mut next_restart_child = 0usize;
+    let reseed = |search: &mut Search, children: &[QueueEntry]| {
+        search.queue.clear();
+        search.visited.clear();
+        search.visited.insert(state_fingerprint(spec), 0);
+        for child in children {
+            search
+                .visited
+                .insert(state_fingerprint(&child.state), child.depth);
+            search.queue.push(QueueEntry {
+                priority: child.priority,
+                seq: child.seq,
+                depth: child.depth,
+                state: child.state.clone(),
+                path: child.path.clone(),
+            });
+        }
+    };
+    reseed(&mut search, &root_children);
+
+    loop {
+        let Some(entry) = search.queue.pop() else {
+            search.stats.stop_reason = Some(StopReason::QueueExhausted);
+            break;
+        };
+        if entry.depth >= search.depth_cutoff() {
+            continue;
+        }
+        search.stats.nodes_expanded += 1;
+        search.steps_since_restart += 1;
+
+        if search.stats.nodes_expanded % TIME_CHECK_INTERVAL == 0 && search.over_time() {
+            search.stats.stop_reason = Some(StopReason::TimeLimit);
+            break;
+        }
+        if let Some(max) = options.max_nodes {
+            if search.stats.nodes_expanded > max {
+                search.stats.stop_reason = Some(StopReason::NodeBudget);
+                break;
+            }
+        }
+
+        if search.expand(&entry) {
+            break; // first solution, stop_at_first
+        }
+
+        // §IV-E: abandon and restart from the first level with an
+        // alternative substitution if no solution materialized.
+        if let Some(threshold) = options.restart_after {
+            if search.best.is_none() && search.steps_since_restart >= threshold {
+                search.steps_since_restart = 0;
+                if restarts_left > 0 {
+                    restarts_left -= 1;
+                    next_restart_child = (next_restart_child + 1) % root_children.len();
+                    search.stats.restarts += 1;
+                    let ordinal = search.stats.restarts;
+                    search.trace(TraceEvent::Restart { ordinal });
+                    reseed(
+                        &mut search,
+                        std::slice::from_ref(&root_children[next_restart_child]),
+                    );
+                } else if next_restart_child != 0 {
+                    // Alternatives exhausted: final phase over the full
+                    // first level, no further restarts.
+                    next_restart_child = 0;
+                    search.stats.restarts += 1;
+                    let ordinal = search.stats.restarts;
+                    search.trace(TraceEvent::Restart { ordinal });
+                    reseed(&mut search, &root_children);
+                }
+            }
+        }
+    }
+
+    search.finish(n)
+}
+
+/// Convenience wrapper: synthesizes a permutation specification.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_permutation(
+    spec: &Permutation,
+    options: &SynthesisOptions,
+) -> Result<Synthesis, NoSolutionError> {
+    synthesize(&spec.to_multi_pprm(), options)
+}
+
+/// Bidirectional synthesis: runs the search on both the function and its
+/// inverse (splitting any time budget between them) and returns the
+/// smaller circuit. A cascade for `f⁻¹` reversed gate-by-gate realizes
+/// `f`, since every Toffoli/Fredkin gate is self-inverse.
+///
+/// The PPRM expansions of `f` and `f⁻¹` can differ wildly in size, so
+/// one direction is often much easier — the same observation that powers
+/// the bidirectional variant of the transformation-based algorithm [7].
+///
+/// # Errors
+///
+/// Returns [`NoSolutionError`] only when *both* directions fail; the
+/// returned stats are those of the failing forward run.
+///
+/// ```
+/// use rmrls_core::{synthesize_bidirectional, SynthesisOptions};
+/// use rmrls_spec::Permutation;
+///
+/// let spec = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6])?;
+/// let opts = SynthesisOptions::new().with_max_nodes(20_000);
+/// let result = synthesize_bidirectional(&spec, &opts)?;
+/// assert_eq!(result.circuit.to_permutation(), spec.as_slice());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn synthesize_bidirectional(
+    spec: &Permutation,
+    options: &SynthesisOptions,
+) -> Result<Synthesis, NoSolutionError> {
+    let mut half = options.clone();
+    if let Some(t) = options.time_limit {
+        half.time_limit = Some(t / 2);
+    }
+    let forward = synthesize(&spec.to_multi_pprm(), &half);
+    let backward = synthesize(&spec.inverse().to_multi_pprm(), &half).map(|mut r| {
+        r.circuit = r.circuit.inverse();
+        r
+    });
+    match (forward, backward) {
+        (Ok(f), Ok(b)) => Ok(if b.circuit.gate_count() < f.circuit.gate_count() {
+            b
+        } else {
+            f
+        }),
+        (Ok(f), Err(_)) => Ok(f),
+        (Err(_), Ok(b)) => Ok(b),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pruning as P;
+
+    fn fig1() -> MultiPprm {
+        MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3)
+    }
+
+    fn verify(spec: &MultiPprm, result: &Synthesis) {
+        assert_eq!(
+            result.circuit.to_permutation(),
+            spec.to_permutation(),
+            "circuit does not realize the spec: {}",
+            result.circuit
+        );
+    }
+
+    #[test]
+    fn fig1_synthesizes_in_three_gates() {
+        let spec = fig1();
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 3);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn identity_needs_no_gates() {
+        let spec = MultiPprm::identity(4);
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert!(result.circuit.is_empty());
+    }
+
+    #[test]
+    fn single_not_function() {
+        let spec = MultiPprm::from_permutation(&[1, 0], 1);
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 1);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn example1_matches_paper_gate_count() {
+        // Example 1: {1,0,3,2,5,7,4,6} — the paper reports 4 gates.
+        let spec = MultiPprm::from_permutation(&[1, 0, 3, 2, 5, 7, 4, 6], 3);
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 4);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn example2_matches_paper_gate_count() {
+        // Example 2: wraparound right shift — 3 gates.
+        let spec = MultiPprm::from_permutation(&[7, 0, 1, 2, 3, 4, 5, 6], 3);
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 3);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn example6_matches_paper_gate_count() {
+        // Example 6: wraparound left shift — 3 gates.
+        let spec = MultiPprm::from_permutation(&[1, 2, 3, 4, 5, 6, 7, 0], 3);
+        let result = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 3);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn all_three_variable_permutation_sample_round_trips() {
+        // A deterministic sample across S_8.
+        let opts = SynthesisOptions::new().with_max_nodes(20_000);
+        for rank in (0..40320u128).step_by(1001) {
+            let p = Permutation::from_rank(3, rank);
+            let spec = p.to_multi_pprm();
+            let result = synthesize(&spec, &opts)
+                .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
+            verify(&spec, &result);
+        }
+    }
+
+    #[test]
+    fn greedy_pruning_still_round_trips() {
+        let opts = SynthesisOptions::new().with_pruning(P::Greedy);
+        for rank in (0..40320u128).step_by(2003) {
+            let p = Permutation::from_rank(3, rank);
+            let spec = p.to_multi_pprm();
+            if let Ok(result) = synthesize(&spec, &opts) {
+                verify(&spec, &result);
+            }
+        }
+    }
+
+    #[test]
+    fn without_additional_substitutions_fig1_still_solves() {
+        let opts = SynthesisOptions::new().with_additional_substitutions(false);
+        let spec = fig1();
+        let result = synthesize(&spec, &opts).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 3);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn node_budget_stops_search() {
+        // Swap-like function that needs several gates; tiny budget.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let opts = SynthesisOptions::new().with_max_nodes(1);
+        match synthesize(&spec, &opts) {
+            Err(e) => assert_eq!(e.stats.stop_reason, Some(StopReason::NodeBudget)),
+            Ok(r) => verify(&spec, &r), // found at depth 1-2 before budget
+        }
+    }
+
+    #[test]
+    fn max_gates_cap_is_respected() {
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let unlimited = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        let needed = unlimited.circuit.gate_count();
+        assert!(needed >= 2, "example should need multiple gates");
+        let capped = SynthesisOptions::new().with_max_gates(needed - 1);
+        assert!(
+            synthesize(&spec, &capped).is_err(),
+            "cap below optimum must fail"
+        );
+    }
+
+    #[test]
+    fn stop_at_first_reports_reason() {
+        let spec = fig1();
+        let opts = SynthesisOptions::new().with_stop_at_first(true);
+        let result = synthesize(&spec, &opts).expect("solution");
+        assert_eq!(result.stats.stop_reason, Some(StopReason::FirstSolution));
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn trace_records_solution() {
+        let spec = fig1();
+        let opts = SynthesisOptions::new().with_trace(true);
+        let result = synthesize(&spec, &opts).expect("solution");
+        assert!(result
+            .stats
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Solution { .. })));
+        assert!(result
+            .stats
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Expand { depth: 0, .. })));
+    }
+
+    #[test]
+    fn four_variable_functions_synthesize() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let opts = SynthesisOptions::new()
+            .with_pruning(P::TopK(4))
+            .with_max_gates(40)
+            .with_stop_at_first(true)
+            .with_max_nodes(200_000);
+        for trial in 0..10 {
+            let p = rmrls_spec::random_permutation(4, &mut rng);
+            let spec = p.to_multi_pprm();
+            let result =
+                synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            verify(&spec, &result);
+        }
+    }
+
+    #[test]
+    fn fredkin_mode_solves_example3_in_one_gate() {
+        // Example 3 IS a Fredkin gate; with §VI substitutions enabled the
+        // search finds the single-gate realization.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 3, 4, 6, 5, 7], 3);
+        let opts = SynthesisOptions::new()
+            .with_fredkin_substitutions(crate::FredkinMode::Full)
+            .with_initial_dive(false)
+            .with_max_nodes(20_000);
+        let result = synthesize(&spec, &opts).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 1, "{}", result.circuit);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn fredkin_mode_solves_plain_swap_in_one_gate() {
+        // Swapping wires a and c: {0,4,2,6,1,5,3,7}.
+        let spec = MultiPprm::from_permutation(&[0, 4, 2, 6, 1, 5, 3, 7], 3);
+        let opts = SynthesisOptions::new()
+            .with_fredkin_substitutions(crate::FredkinMode::Full)
+            .with_initial_dive(false)
+            .with_max_nodes(20_000);
+        let result = synthesize(&spec, &opts).expect("solution");
+        assert_eq!(result.circuit.gate_count(), 1, "{}", result.circuit);
+        verify(&spec, &result);
+    }
+
+    #[test]
+    fn fredkin_mode_round_trips_random_functions() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let opts = SynthesisOptions::new()
+            .with_fredkin_substitutions(crate::FredkinMode::Full)
+            .with_max_nodes(20_000);
+        for trial in 0..20 {
+            let p = rmrls_spec::random_permutation(3, &mut rng);
+            let spec = p.to_multi_pprm();
+            let result =
+                synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            verify(&spec, &result);
+        }
+    }
+
+    #[test]
+    fn fredkin_mode_never_worse_than_nct_mode() {
+        // On a sample, enabling the richer library must not increase the
+        // best found gate count.
+        for rank in (0..40320u128).step_by(4999) {
+            let spec = Permutation::from_rank(3, rank).to_multi_pprm();
+            let budgeted = SynthesisOptions::new().with_max_nodes(20_000);
+            let nct = synthesize(&spec, &budgeted).unwrap();
+            let ncts = synthesize(
+                &spec,
+                &budgeted
+                    .clone()
+                    .with_fredkin_substitutions(crate::FredkinMode::Full),
+            )
+            .unwrap();
+            assert!(
+                ncts.circuit.gate_count() <= nct.circuit.gate_count(),
+                "rank {rank}: {} vs {}",
+                ncts.circuit.gate_count(),
+                nct.circuit.gate_count()
+            );
+        }
+    }
+
+    #[test]
+    fn bidirectional_round_trips_and_never_hurts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let opts = SynthesisOptions::new().with_max_nodes(20_000);
+        for trial in 0..15 {
+            let p = rmrls_spec::random_permutation(3, &mut rng);
+            let bi = synthesize_bidirectional(&p, &opts)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert_eq!(bi.circuit.to_permutation(), p.as_slice(), "trial {trial}");
+            let uni = synthesize_permutation(&p, &opts).unwrap();
+            assert!(
+                bi.circuit.gate_count() <= uni.circuit.gate_count(),
+                "trial {trial}: bidirectional must not be worse"
+            );
+        }
+    }
+
+    #[test]
+    fn bidirectional_inverse_direction_verifies() {
+        // An asymmetric function whose inverse expansion is simpler.
+        let p = Permutation::from_vec(vec![1, 2, 3, 4, 5, 6, 7, 0]).unwrap();
+        let r = synthesize_bidirectional(&p, &SynthesisOptions::new()).unwrap();
+        assert_eq!(r.circuit.to_permutation(), p.as_slice());
+    }
+
+    #[test]
+    fn cost_tie_break_never_worse() {
+        // Same gate count, cost no higher than the plain run.
+        let base = SynthesisOptions::new().with_max_nodes(20_000);
+        let costed = base.clone().with_tie_break_cost(true);
+        for rank in (0..40320u128).step_by(3001) {
+            let spec = Permutation::from_rank(3, rank).to_multi_pprm();
+            let plain = synthesize(&spec, &base).unwrap();
+            let tied = synthesize(&spec, &costed).unwrap();
+            assert!(
+                tied.circuit.gate_count() <= plain.circuit.gate_count(),
+                "rank {rank}: primary objective must not degrade"
+            );
+            if tied.circuit.gate_count() == plain.circuit.gate_count() {
+                assert!(
+                    tied.circuit.quantum_cost() <= plain.circuit.quantum_cost(),
+                    "rank {rank}: cost {} vs {}",
+                    tied.circuit.quantum_cost(),
+                    plain.circuit.quantum_cost()
+                );
+            }
+            assert_eq!(tied.circuit.to_permutation(), spec.to_permutation());
+        }
+    }
+
+    #[test]
+    fn permutation_wrapper_agrees() {
+        let p = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6]).unwrap();
+        let a = synthesize_permutation(&p, &SynthesisOptions::new()).expect("solution");
+        let b = synthesize(&p.to_multi_pprm(), &SynthesisOptions::new()).expect("solution");
+        assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn no_solution_error_displays_reason() {
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let opts = SynthesisOptions::new().with_max_gates(1);
+        let err = synthesize(&spec, &opts).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("no solution"), "{text}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Search statistics and tracing.
+
+use std::fmt;
+use std::time::Duration;
+
+use rmrls_circuit::Gate;
+
+/// Why the search loop stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The priority queue drained — the (pruned) search space is
+    /// exhausted.
+    QueueExhausted,
+    /// The wall-clock limit expired (the paper's `Timer`).
+    TimeLimit,
+    /// The node-expansion budget was consumed.
+    NodeBudget,
+    /// A solution was found and `stop_at_first` was set.
+    FirstSolution,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::QueueExhausted => "queue exhausted",
+            StopReason::TimeLimit => "time limit",
+            StopReason::NodeBudget => "node budget",
+            StopReason::FirstSolution => "first solution",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters describing a synthesis run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Nodes popped from the priority queue and expanded.
+    pub nodes_expanded: u64,
+    /// Children generated (before pruning).
+    pub children_generated: u64,
+    /// Children pushed onto the queue (after pruning).
+    pub children_pushed: u64,
+    /// Restarts performed (§IV-E).
+    pub restarts: u64,
+    /// Solutions encountered (improving or not).
+    pub solutions_seen: u64,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+    /// Why the loop stopped (`None` only before the search ran).
+    pub stop_reason: Option<StopReason>,
+    /// Search trace, if requested.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes expanded, {} children ({} pushed), {} restarts, {} solutions, {:?}",
+            self.nodes_expanded,
+            self.children_generated,
+            self.children_pushed,
+            self.restarts,
+            self.solutions_seen,
+            self.elapsed
+        )
+    }
+}
+
+/// One step of the recorded search walk (for reproducing the Fig. 5/6
+/// narrative).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A node was popped and expanded.
+    Expand {
+        /// Depth of the expanded node.
+        depth: u32,
+        /// Total PPRM terms of its state.
+        terms: usize,
+    },
+    /// A child survived pruning and was pushed.
+    Push {
+        /// The substitution, as the Toffoli gate it would emit.
+        gate: Gate,
+        /// Depth of the child.
+        depth: u32,
+        /// Terms eliminated by the substitution.
+        eliminated: i64,
+        /// Its Eq. 4 priority.
+        priority: f64,
+    },
+    /// A solution leaf was reached.
+    Solution {
+        /// Gate count of the solution.
+        depth: u32,
+        /// Whether it improved on the best seen so far.
+        improved: bool,
+    },
+    /// The search restarted from the first level (§IV-E).
+    Restart {
+        /// 1-based restart ordinal.
+        ordinal: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Expand { depth, terms } => {
+                write!(f, "expand depth={depth} terms={terms}")
+            }
+            TraceEvent::Push {
+                gate,
+                depth,
+                eliminated,
+                priority,
+            } => write!(
+                f,
+                "push {gate} depth={depth} elim={eliminated} priority={priority:.3}"
+            ),
+            TraceEvent::Solution { depth, improved } => {
+                write!(
+                    f,
+                    "solution depth={depth}{}",
+                    if *improved { " (new best)" } else { "" }
+                )
+            }
+            TraceEvent::Restart { ordinal } => write!(f, "restart #{ordinal}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_mentions_counters() {
+        let s = SearchStats {
+            nodes_expanded: 7,
+            restarts: 1,
+            ..SearchStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("7 nodes") && text.contains("1 restarts"), "{text}");
+    }
+
+    #[test]
+    fn trace_event_display() {
+        let e = TraceEvent::Push {
+            gate: Gate::not(0),
+            depth: 1,
+            eliminated: 2,
+            priority: 1.5,
+        };
+        assert_eq!(e.to_string(), "push TOF1(a) depth=1 elim=2 priority=1.500");
+        assert_eq!(
+            TraceEvent::Solution { depth: 3, improved: true }.to_string(),
+            "solution depth=3 (new best)"
+        );
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert_eq!(StopReason::TimeLimit.to_string(), "time limit");
+    }
+}

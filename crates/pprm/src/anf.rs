@@ -1,0 +1,174 @@
+//! Fast algebraic-normal-form (binary Möbius) transform.
+//!
+//! The PPRM expansion of a Boolean function is its algebraic normal form:
+//! the coefficient of the monomial `x_S` (for a variable subset `S`) is
+//! stored at index `S` of the transformed table. The transform is an
+//! involution over GF(2), so the same butterfly converts truth tables to
+//! PPRM coefficient tables and back.
+//!
+//! The butterfly runs over packed 64-bit words: strides below 64 use
+//! in-word masked shifts, larger strides XOR whole words, giving
+//! `O(n·2^n / 64)` word operations.
+
+use crate::BitTable;
+
+/// Per-stride masks selecting bit positions whose `k`-th index bit is 0.
+const HALF_MASKS: [u64; 6] = [
+    0x5555_5555_5555_5555,
+    0x3333_3333_3333_3333,
+    0x0f0f_0f0f_0f0f_0f0f,
+    0x00ff_00ff_00ff_00ff,
+    0x0000_ffff_0000_ffff,
+    0x0000_0000_ffff_ffff,
+];
+
+/// Transforms a truth table of a function of `num_vars` variables into its
+/// PPRM (ANF) coefficient table, in place.
+///
+/// After the call, bit `S` of the table is 1 iff the monomial over
+/// variable set `S` appears in the PPRM expansion.
+///
+/// The transform is an involution: applying it twice restores the input
+/// (see [`anf_to_truth_table`]).
+///
+/// # Panics
+///
+/// Panics if `table.len() != 2^num_vars`.
+///
+/// ```
+/// use rmrls_pprm::{anf_transform, BitTable};
+///
+/// // f(b, a) = a OR b has truth table 0111 and ANF a ⊕ b ⊕ ab.
+/// let mut t = BitTable::from_bools(&[false, true, true, true]);
+/// anf_transform(&mut t, 2);
+/// assert_eq!(t.iter_ones().collect::<Vec<_>>(), vec![0b01, 0b10, 0b11]);
+/// ```
+pub fn anf_transform(table: &mut BitTable, num_vars: usize) {
+    assert_eq!(
+        table.len(),
+        1usize << num_vars,
+        "table length {} does not match 2^{num_vars}",
+        table.len()
+    );
+    let words = table.words_mut();
+    for k in 0..num_vars.min(6) {
+        let mask = HALF_MASKS[k];
+        let shift = 1 << k;
+        for w in words.iter_mut() {
+            *w ^= (*w & mask) << shift;
+        }
+    }
+    for k in 6..num_vars {
+        let stride_words = 1usize << (k - 6);
+        let block = stride_words * 2;
+        let mut base = 0;
+        while base < words.len() {
+            for i in 0..stride_words {
+                words[base + stride_words + i] ^= words[base + i];
+            }
+            base += block;
+        }
+    }
+}
+
+/// Transforms a PPRM (ANF) coefficient table back into a truth table, in
+/// place. Identical to [`anf_transform`] because the binary Möbius
+/// transform is an involution; provided for call-site readability.
+///
+/// # Panics
+///
+/// Panics if `table.len() != 2^num_vars`.
+pub fn anf_to_truth_table(table: &mut BitTable, num_vars: usize) {
+    anf_transform(table, num_vars);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference quadratic-time Möbius transform.
+    fn slow_anf(bits: &[bool]) -> Vec<bool> {
+        let n = bits.len();
+        let mut out = vec![false; n];
+        for (s, o) in out.iter_mut().enumerate() {
+            // Coefficient of monomial s = XOR of f over all subsets of s.
+            let mut acc = false;
+            for (x, &b) in bits.iter().enumerate() {
+                if x & s == x {
+                    acc ^= b;
+                }
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    fn check(num_vars: usize, f: impl Fn(usize) -> bool) {
+        let len = 1 << num_vars;
+        let bits: Vec<bool> = (0..len).map(&f).collect();
+        let mut t = BitTable::from_bools(&bits);
+        anf_transform(&mut t, num_vars);
+        let expect = slow_anf(&bits);
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(t.get(i), e, "mismatch at monomial {i:#b} for n={num_vars}");
+        }
+        // Involution.
+        anf_to_truth_table(&mut t, num_vars);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(t.get(i), b, "involution failed at {i} for n={num_vars}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        for n in 0..=6 {
+            check(n, |x| (x * 2654435761usize) & 8 != 0);
+            check(n, |x| x.count_ones() % 2 == 1);
+            check(n, |_| true);
+            check(n, |_| false);
+        }
+    }
+
+    #[test]
+    fn matches_reference_cross_word() {
+        for n in 7..=10 {
+            check(n, |x| (x.wrapping_mul(0x9e3779b9) >> 5) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn known_expansion_or() {
+        // a OR b = a ⊕ b ⊕ ab.
+        let mut t = BitTable::from_bools(&[false, true, true, true]);
+        anf_transform(&mut t, 2);
+        assert_eq!(t.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn known_expansion_paper_fig1() {
+        // Output b_o of Fig. 1 (inputs c,b,a as bits 2,1,0):
+        // rows (index c*4+b*2+a): 0,0,1,1,1,0,0,1 → PPRM b ⊕ c ⊕ ac.
+        let bits = [false, false, true, true, true, false, false, true];
+        let mut t = BitTable::from_bools(&bits);
+        anf_transform(&mut t, 3);
+        assert_eq!(
+            t.iter_ones().collect::<Vec<_>>(),
+            vec![0b010, 0b100, 0b101],
+            "b_o = b ⊕ c ⊕ ac"
+        );
+    }
+
+    #[test]
+    fn constant_one_has_single_coefficient() {
+        let mut t = BitTable::from_fn(256, |_| true);
+        anf_transform(&mut t, 8);
+        assert_eq!(t.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_length_panics() {
+        let mut t = BitTable::zeros(7);
+        anf_transform(&mut t, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! A minimal packed bit vector used for truth tables of single outputs.
+
+use std::fmt;
+
+/// A fixed-length bit vector packed into 64-bit words.
+///
+/// Bit `i` of a [`BitTable`] of length `2^n` stores the function value on
+/// the input assignment whose integer encoding is `i`.
+///
+/// ```
+/// use rmrls_pprm::BitTable;
+///
+/// let mut t = BitTable::zeros(8);
+/// t.set(3, true);
+/// assert!(t.get(3));
+/// assert_eq!(t.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitTable {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitTable {
+    /// Creates an all-zero bit table of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitTable {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit table from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut t = BitTable::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    /// Collects a function over `0..len` into a bit table.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut t = BitTable::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let b = 1u64 << (i % 64);
+        if value {
+            *w |= b;
+        } else {
+            *w &= !b;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    /// Direct access to the packed words (low word first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed words (low word first).
+    ///
+    /// Bits at positions `>= len` in the last word must be kept zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+impl fmt::Debug for BitTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitTable[")?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "... ({} bits)", self.len)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitTable`], ascending.
+#[derive(Clone, Debug)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    len: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                return (idx < self.len).then_some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = BitTable::zeros(130);
+        t.set(0, true);
+        t.set(64, true);
+        t.set(129, true);
+        assert!(t.get(0) && t.get(64) && t.get(129));
+        assert!(!t.get(1) && !t.get(128));
+        t.set(64, false);
+        assert!(!t.get(64));
+        assert_eq!(t.count_ones(), 2);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut t = BitTable::zeros(8);
+        t.flip(5);
+        assert!(t.get(5));
+        t.flip(5);
+        assert!(!t.get(5));
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let t = BitTable::from_bools(&[true, false, true, true]);
+        assert_eq!(t.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn from_fn_matches() {
+        let t = BitTable::from_fn(100, |i| i % 7 == 0);
+        assert_eq!(t.count_ones(), 15);
+        assert!(t.get(98));
+        assert!(!t.get(99));
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut t = BitTable::zeros(200);
+        for i in [0, 63, 64, 127, 199] {
+            t.set(i, true);
+        }
+        assert_eq!(t.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitTable::zeros(8).get(8);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = BitTable::zeros(0);
+        assert!(t.is_empty());
+        assert_eq!(t.iter_ones().count(), 0);
+    }
+}

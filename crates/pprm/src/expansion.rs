@@ -1,0 +1,341 @@
+//! Single-output PPRM expansions.
+
+use std::fmt;
+
+use crate::{anf_transform, BitTable, Term};
+
+/// The PPRM (positive-polarity Reed–Muller) expansion of one Boolean
+/// function: an XOR of product terms over uncomplemented variables.
+///
+/// The expansion is canonical — two functions are equal iff their PPRM
+/// term sets are equal — and is stored as a sorted, duplicate-free vector
+/// of [`Term`]s.
+///
+/// ```
+/// use rmrls_pprm::{Pprm, Term};
+///
+/// // b ⊕ c ⊕ ac  (output b_o of the paper's Fig. 1)
+/// let p = Pprm::from_terms(vec![Term::of(&[1]), Term::of(&[2]), Term::of(&[0, 2])]);
+/// assert_eq!(p.len(), 3);
+/// assert!(p.eval(0b010)); // b=1 → b ⊕ c ⊕ ac = 1
+/// assert!(!p.eval(0b110)); // c=1, b=1, a=0 → 1 ⊕ 1 ⊕ 0 = 0
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pprm {
+    terms: Vec<Term>,
+}
+
+impl Pprm {
+    /// The empty expansion (constant 0).
+    pub fn zero() -> Self {
+        Pprm::default()
+    }
+
+    /// The constant-1 expansion.
+    pub fn one() -> Self {
+        Pprm {
+            terms: vec![Term::ONE],
+        }
+    }
+
+    /// The single-variable expansion `x_var`.
+    pub fn var(var: usize) -> Self {
+        Pprm {
+            terms: vec![Term::var(var)],
+        }
+    }
+
+    /// Builds an expansion from arbitrary terms; repeated terms cancel in
+    /// pairs (XOR semantics).
+    pub fn from_terms(mut terms: Vec<Term>) -> Self {
+        terms.sort_unstable();
+        let mut out = Vec::with_capacity(terms.len());
+        let mut i = 0;
+        while i < terms.len() {
+            let mut j = i + 1;
+            while j < terms.len() && terms[j] == terms[i] {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                out.push(terms[i]);
+            }
+            i = j;
+        }
+        Pprm { terms: out }
+    }
+
+    /// Derives the canonical PPRM expansion from a truth table via the fast
+    /// ANF transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != 2^num_vars`.
+    pub fn from_truth_table(table: &BitTable, num_vars: usize) -> Self {
+        let mut coeffs = table.clone();
+        anf_transform(&mut coeffs, num_vars);
+        Pprm {
+            terms: coeffs.iter_ones().map(|s| Term::from_mask(s as u32)).collect(),
+        }
+    }
+
+    /// Expands the PPRM back into a truth table of `2^num_vars` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term mentions a variable `>= num_vars`.
+    pub fn to_truth_table(&self, num_vars: usize) -> BitTable {
+        let mut t = BitTable::zeros(1 << num_vars);
+        for term in &self.terms {
+            assert!(
+                (term.mask() as u64) < (1u64 << num_vars),
+                "term {term} mentions a variable >= {num_vars}"
+            );
+            t.flip(term.mask() as usize);
+        }
+        crate::anf_to_truth_table(&mut t, num_vars);
+        t
+    }
+
+    /// Evaluates the expansion under assignment `x` (bit `i` = variable
+    /// `x_i`): the XOR of all monomial values.
+    pub fn eval(&self, x: u64) -> bool {
+        self.terms.iter().filter(|t| t.eval(x)).count() % 2 == 1
+    }
+
+    /// The terms of the expansion, sorted ascending by mask.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expansion is constant 0.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the given term appears in the expansion.
+    pub fn contains(&self, term: Term) -> bool {
+        self.terms.binary_search(&term).is_ok()
+    }
+
+    /// Whether variable `var` appears in any term.
+    pub fn mentions_var(&self, var: usize) -> bool {
+        self.terms.iter().any(|t| t.contains_var(var))
+    }
+
+    /// XORs a single term into the expansion (inserts it, or cancels an
+    /// existing copy).
+    pub fn xor_term(&mut self, term: Term) {
+        match self.terms.binary_search(&term) {
+            Ok(i) => {
+                self.terms.remove(i);
+            }
+            Err(i) => self.terms.insert(i, term),
+        }
+    }
+
+    /// XORs another expansion into this one (symmetric difference of term
+    /// sets), in linear time.
+    pub fn xor_assign(&mut self, other: &Pprm) {
+        let mut out = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (a, b) = (&self.terms, &other.terms);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.terms = out;
+    }
+
+    /// Multiplies the whole expansion by a monomial. Terms that collide
+    /// after multiplication cancel in pairs.
+    pub fn mul_term(&self, factor: Term) -> Pprm {
+        Pprm::from_terms(self.terms.iter().map(|&t| t * factor).collect())
+    }
+
+    /// Applies the substitution `x_var := x_var ⊕ factor` to the expansion.
+    ///
+    /// Every term containing `x_var` contributes an extra term with `x_var`
+    /// replaced by the factor's variables; even multiplicities cancel. This
+    /// is the algebraic core of the RMRLS search step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` contains `x_var` (a Toffoli gate cannot use its
+    /// target as a control).
+    pub fn substitute(&self, var: usize, factor: Term) -> Pprm {
+        assert!(
+            !factor.contains_var(var),
+            "substitution factor {factor} must not contain the target variable"
+        );
+        let generated: Vec<Term> = self
+            .terms
+            .iter()
+            .filter(|t| t.contains_var(var))
+            .map(|t| t.without_var(var) * factor)
+            .collect();
+        let mut result = self.clone();
+        result.xor_assign(&Pprm::from_terms(generated));
+        result
+    }
+}
+
+impl FromIterator<Term> for Pprm {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        Pprm::from_terms(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Pprm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pprm({self})")
+    }
+}
+
+impl fmt::Display for Pprm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⊕ ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pprm(masks: &[u32]) -> Pprm {
+        Pprm::from_terms(masks.iter().map(|&m| Term::from_mask(m)).collect())
+    }
+
+    #[test]
+    fn from_terms_cancels_pairs() {
+        let p = Pprm::from_terms(vec![Term::var(0), Term::var(0), Term::var(1)]);
+        assert_eq!(p.terms(), &[Term::var(1)]);
+        let q = Pprm::from_terms(vec![Term::var(0); 3]);
+        assert_eq!(q.terms(), &[Term::var(0)]);
+    }
+
+    #[test]
+    fn truth_table_roundtrip() {
+        for n in 0..=8 {
+            let t = BitTable::from_fn(1 << n, |x| (x.wrapping_mul(0xdead_beef) >> 3) & 1 == 1);
+            let p = Pprm::from_truth_table(&t, n);
+            assert_eq!(p.to_truth_table(n), t, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let t = BitTable::from_fn(32, |x| x % 3 == 0);
+        let p = Pprm::from_truth_table(&t, 5);
+        for x in 0..32u64 {
+            assert_eq!(p.eval(x), t.get(x as usize), "at x={x}");
+        }
+    }
+
+    #[test]
+    fn xor_assign_is_symmetric_difference() {
+        let mut a = pprm(&[0b001, 0b010]);
+        let b = pprm(&[0b010, 0b100]);
+        a.xor_assign(&b);
+        assert_eq!(a, pprm(&[0b001, 0b100]));
+    }
+
+    #[test]
+    fn xor_term_toggles() {
+        let mut p = Pprm::zero();
+        p.xor_term(Term::var(2));
+        assert!(p.contains(Term::var(2)));
+        p.xor_term(Term::var(2));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn mul_term_distributes() {
+        // (a ⊕ b) * c = ac ⊕ bc
+        let p = pprm(&[0b001, 0b010]).mul_term(Term::var(2));
+        assert_eq!(p, pprm(&[0b101, 0b110]));
+        // (a ⊕ ab) * b = ab ⊕ ab = 0
+        let q = pprm(&[0b001, 0b011]).mul_term(Term::var(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn substitute_paper_example() {
+        // a_o = a ⊕ 1: substituting a := a ⊕ 1 gives a ⊕ 1 ⊕ 1 = a.
+        let p = pprm(&[0b001, 0b000]);
+        assert_eq!(p.substitute(0, Term::ONE), pprm(&[0b001]));
+    }
+
+    #[test]
+    fn substitute_with_product_factor() {
+        // b_o = b ⊕ c ⊕ ac, substitute b := b ⊕ ac → b ⊕ ac ⊕ c ⊕ ac = b ⊕ c.
+        let p = pprm(&[0b010, 0b100, 0b101]);
+        let got = p.substitute(1, Term::of(&[0, 2]));
+        assert_eq!(got, pprm(&[0b010, 0b100]));
+    }
+
+    #[test]
+    fn substitute_preserves_semantics() {
+        // Substituting x_v := x_v ⊕ f in expansion E must satisfy
+        // E'(x) = E(x with bit v replaced by x_v ⊕ f(x)).
+        let n = 4;
+        let t = BitTable::from_fn(1 << n, |x| (x * 7 + 3) % 5 < 2);
+        let p = Pprm::from_truth_table(&t, n);
+        let factor = Term::of(&[0, 3]);
+        let var = 1;
+        let p2 = p.substitute(var, factor);
+        for x in 0..(1u64 << n) {
+            let fx = factor.eval(x);
+            let y = if fx { x ^ (1 << var) } else { x };
+            assert_eq!(p2.eval(x), p.eval(y), "at x={x:#06b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain")]
+    fn substitute_rejects_target_in_factor() {
+        let p = pprm(&[0b011]);
+        let _ = p.substitute(0, Term::of(&[0, 1]));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = pprm(&[0b000, 0b001, 0b110]);
+        assert_eq!(p.to_string(), "1 ⊕ a ⊕ bc");
+        assert_eq!(Pprm::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn mentions_var() {
+        let p = pprm(&[0b010, 0b100]);
+        assert!(p.mentions_var(1));
+        assert!(!p.mentions_var(0));
+    }
+}

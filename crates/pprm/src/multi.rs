@@ -1,0 +1,401 @@
+//! Multi-output PPRM expansions — the search state of RMRLS.
+
+use std::fmt;
+
+use crate::{BitTable, Pprm, Term};
+
+/// The PPRM expansions of all `n` outputs of an `n`-input/`n`-output
+/// reversible function, with output `i` paired with input variable `x_i`.
+///
+/// This is the state the RMRLS search manipulates: a substitution
+/// `x_v := x_v ⊕ f` rewrites every output expansion, and synthesis is
+/// complete when the state [`is the identity`](MultiPprm::is_identity)
+/// (`out_i = x_i` for all `i`).
+///
+/// ```
+/// use rmrls_pprm::MultiPprm;
+///
+/// // The paper's Fig. 1 function as a permutation of {0..8}.
+/// let m = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+/// assert_eq!(m.output(0).to_string(), "1 ⊕ a");       // a_o = a ⊕ 1
+/// assert_eq!(m.output(1).to_string(), "b ⊕ c ⊕ ac");  // b_o
+/// assert_eq!(m.output(2).to_string(), "b ⊕ ab ⊕ ac"); // c_o
+/// assert_eq!(m.total_terms(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MultiPprm {
+    num_vars: usize,
+    outputs: Vec<Pprm>,
+}
+
+impl MultiPprm {
+    /// Builds the multi-output PPRM of a reversible function given as a
+    /// permutation: `perm[x]` is the output word for input word `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != 2^num_vars`. (Reversibility itself is not
+    /// checked here; use `rmrls-spec` to validate specifications.)
+    pub fn from_permutation(perm: &[u64], num_vars: usize) -> Self {
+        assert_eq!(
+            perm.len(),
+            1usize << num_vars,
+            "permutation length {} does not match 2^{num_vars}",
+            perm.len()
+        );
+        let outputs = (0..num_vars)
+            .map(|bit| {
+                let table = BitTable::from_fn(perm.len(), |x| perm[x] >> bit & 1 == 1);
+                Pprm::from_truth_table(&table, num_vars)
+            })
+            .collect();
+        MultiPprm { num_vars, outputs }
+    }
+
+    /// Builds a state directly from per-output expansions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len() != num_vars` or any expansion mentions a
+    /// variable `>= num_vars`.
+    pub fn from_outputs(outputs: Vec<Pprm>, num_vars: usize) -> Self {
+        assert_eq!(outputs.len(), num_vars, "need one expansion per variable");
+        for (i, p) in outputs.iter().enumerate() {
+            for t in p.terms() {
+                assert!(
+                    (t.mask() as u64) < (1u64 << num_vars),
+                    "output {i} term {t} mentions a variable >= {num_vars}"
+                );
+            }
+        }
+        MultiPprm { num_vars, outputs }
+    }
+
+    /// The identity function on `num_vars` variables (`out_i = x_i`).
+    pub fn identity(num_vars: usize) -> Self {
+        MultiPprm {
+            num_vars,
+            outputs: (0..num_vars).map(Pprm::var).collect(),
+        }
+    }
+
+    /// Number of variables (= inputs = outputs).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The expansion of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    pub fn output(&self, i: usize) -> &Pprm {
+        &self.outputs[i]
+    }
+
+    /// All output expansions, indexed by output/variable.
+    pub fn outputs(&self) -> &[Pprm] {
+        &self.outputs
+    }
+
+    /// Total number of terms across all outputs (the paper's
+    /// `node.terms`).
+    pub fn total_terms(&self) -> usize {
+        self.outputs.iter().map(Pprm::len).sum()
+    }
+
+    /// Whether every output has been reduced to its own variable
+    /// (`out_i = x_i`) — the synthesis termination condition.
+    pub fn is_identity(&self) -> bool {
+        self.outputs
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.terms() == [Term::var(i)])
+    }
+
+    /// Whether output `i` is already solved (`out_i = x_i`).
+    pub fn output_is_solved(&self, i: usize) -> bool {
+        self.outputs[i].terms() == [Term::var(i)]
+    }
+
+    /// Applies the substitution `x_var := x_var ⊕ factor` to every output
+    /// expansion, returning the new state and the number of terms
+    /// eliminated (negative if the state grew — possible only for the
+    /// special `factor = 1` substitution of §IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` contains `x_var` or mentions a variable out of
+    /// range.
+    pub fn substitute(&self, var: usize, factor: Term) -> (MultiPprm, i64) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        assert!(
+            (factor.mask() as u64) < (1u64 << self.num_vars),
+            "factor {factor} mentions a variable >= {}",
+            self.num_vars
+        );
+        let outputs: Vec<Pprm> = self
+            .outputs
+            .iter()
+            .map(|p| {
+                if p.mentions_var(var) {
+                    p.substitute(var, factor)
+                } else {
+                    p.clone()
+                }
+            })
+            .collect();
+        let new = MultiPprm {
+            num_vars: self.num_vars,
+            outputs,
+        };
+        let elim = self.total_terms() as i64 - new.total_terms() as i64;
+        (new, elim)
+    }
+
+    /// Applies the Fredkin substitution — the variable pair `(a, b)` is
+    /// swapped whenever the control monomial `control` holds — to every
+    /// output expansion, returning the new state and the number of terms
+    /// eliminated.
+    ///
+    /// Algebraically, `a := a ⊕ c·(a ⊕ b)` and `b := b ⊕ c·(a ⊕ b)`
+    /// simultaneously. Terms containing *both* variables are invariant
+    /// (`a'·b' = a·b`); a term containing exactly one of them, say
+    /// `a·r`, gains the two terms `c·a·r ⊕ c·b·r`.
+    ///
+    /// This implements the paper's §VI future-work item (incorporating
+    /// Fredkin gates into the substitution framework).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, either variable is out of range, or the
+    /// control contains `a` or `b`.
+    pub fn substitute_fredkin(
+        &self,
+        a: usize,
+        b: usize,
+        control: Term,
+    ) -> (MultiPprm, i64) {
+        assert!(a < self.num_vars && b < self.num_vars, "variable out of range");
+        assert_ne!(a, b, "fredkin swaps two distinct variables");
+        assert!(
+            !control.contains_var(a) && !control.contains_var(b),
+            "control {control} must not contain the swapped variables"
+        );
+        assert!(
+            (control.mask() as u64) < (1u64 << self.num_vars),
+            "control {control} mentions a variable >= {}",
+            self.num_vars
+        );
+        let outputs: Vec<Pprm> = self
+            .outputs
+            .iter()
+            .map(|p| {
+                let mut generated = Vec::new();
+                for &t in p.terms() {
+                    let has_a = t.contains_var(a);
+                    let has_b = t.contains_var(b);
+                    if has_a != has_b {
+                        let r = t.without_var(a).without_var(b);
+                        generated.push(r * control * Term::var(a));
+                        generated.push(r * control * Term::var(b));
+                    }
+                }
+                if generated.is_empty() {
+                    p.clone()
+                } else {
+                    let mut out = p.clone();
+                    out.xor_assign(&Pprm::from_terms(generated));
+                    out
+                }
+            })
+            .collect();
+        let new = MultiPprm {
+            num_vars: self.num_vars,
+            outputs,
+        };
+        let elim = self.total_terms() as i64 - new.total_terms() as i64;
+        (new, elim)
+    }
+
+    /// Evaluates all outputs at input word `x`, returning the output word.
+    pub fn eval(&self, x: u64) -> u64 {
+        self.outputs
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, p)| acc | (u64::from(p.eval(x)) << i))
+    }
+
+    /// Expands the state back to an explicit permutation table.
+    pub fn to_permutation(&self) -> Vec<u64> {
+        (0..1u64 << self.num_vars).map(|x| self.eval(x)).collect()
+    }
+}
+
+impl fmt::Debug for MultiPprm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MultiPprm({} vars)", self.num_vars)?;
+        for (i, p) in self.outputs.iter().enumerate() {
+            writeln!(f, "  out[{i}] = {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MultiPprm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            let name = if i < 26 {
+                format!("{}", (b'a' + i as u8) as char)
+            } else {
+                format!("x{i}")
+            };
+            write!(f, "{name}_out = {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: [u64; 8] = [1, 0, 7, 2, 3, 4, 5, 6];
+
+    #[test]
+    fn fig1_expansion_matches_eq3() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        assert_eq!(m.output(0).to_string(), "1 ⊕ a");
+        assert_eq!(m.output(1).to_string(), "b ⊕ c ⊕ ac");
+        assert_eq!(m.output(2).to_string(), "b ⊕ ab ⊕ ac");
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        assert_eq!(m.to_permutation(), FIG1.to_vec());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let id = MultiPprm::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.total_terms(), 4);
+        assert_eq!(id.to_permutation(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fig1_solves_with_paper_substitutions() {
+        // The paper's solution path: a := a⊕1, b := b⊕ac, c := c⊕ab.
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        assert!(!m.is_identity());
+        let (m, e1) = m.substitute(0, Term::ONE);
+        assert_eq!(e1, 2, "a := a⊕1 eliminates 2 terms (1 and ab cancel... )");
+        let (m, e2) = m.substitute(1, Term::of(&[0, 2]));
+        assert!(e2 > 0);
+        let (m, e3) = m.substitute(2, Term::of(&[0, 1]));
+        assert!(e3 > 0);
+        assert!(m.is_identity(), "got:\n{m}");
+    }
+
+    #[test]
+    fn substitution_semantics_match_gate_application() {
+        // F' = F ∘ G where G flips bit v when factor holds: F'(x) = F(G(x)).
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let factor = Term::of(&[0]);
+        let (m2, _) = m.substitute(2, factor);
+        for x in 0..8u64 {
+            let gx = if factor.eval(x) { x ^ 0b100 } else { x };
+            assert_eq!(m2.eval(x), m.eval(gx), "at x={x}");
+        }
+    }
+
+    #[test]
+    fn output_is_solved_per_output() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let (m, _) = m.substitute(0, Term::ONE);
+        assert!(m.output_is_solved(0));
+        assert!(!m.output_is_solved(1));
+    }
+
+    #[test]
+    fn fredkin_substitution_semantics_match_gate() {
+        // F' = F ∘ G for the controlled swap G = FRE(c; a, b).
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let control = Term::var(2);
+        let (m2, _) = m.substitute_fredkin(0, 1, control);
+        for x in 0..8u64 {
+            let gx = if control.eval(x) && (x & 1) != (x >> 1 & 1) {
+                x ^ 0b011
+            } else {
+                x
+            };
+            assert_eq!(m2.eval(x), m.eval(gx), "at x={x}");
+        }
+    }
+
+    #[test]
+    fn plain_swap_substitution_swaps_outputs() {
+        // Swapping a and b in the identity yields the transposed wires.
+        let id = MultiPprm::identity(3);
+        let (m, elim) = id.substitute_fredkin(0, 1, Term::ONE);
+        assert_eq!(elim, 0, "a swap preserves the term count on the identity");
+        assert_eq!(m.output(0).to_string(), "b");
+        assert_eq!(m.output(1).to_string(), "a");
+        assert_eq!(m.output(2).to_string(), "c");
+    }
+
+    #[test]
+    fn fredkin_invariant_on_products_of_both() {
+        // A term containing both swapped variables is unchanged.
+        let p = Pprm::from_terms(vec![Term::of(&[0, 1])]);
+        let m = MultiPprm::from_outputs(
+            vec![p, Pprm::var(1), Pprm::var(2)],
+            3,
+        );
+        let (m2, _) = m.substitute_fredkin(0, 1, Term::var(2));
+        assert!(m2.output(0).contains(Term::of(&[0, 1])));
+        assert_eq!(m2.output(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain")]
+    fn fredkin_control_overlap_panics() {
+        let _ = MultiPprm::identity(3).substitute_fredkin(0, 1, Term::var(0));
+    }
+
+    #[test]
+    fn fredkin_example3_solves_in_one_substitution() {
+        // Example 3 of the paper IS a Fredkin gate: one substitution
+        // reduces it to the identity.
+        let m = MultiPprm::from_permutation(&[0, 1, 2, 3, 4, 6, 5, 7], 3);
+        let (m2, _) = m.substitute_fredkin(0, 1, Term::var(2));
+        assert!(m2.is_identity(), "got:\n{m2}");
+    }
+
+    #[test]
+    fn states_hash_equal_when_equal() {
+        use std::collections::HashSet;
+        let a = MultiPprm::from_permutation(&FIG1, 3);
+        let b = MultiPprm::from_permutation(&FIG1, 3);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_permutation_length_panics() {
+        let _ = MultiPprm::from_permutation(&[0, 1, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mentions a variable")]
+    fn out_of_range_factor_panics() {
+        let m = MultiPprm::identity(2);
+        let _ = m.substitute(0, Term::var(3));
+    }
+}

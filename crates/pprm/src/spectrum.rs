@@ -1,0 +1,162 @@
+//! Rademacher–Walsh spectra of Boolean functions.
+//!
+//! The spectral synthesis method of Miller & Dueck (reference [18] of
+//! the paper) drives its search with the Rademacher–Walsh spectrum: the
+//! correlations of a function with every linear function. This module
+//! provides the fast Walsh–Hadamard transform and the spectral
+//! complexity measure those techniques use — and which our benches use
+//! to characterize workloads.
+
+use crate::{BitTable, MultiPprm};
+
+/// The Rademacher–Walsh spectrum of a single-output function of
+/// `num_vars` variables.
+///
+/// Coefficient `s` is `Σ_x (−1)^{f(x) ⊕ (s·x)}` — the signed agreement
+/// between `f` and the linear function `x ↦ s·x` (popcount parity of
+/// `s & x`). Coefficients range over `[-2^n, 2^n]` in steps of 2; a
+/// coefficient of `±2^n` means `f` *is* that linear function (or its
+/// complement).
+///
+/// # Panics
+///
+/// Panics if `table.len() != 2^num_vars`.
+///
+/// ```
+/// use rmrls_pprm::{walsh_spectrum, BitTable};
+///
+/// // f(b, a) = a: perfectly correlated with s = 0b01.
+/// let t = BitTable::from_bools(&[false, true, false, true]);
+/// assert_eq!(walsh_spectrum(&t, 2), vec![0, 4, 0, 0]);
+/// ```
+pub fn walsh_spectrum(table: &BitTable, num_vars: usize) -> Vec<i64> {
+    assert_eq!(table.len(), 1 << num_vars, "table length mismatch");
+    // Start from the ±1 encoding: +1 for f(x)=0, −1 for f(x)=1.
+    let mut spectrum: Vec<i64> = (0..table.len())
+        .map(|x| if table.get(x) { -1 } else { 1 })
+        .collect();
+    // In-place fast Walsh–Hadamard butterfly.
+    let mut stride = 1usize;
+    while stride < spectrum.len() {
+        let mut base = 0;
+        while base < spectrum.len() {
+            for j in base..base + stride {
+                let (a, b) = (spectrum[j], spectrum[j + stride]);
+                spectrum[j] = a + b;
+                spectrum[j + stride] = a - b;
+            }
+            base += 2 * stride;
+        }
+        stride *= 2;
+    }
+    spectrum
+}
+
+/// Spectral complexity of a single output: `2^n − max_s |W(s)|`.
+///
+/// Zero iff the output is a linear function (or a complemented one) of
+/// the inputs — e.g. a bare wire, so the identity function has total
+/// complexity 0. Larger values mean the output is further from
+/// anything a cascade of CNOTs alone could produce; the GT-gate
+/// translations of [18] are chosen to maximally reduce exactly this
+/// kind of measure.
+pub fn spectral_complexity(table: &BitTable, num_vars: usize) -> u64 {
+    let spectrum = walsh_spectrum(table, num_vars);
+    let max = spectrum.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+    (1u64 << num_vars) - max
+}
+
+/// Total spectral complexity of a multi-output state: the sum of the
+/// per-output complexities. Zero iff every output is (complemented-)
+/// linear; in particular 0 for the identity, so it behaves like a
+/// progress measure dual to the PPRM term count.
+pub fn state_spectral_complexity(state: &MultiPprm) -> u64 {
+    let n = state.num_vars();
+    (0..n)
+        .map(|i| {
+            let table = BitTable::from_fn(1 << n, |x| state.output(i).eval(x as u64));
+            spectral_complexity(&table, n)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pprm, Term};
+
+    /// Reference quadratic-time spectrum.
+    fn slow_spectrum(table: &BitTable, n: usize) -> Vec<i64> {
+        (0..1usize << n)
+            .map(|s| {
+                (0..1usize << n)
+                    .map(|x| {
+                        let linear = (s & x).count_ones() % 2 == 1;
+                        if table.get(x) ^ linear {
+                            -1i64
+                        } else {
+                            1
+                        }
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_transform_matches_reference() {
+        for n in 0..=6usize {
+            let t = BitTable::from_fn(1 << n, |x| (x.wrapping_mul(37) >> 2) & 1 == 1);
+            assert_eq!(walsh_spectrum(&t, n), slow_spectrum(&t, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        // Σ W(s)² = 2^{2n} for every Boolean function.
+        for n in 1..=6usize {
+            let t = BitTable::from_fn(1 << n, |x| x % 5 < 2);
+            let sum: i64 = walsh_spectrum(&t, n).iter().map(|c| c * c).sum();
+            assert_eq!(sum, 1 << (2 * n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn linear_functions_have_zero_complexity() {
+        // f = a ⊕ c of 3 variables.
+        let p = Pprm::from_terms(vec![Term::var(0), Term::var(2)]);
+        let t = p.to_truth_table(3);
+        assert_eq!(spectral_complexity(&t, 3), 0);
+        // Complemented linear too.
+        let q = Pprm::from_terms(vec![Term::ONE, Term::var(1)]);
+        assert_eq!(spectral_complexity(&q.to_truth_table(3), 3), 0);
+    }
+
+    #[test]
+    fn and_gate_has_known_complexity() {
+        // f = ab of 2 variables: max |W| = 2 → complexity 2.
+        let t = BitTable::from_bools(&[false, false, false, true]);
+        assert_eq!(spectral_complexity(&t, 2), 2);
+    }
+
+    #[test]
+    fn identity_state_has_zero_complexity() {
+        assert_eq!(state_spectral_complexity(&MultiPprm::identity(4)), 0);
+    }
+
+    #[test]
+    fn fig1_state_complexity_decreases_along_solution() {
+        // The worked example: complexity falls to zero along the paper's
+        // substitution path (not necessarily monotonically in general,
+        // but it does here).
+        let m = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let c0 = state_spectral_complexity(&m);
+        let (m, _) = m.substitute(0, Term::ONE);
+        let (m, _) = m.substitute(1, Term::of(&[0, 2]));
+        let c2 = state_spectral_complexity(&m);
+        let (m, _) = m.substitute(2, Term::of(&[0, 1]));
+        assert!(c0 > 0);
+        assert!(c2 < c0);
+        assert_eq!(state_spectral_complexity(&m), 0);
+    }
+}

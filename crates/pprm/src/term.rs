@@ -1,0 +1,231 @@
+//! Product terms of a PPRM expansion, represented as variable bitmasks.
+
+use std::fmt;
+
+/// Maximum number of variables supported by the term representation.
+pub const MAX_VARS: usize = 32;
+
+/// A product term (monomial) over positive-polarity variables.
+///
+/// The term is a set of variables encoded as a bitmask: bit `i` set means
+/// variable `x_i` participates in the product. The empty mask is the
+/// constant-1 term.
+///
+/// ```
+/// use rmrls_pprm::Term;
+///
+/// let ab = Term::of(&[0, 1]);
+/// assert!(ab.contains_var(0));
+/// assert!(!ab.contains_var(2));
+/// assert_eq!(ab.literal_count(), 2);
+/// assert_eq!(ab * Term::of(&[1, 2]), Term::of(&[0, 1, 2]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Term(pub u32);
+
+impl Term {
+    /// The constant-1 term (empty product).
+    pub const ONE: Term = Term(0);
+
+    /// Creates a term from a raw variable bitmask.
+    pub const fn from_mask(mask: u32) -> Self {
+        Term(mask)
+    }
+
+    /// Creates the single-variable term `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= MAX_VARS`.
+    pub fn var(var: usize) -> Self {
+        assert!(var < MAX_VARS, "variable index {var} out of range");
+        Term(1 << var)
+    }
+
+    /// Creates a term as the product of the given variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_VARS`.
+    pub fn of(vars: &[usize]) -> Self {
+        vars.iter().fold(Term::ONE, |t, &v| t * Term::var(v))
+    }
+
+    /// Raw variable bitmask.
+    pub const fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Whether the term is the constant 1 (no literals).
+    pub const fn is_one(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether variable `var` appears in the term.
+    pub const fn contains_var(self, var: usize) -> bool {
+        self.0 & (1 << var) != 0
+    }
+
+    /// Number of literals (variables) in the term.
+    pub const fn literal_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Removes variable `var` from the term (no-op if absent).
+    pub const fn without_var(self, var: usize) -> Term {
+        Term(self.0 & !(1 << var))
+    }
+
+    /// Whether every variable of `self` also appears in `other`.
+    pub const fn divides(self, other: Term) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Evaluates the monomial under the assignment `x` (bit `i` of `x` is
+    /// the value of variable `x_i`). True iff all participating variables
+    /// are 1.
+    pub const fn eval(self, x: u64) -> bool {
+        (x as u32) & self.0 == self.0
+    }
+
+    /// Iterator over the variable indices of the term, ascending.
+    pub fn vars(self) -> Vars {
+        Vars(self.0)
+    }
+}
+
+/// Iterator over the variable indices of a [`Term`], ascending.
+#[derive(Clone, Debug)]
+pub struct Vars(u32);
+
+impl Iterator for Vars {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let v = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(v)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Vars {}
+
+impl std::ops::Mul for Term {
+    type Output = Term;
+
+    /// Product of two monomials. Boolean variables are idempotent
+    /// (`x·x = x`), so the product is the union of variable sets.
+    fn mul(self, rhs: Term) -> Term {
+        Term(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Term({self})")
+    }
+}
+
+impl fmt::Display for Term {
+    /// Renders the term using letters `a, b, c, ...` for `x_0, x_1, x_2, ...`
+    /// matching the paper's notation; constant 1 renders as `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        for v in self.vars() {
+            if v < 26 {
+                write!(f, "{}", (b'a' + v as u8) as char)?;
+            } else {
+                write!(f, "x{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_empty_product() {
+        assert!(Term::ONE.is_one());
+        assert_eq!(Term::ONE.literal_count(), 0);
+        assert_eq!(Term::ONE * Term::var(3), Term::var(3));
+    }
+
+    #[test]
+    fn var_sets_single_bit() {
+        let t = Term::var(4);
+        assert_eq!(t.mask(), 0b10000);
+        assert!(t.contains_var(4));
+        assert!(!t.contains_var(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let _ = Term::var(MAX_VARS);
+    }
+
+    #[test]
+    fn product_is_union() {
+        let ab = Term::of(&[0, 1]);
+        let bc = Term::of(&[1, 2]);
+        assert_eq!(ab * bc, Term::of(&[0, 1, 2]));
+        assert_eq!(ab * ab, ab, "idempotent");
+    }
+
+    #[test]
+    fn without_var_removes() {
+        let abc = Term::of(&[0, 1, 2]);
+        assert_eq!(abc.without_var(1), Term::of(&[0, 2]));
+        assert_eq!(abc.without_var(5), abc);
+    }
+
+    #[test]
+    fn divides_checks_subset() {
+        assert!(Term::of(&[0]).divides(Term::of(&[0, 2])));
+        assert!(!Term::of(&[1]).divides(Term::of(&[0, 2])));
+        assert!(Term::ONE.divides(Term::of(&[0])));
+    }
+
+    #[test]
+    fn eval_requires_all_vars() {
+        let ac = Term::of(&[0, 2]);
+        assert!(ac.eval(0b101));
+        assert!(ac.eval(0b111));
+        assert!(!ac.eval(0b100));
+        assert!(Term::ONE.eval(0), "constant 1 is always true");
+    }
+
+    #[test]
+    fn vars_iterates_ascending() {
+        let t = Term::of(&[5, 1, 3]);
+        assert_eq!(t.vars().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(t.vars().len(), 3);
+    }
+
+    #[test]
+    fn display_uses_letters() {
+        assert_eq!(Term::of(&[0, 2]).to_string(), "ac");
+        assert_eq!(Term::ONE.to_string(), "1");
+        assert_eq!(Term::var(26).to_string(), "x26");
+    }
+
+    #[test]
+    fn ordering_is_by_mask() {
+        assert!(Term::ONE < Term::var(0));
+        assert!(Term::var(0) < Term::var(1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the PPRM/ESOP algebra.
+
+use proptest::prelude::*;
+
+use rmrls_pprm::{anf_transform, BitTable, Esop, MultiPprm, Pprm, Term};
+
+fn bools(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 1 << n)
+}
+
+proptest! {
+    /// The ANF transform is an involution at every width.
+    #[test]
+    fn anf_is_involution(bits in bools(7)) {
+        let table = BitTable::from_bools(&bits);
+        let mut t = table.clone();
+        anf_transform(&mut t, 7);
+        anf_transform(&mut t, 7);
+        prop_assert_eq!(t, table);
+    }
+
+    /// PPRM evaluation agrees with the truth table it came from.
+    #[test]
+    fn pprm_eval_matches_table(bits in bools(6)) {
+        let table = BitTable::from_bools(&bits);
+        let p = Pprm::from_truth_table(&table, 6);
+        for (x, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(p.eval(x as u64), b, "at {}", x);
+        }
+    }
+
+    /// XOR of expansions equals pointwise XOR of functions.
+    #[test]
+    fn xor_is_pointwise(a in bools(5), b in bools(5)) {
+        let pa = Pprm::from_truth_table(&BitTable::from_bools(&a), 5);
+        let pb = Pprm::from_truth_table(&BitTable::from_bools(&b), 5);
+        let mut sum = pa.clone();
+        sum.xor_assign(&pb);
+        for x in 0..32u64 {
+            prop_assert_eq!(sum.eval(x), pa.eval(x) ^ pb.eval(x));
+        }
+    }
+
+    /// Multiplying by a monomial equals pointwise AND with it.
+    #[test]
+    fn mul_term_is_pointwise_and(a in bools(5), mask in 0u32..32) {
+        let p = Pprm::from_truth_table(&BitTable::from_bools(&a), 5);
+        let t = Term::from_mask(mask);
+        let q = p.mul_term(t);
+        for x in 0..32u64 {
+            prop_assert_eq!(q.eval(x), p.eval(x) & t.eval(x));
+        }
+    }
+
+    /// A substitution applied twice with the same factor is the identity
+    /// (the emitted Toffoli gate is self-inverse).
+    #[test]
+    fn substitution_is_self_inverse(bits in bools(4), var in 0usize..4, mask in 0u32..16) {
+        let factor = Term::from_mask(mask & !(1 << var));
+        let p = Pprm::from_truth_table(&BitTable::from_bools(&bits), 4);
+        let once = p.substitute(var, factor);
+        let twice = once.substitute(var, factor);
+        prop_assert_eq!(twice, p);
+    }
+
+    /// ESOP minimization preserves the function and never grows.
+    #[test]
+    fn esop_minimize_is_sound(bits in bools(5)) {
+        let table = BitTable::from_bools(&bits);
+        let mut e = Esop::from_truth_table(&table, 5);
+        let before = e.len();
+        e.minimize();
+        prop_assert!(e.len() <= before);
+        for (x, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(e.eval(x as u64), b, "at {}", x);
+        }
+        // And the polarity expansion still yields the canonical PPRM.
+        prop_assert_eq!(e.to_pprm(), Pprm::from_truth_table(&table, 5));
+    }
+
+    /// Fredkin substitution applied twice with the same pair/control is
+    /// the identity.
+    #[test]
+    fn fredkin_substitution_is_self_inverse(
+        perm_seed in any::<u64>(),
+        control in 0u32..16,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut map: Vec<u64> = (0..16).collect();
+        map.shuffle(&mut rng);
+        let m = MultiPprm::from_permutation(&map, 4);
+        let c = Term::from_mask(control & !0b0011);
+        let (once, _) = m.substitute_fredkin(0, 1, c);
+        let (twice, _) = once.substitute_fredkin(0, 1, c);
+        prop_assert_eq!(twice, m);
+    }
+
+    /// Terms are totally ordered consistently with masks.
+    #[test]
+    fn term_order_matches_mask_order(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(Term::from_mask(a).cmp(&Term::from_mask(b)), a.cmp(&b));
+    }
+}

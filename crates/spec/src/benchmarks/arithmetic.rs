@@ -1,0 +1,216 @@
+//! Arithmetic benchmarks: Gray-code converters, modular adders, mod-k
+//! divisibility indicators, and the controlled `shifter` family
+//! (Example 14).
+
+use rmrls_pprm::{MultiPprm, Pprm, Term};
+
+use super::{Benchmark, BenchmarkSpec};
+use crate::Permutation;
+
+/// The `graycode#` benchmarks: binary→Gray conversion, `out_i = x_i ⊕
+/// x_{i+1}` with the top bit passed through. Linear, so the PPRM is
+/// specified symbolically (graycode20 would need a 2^20-row table).
+pub fn graycode(name: &'static str, width: usize) -> Benchmark {
+    let outputs: Vec<Pprm> = (0..width)
+        .map(|i| {
+            if i + 1 < width {
+                Pprm::from_terms(vec![Term::var(i), Term::var(i + 1)])
+            } else {
+                Pprm::var(i)
+            }
+        })
+        .collect();
+    Benchmark {
+        name,
+        description: "binary to Gray code conversion",
+        real_inputs: width,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Pprm(MultiPprm::from_outputs(outputs, width)),
+    }
+}
+
+/// The `mod#adder` benchmarks: two `bits`-wide registers `a` (high) and
+/// `b` (low); `b` is replaced by `(a + b) mod modulus` when both operands
+/// are below the modulus, and passed through otherwise (the don't-care
+/// completion). `mod32adder`/`mod64adder` have a full power-of-two
+/// modulus, so no completion is needed.
+pub fn mod_adder(name: &'static str, bits: usize, modulus: u64) -> Benchmark {
+    let width = 2 * bits;
+    let perm = Permutation::from_fn(width, |x| {
+        let b = x & ((1 << bits) - 1);
+        let a = x >> bits;
+        if a < modulus && b < modulus {
+            (a << bits) | (a + b) % modulus
+        } else {
+            x
+        }
+    })
+    .expect("modular addition is a bijection per fixed a");
+    Benchmark {
+        name,
+        description: "modular adder: b := (a + b) mod k",
+        real_inputs: width,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// The `4mod5`/`5mod5` benchmarks: Bennett-style embedding of the
+/// divisibility indicator — the top line XORs in `1` iff the value of the
+/// real inputs is divisible by `k`.
+pub fn mod_k_indicator(name: &'static str, inputs: usize, k: u64) -> Benchmark {
+    let width = inputs + 1;
+    let perm = Permutation::from_fn(width, |x| {
+        let value = x & ((1 << inputs) - 1);
+        x ^ (u64::from(value % k == 0) << inputs)
+    })
+    .expect("XOR embedding is a bijection");
+    Benchmark {
+        name,
+        description: "divisibility-by-k indicator XORed onto the garbage line",
+        real_inputs: inputs,
+        garbage_inputs: 1,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// The `shift#` benchmarks (Example 14): `n` data lines plus two select
+/// lines `s0, s1` (wires `n` and `n+1`); the data word is wraparound
+/// shifted by 0–3 positions — i.e. `x := (x + s0 + 2·s1) mod 2^n`, as in
+/// Examples 2 and 6 where a one-position shift of the value sequence is
+/// the mod-2ⁿ increment. The select lines pass through.
+///
+/// The PPRM is built symbolically from the ripple-carry recurrence, so
+/// `shift28` (30 wires) stays tiny: `y_0 = x_0 ⊕ s0`, `y_1 = x_1 ⊕ s1 ⊕
+/// x_0·s0`, and for `i ≥ 2` `y_i = x_i ⊕ x_2⋯x_{i−1}·c_2` with
+/// `c_2 = x_1·s1 ⊕ x_0·x_1·s0 ⊕ x_0·s0·s1`.
+pub fn shifter(name: &'static str, data_lines: usize) -> Benchmark {
+    assert!(data_lines >= 2, "shifter needs at least two data lines");
+    let width = data_lines + 2;
+    let s0 = data_lines;
+    let s1 = data_lines + 1;
+
+    let mut outputs: Vec<Pprm> = Vec::with_capacity(width);
+    // y0 = x0 ⊕ s0; carry c1 = x0·s0.
+    outputs.push(Pprm::from_terms(vec![Term::var(0), Term::var(s0)]));
+    let c1 = Pprm::from_terms(vec![Term::of(&[0, s0])]);
+    // y1 = x1 ⊕ s1 ⊕ c1; c2 = x1·s1 ⊕ x1·c1 ⊕ s1·c1.
+    let mut y1 = Pprm::from_terms(vec![Term::var(1), Term::var(s1)]);
+    y1.xor_assign(&c1);
+    outputs.push(y1);
+    let mut carry = Pprm::from_terms(vec![Term::of(&[1, s1])]);
+    carry.xor_assign(&c1.mul_term(Term::var(1)));
+    carry.xor_assign(&c1.mul_term(Term::var(s1)));
+    // y_i = x_i ⊕ c_i; c_{i+1} = x_i · c_i.
+    for i in 2..data_lines {
+        let mut y = Pprm::var(i);
+        y.xor_assign(&carry);
+        outputs.push(y);
+        carry = carry.mul_term(Term::var(i));
+    }
+    outputs.push(Pprm::var(s0));
+    outputs.push(Pprm::var(s1));
+
+    Benchmark {
+        name,
+        description: "wraparound shift of the data word by 0-3 positions under two selects",
+        real_inputs: width,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Pprm(MultiPprm::from_outputs(outputs, width)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graycode_semantics() {
+        let b = graycode("graycode6", 6);
+        let m = b.to_multi_pprm();
+        for x in 0..64u64 {
+            assert_eq!(m.eval(x), x ^ (x >> 1), "x={x}");
+        }
+    }
+
+    #[test]
+    fn graycode20_is_symbolic_but_tiny() {
+        let b = graycode("graycode20", 20);
+        assert_eq!(b.width(), 20);
+        assert_eq!(b.to_multi_pprm().total_terms(), 39);
+    }
+
+    #[test]
+    fn mod5adder_adds_mod_5() {
+        let b = mod_adder("mod5adder", 3, 5);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for a in 0..5u64 {
+            for bb in 0..5u64 {
+                let y = p.apply(a << 3 | bb);
+                assert_eq!(y >> 3, a, "a passes through");
+                assert_eq!(y & 7, (a + bb) % 5, "a={a} b={bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod32adder_is_full_adder() {
+        let b = mod_adder("mod32adder", 5, 32);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in (0..1024u64).step_by(37) {
+            let (a, bb) = (x >> 5, x & 31);
+            assert_eq!(p.apply(x), a << 5 | ((a + bb) & 31));
+        }
+    }
+
+    #[test]
+    fn four_mod_five_indicator() {
+        let b = mod_k_indicator("4mod5", 4, 5);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            let value = x & 15;
+            let expected_top = (x >> 4) ^ u64::from(value % 5 == 0);
+            assert_eq!(p.apply(x), value | expected_top << 4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn shifter_matches_add_mod_2n() {
+        let b = shifter("shift4", 4);
+        let m = b.to_multi_pprm();
+        for x in 0..64u64 {
+            let data = x & 15;
+            let k = (x >> 4 & 1) + 2 * (x >> 5 & 1);
+            let y = m.eval(x);
+            assert_eq!(y & 15, (data + k) & 15, "x={x:#08b}");
+            assert_eq!(y >> 4, x >> 4, "selects pass through");
+        }
+    }
+
+    #[test]
+    fn shifter_term_count_is_linear() {
+        // 9 terms per data output from i=2 up... the expansion stays small.
+        let b = shifter("shift28", 28);
+        assert_eq!(b.width(), 30);
+        let m = b.to_multi_pprm();
+        assert!(m.total_terms() < 4 * 30, "got {}", m.total_terms());
+    }
+
+    #[test]
+    fn shifter_example2_and_6_are_special_cases() {
+        // With selects hardwired via evaluation: s0=1, s1=0 → +1 (Example 6
+        // direction); data of 3 lines.
+        let b = shifter("shift3", 3);
+        let m = b.to_multi_pprm();
+        for d in 0..8u64 {
+            let x = d | 1 << 3; // s0 = 1
+            assert_eq!(m.eval(x) & 7, (d + 1) & 7);
+        }
+    }
+}

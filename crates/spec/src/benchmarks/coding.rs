@@ -1,0 +1,135 @@
+//! Coding-style benchmarks: hidden-weighted-bit (`hwb#`), Hamming
+//! encoders (`ham#`), and the `decod24` decoder.
+
+use super::{Benchmark, BenchmarkSpec};
+use crate::Permutation;
+
+/// The `hwb#` (hidden weighted bit) benchmarks: the input word is rotated
+/// left by its own Hamming weight. Rotation preserves weight, so the
+/// mapping is a permutation.
+pub fn hwb(name: &'static str, width: usize) -> Benchmark {
+    let mask = (1u64 << width) - 1;
+    let perm = Permutation::from_fn(width, |x| {
+        let w = x.count_ones() as usize % width;
+        if w == 0 {
+            x
+        } else {
+            ((x << w) | (x >> (width - w))) & mask
+        }
+    })
+    .expect("rotation by weight is a bijection");
+    Benchmark {
+        name,
+        description: "hidden weighted bit: rotate the word by its own weight",
+        real_inputs: width,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// The `ham#` benchmarks, realized as in-place Hamming single-error-
+/// correcting encoders: parity wires (at the power-of-two positions
+/// 1, 2, 4, … in 1-based numbering) are XORed with the parity of the
+/// data bits they cover.
+///
+/// The paper takes its `ham3`/`ham7` specifications from Maslov's
+/// benchmark page, which is no longer retrievable; this deterministic
+/// encoder definition preserves the benchmarks' role (coding functions
+/// of 3 and 7 wires) — see DESIGN.md §3.
+pub fn hamming_encoder(name: &'static str, width: usize) -> Benchmark {
+    let perm = Permutation::from_fn(width, |x| {
+        let mut y = x;
+        // 1-based positions; parity positions are powers of two.
+        let mut p = 1usize;
+        while p <= width {
+            let mut parity = 0u64;
+            for pos in 1..=width {
+                if pos != p && pos & p != 0 {
+                    parity ^= x >> (pos - 1) & 1;
+                }
+            }
+            y ^= parity << (p - 1);
+            p <<= 1;
+        }
+        y
+    })
+    .expect("XOR of data parities onto parity wires is a bijection");
+    Benchmark {
+        name,
+        description: "in-place Hamming parity encoder",
+        real_inputs: width,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// The `decod24` benchmark (Example 11): the paper's published 2:4
+/// decoder specification with two garbage inputs.
+pub fn decod24() -> Benchmark {
+    super::literature::decod24_published()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwb4_rotates_by_weight() {
+        let b = hwb("hwb4", 4);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        assert_eq!(p.apply(0b0001), 0b0010, "weight 1 → rotate 1");
+        assert_eq!(p.apply(0b0011), 0b1100, "weight 2 → rotate 2");
+        assert_eq!(p.apply(0b1011), 0b1101, "weight 3 → rotate 3");
+        assert_eq!(p.apply(0b1111), 0b1111, "weight 4 ≡ 0 mod 4");
+        assert_eq!(p.apply(0), 0);
+    }
+
+    #[test]
+    fn hwb_preserves_weight() {
+        let b = hwb("hwb5", 5);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            assert_eq!(p.apply(x).count_ones(), x.count_ones());
+        }
+    }
+
+    #[test]
+    fn ham7_zero_data_on_parity_wires_gives_codeword() {
+        let b = hamming_encoder("ham7", 7);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        // With parity wires (positions 1,2,4 → bits 0,1,3) zero at the
+        // input, the output is a valid Hamming codeword: every parity
+        // check (over ALL positions with bit p set) is even.
+        for data in 0..16u64 {
+            // Scatter 4 data bits into positions 3,5,6,7 (bits 2,4,5,6).
+            let x = (data & 1) << 2 | (data >> 1 & 1) << 4 | (data >> 2 & 1) << 5
+                | (data >> 3 & 1) << 6;
+            let y = p.apply(x);
+            for p_pos in [1usize, 2, 4] {
+                let check: u64 = (1..=7usize)
+                    .filter(|pos| pos & p_pos != 0)
+                    .map(|pos| y >> (pos - 1) & 1)
+                    .fold(0, |a, b| a ^ b);
+                assert_eq!(check, 0, "parity {p_pos} fails for data {data:#06b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ham3_is_involution_on_data() {
+        let b = hamming_encoder("ham3", 3);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        // Applying the encoder twice XORs each parity wire twice → identity.
+        for x in 0..8u64 {
+            assert_eq!(p.apply(p.apply(x)), x);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Counting and threshold benchmarks: `rd32`/`rd53`, `2of5`,
+//! `majority#`, `xor5`, `#one...` indicator functions.
+
+use rmrls_pprm::{MultiPprm, Pprm, Term};
+
+use super::{Benchmark, BenchmarkSpec};
+use crate::{embed_balanced, embed_with_width, TruthTable};
+
+/// The `rd` family (`rd32`, `rd53`): the output vector is the binary
+/// encoding of the number of ones in the input vector (Example 9),
+/// embedded with the ⌈log₂ p⌉ garbage rule.
+pub fn count_ones_benchmark(name: &'static str, inputs: usize) -> Benchmark {
+    let output_bits = (usize::BITS - inputs.leading_zeros()) as usize;
+    let table = TruthTable::from_fn(inputs, output_bits, |x| u64::from(x.count_ones()));
+    let e = crate::embed(&table);
+    Benchmark {
+        name,
+        description: "binary count of ones in the input vector",
+        real_inputs: e.real_inputs,
+        garbage_inputs: e.garbage_inputs,
+        spec: BenchmarkSpec::Perm(e.permutation),
+    }
+}
+
+/// The `2of5` benchmark: outputs 1 iff exactly two of the five inputs are
+/// 1. Embedded on 7 wires (5 real + 2 constant inputs) to match the
+/// published wire count.
+pub fn two_of_five() -> Benchmark {
+    let table = TruthTable::from_fn(5, 1, |x| u64::from(x.count_ones() == 2));
+    let e = embed_with_width(&table, 7);
+    Benchmark {
+        name: "2of5",
+        description: "exactly two of five inputs are one",
+        real_inputs: 5,
+        garbage_inputs: 2,
+        spec: BenchmarkSpec::Perm(e.permutation),
+    }
+}
+
+/// The `majority#` benchmarks (Example 10): 1 iff more than half the
+/// inputs are 1. `majority5` uses the paper's published specification;
+/// other widths use the deterministic balanced embedding.
+///
+/// # Panics
+///
+/// Panics if `inputs` is even (majority is only balanced for odd widths).
+pub fn majority(name: &'static str, inputs: usize) -> Benchmark {
+    assert!(inputs % 2 == 1, "majority needs an odd number of inputs");
+    if inputs == 5 {
+        return super::literature::majority5_published();
+    }
+    let threshold = inputs as u32 / 2 + 1;
+    let perm = embed_balanced(inputs, |x| x.count_ones() >= threshold);
+    Benchmark {
+        name,
+        description: "majority of the inputs",
+        real_inputs: inputs,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// The `#one...` indicator benchmarks (Example 12): top output bit is 1
+/// iff the input weight is in `weights`. `5one013` uses the paper's
+/// published specification; other instances use the deterministic
+/// balanced embedding.
+///
+/// # Panics
+///
+/// Panics if the indicator is not balanced.
+pub fn ones_indicator(name: &'static str, inputs: usize, weights: &[u32]) -> Benchmark {
+    if name == "5one013" {
+        return super::literature::five_one_013_published();
+    }
+    let weights = weights.to_vec();
+    let perm = embed_balanced(inputs, |x| weights.contains(&x.count_ones()));
+    Benchmark {
+        name,
+        description: "indicator of input weight membership",
+        real_inputs: inputs,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Perm(perm),
+    }
+}
+
+/// Parity-style benchmarks (`xor5`, `6one135`, `6one0246`): the top
+/// output line carries the XOR of all inputs (optionally complemented),
+/// the rest pass through. Specified symbolically — the PPRM is tiny.
+///
+/// `6one135` (weight ∈ {1,3,5}) *is* the parity of six inputs, and
+/// `6one0246` its complement, which is why the paper synthesizes them
+/// with 5 and 6 gates respectively.
+pub fn xor_parity(name: &'static str, inputs: usize, complement: bool) -> Benchmark {
+    let top = inputs - 1;
+    let mut outputs: Vec<Pprm> = (0..inputs).map(Pprm::var).collect();
+    let mut parity = Pprm::from_terms((0..inputs).map(Term::var).collect());
+    if complement {
+        parity.xor_term(Term::ONE);
+    }
+    outputs[top] = parity;
+    Benchmark {
+        name,
+        description: if complement {
+            "complemented parity of all inputs on the top line"
+        } else {
+            "parity of all inputs on the top line"
+        },
+        real_inputs: inputs,
+        garbage_inputs: 0,
+        spec: BenchmarkSpec::Pprm(MultiPprm::from_outputs(outputs, inputs)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd32_counts_ones() {
+        let b = count_ones_benchmark("rd32", 3);
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.garbage_inputs, 1);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        // Real outputs are the top 2 bits (2 real outputs, 2 garbage).
+        for x in 0..8u64 {
+            assert_eq!(p.apply(x) >> 2, u64::from(x.count_ones()), "x={x}");
+        }
+    }
+
+    #[test]
+    fn rd53_counts_ones() {
+        let b = count_ones_benchmark("rd53", 5);
+        assert_eq!(b.width(), 7);
+        assert_eq!(b.garbage_inputs, 2);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            assert_eq!(p.apply(x) >> 4, u64::from(x.count_ones()), "x={x}");
+        }
+    }
+
+    #[test]
+    fn two_of_five_indicator() {
+        let b = two_of_five();
+        assert_eq!(b.width(), 7);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            assert_eq!(p.apply(x) >> 6, u64::from(x.count_ones() == 2), "x={x}");
+        }
+    }
+
+    #[test]
+    fn majority3_top_bit() {
+        let b = majority("majority3", 3);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..8u64 {
+            assert_eq!(p.apply(x) >> 2, u64::from(x.count_ones() >= 2));
+        }
+    }
+
+    #[test]
+    fn five_one_245_balanced_indicator() {
+        let b = ones_indicator("5one245", 5, &[2, 4, 5]);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            let w = x.count_ones();
+            assert_eq!(p.apply(x) >> 4, u64::from([2, 4, 5].contains(&w)));
+        }
+    }
+
+    #[test]
+    fn xor5_is_parity_on_top_line() {
+        let b = xor_parity("xor5", 5, false);
+        let m = b.to_multi_pprm();
+        for x in 0..32u64 {
+            let y = m.eval(x);
+            assert_eq!(y & 0b1111, x & 0b1111, "low lines pass");
+            assert_eq!(y >> 4, u64::from(x.count_ones() % 2 == 1), "x={x}");
+        }
+    }
+
+    #[test]
+    fn six_one_0246_is_complemented_parity() {
+        let b = xor_parity("6one0246", 6, true);
+        let m = b.to_multi_pprm();
+        for x in 0..64u64 {
+            assert_eq!(m.eval(x) >> 5, u64::from(x.count_ones() % 2 == 0));
+        }
+    }
+}

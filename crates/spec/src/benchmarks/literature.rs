@@ -1,0 +1,302 @@
+//! Benchmarks with explicit specifications published in the paper or in
+//! the surrounding literature.
+
+use super::{Benchmark, BenchmarkSpec};
+use crate::Permutation;
+
+fn perm_benchmark(
+    name: &'static str,
+    description: &'static str,
+    real_inputs: usize,
+    garbage_inputs: usize,
+    map: Vec<u64>,
+) -> Benchmark {
+    Benchmark {
+        name,
+        description,
+        real_inputs,
+        garbage_inputs,
+        spec: BenchmarkSpec::Perm(
+            Permutation::from_vec(map).expect("published specification is reversible"),
+        ),
+    }
+}
+
+/// The paper's worked Examples 1–8 (§V-C), with the exact published
+/// specifications.
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=8`.
+pub fn paper_example(n: usize) -> Benchmark {
+    match n {
+        1 => perm_benchmark(
+            "ex1",
+            "Example 1 of [7]",
+            3,
+            0,
+            vec![1, 0, 3, 2, 5, 7, 4, 6],
+        ),
+        2 => perm_benchmark(
+            "ex2",
+            "wraparound right shift by one, 3 variables",
+            3,
+            0,
+            vec![7, 0, 1, 2, 3, 4, 5, 6],
+        ),
+        3 => perm_benchmark(
+            "ex3",
+            "Fredkin gate realized with Toffoli gates",
+            3,
+            0,
+            vec![0, 1, 2, 3, 4, 6, 5, 7],
+        ),
+        4 => perm_benchmark(
+            "ex4",
+            "swap of two positions, 3 variables",
+            3,
+            0,
+            vec![0, 1, 2, 4, 3, 5, 6, 7],
+        ),
+        5 => perm_benchmark(
+            "ex5",
+            "swap of two positions, 4 variables",
+            4,
+            0,
+            vec![0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15],
+        ),
+        6 => perm_benchmark(
+            "ex6",
+            "wraparound left shift by one, 3 variables",
+            3,
+            0,
+            vec![1, 2, 3, 4, 5, 6, 7, 0],
+        ),
+        7 => perm_benchmark(
+            "ex7",
+            "wraparound left shift by one, 4 variables",
+            4,
+            0,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0],
+        ),
+        8 => perm_benchmark(
+            "ex8",
+            "augmented full adder (Fig. 2b)",
+            3,
+            1,
+            vec![0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5],
+        ),
+        other => panic!("paper example {other} does not exist (valid: 1..=8)"),
+    }
+}
+
+/// The `3_17` benchmark of [13]: the worst-case 3-variable function
+/// (requires the most gates under optimal NCT synthesis).
+pub fn three_17() -> Benchmark {
+    perm_benchmark(
+        "3_17",
+        "3-variable worst-case benchmark of Maslov's suite",
+        3,
+        0,
+        vec![7, 1, 4, 3, 0, 2, 6, 5],
+    )
+}
+
+/// The `4_49` benchmark of [13].
+pub fn four_49() -> Benchmark {
+    perm_benchmark(
+        "4_49",
+        "4-variable benchmark of Maslov's suite",
+        4,
+        0,
+        vec![15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11],
+    )
+}
+
+/// The `alu` benchmark (Example 13, Fig. 9): three control signals select
+/// a logic operation applied to data inputs A and B; the published
+/// 5-variable reversible specification.
+pub fn alu() -> Benchmark {
+    perm_benchmark(
+        "alu",
+        "ALU with 3 control signals and 2 data inputs (Fig. 9)",
+        5,
+        0,
+        vec![
+            16, 17, 18, 19, 0, 20, 21, 22, 23, 24, 25, 11, 12, 26, 27, 15, 28, 13, 14, 29, 8, 9,
+            10, 30, 31, 1, 2, 3, 4, 5, 6, 7,
+        ],
+    )
+}
+
+/// The `decod24` benchmark (Example 11): a 2:4 decoder with two garbage
+/// inputs; the published 4-variable specification.
+pub fn decod24_published() -> Benchmark {
+    perm_benchmark(
+        "decod24",
+        "2:4 decoder (Example 11)",
+        2,
+        2,
+        vec![1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15],
+    )
+}
+
+/// The `majority5` benchmark (Example 10): the published 5-variable
+/// specification whose top output bit is the majority of the five inputs.
+pub fn majority5_published() -> Benchmark {
+    perm_benchmark(
+        "majority5",
+        "majority of five inputs (Example 10)",
+        5,
+        0,
+        vec![
+            0, 1, 2, 3, 4, 5, 6, 27, 7, 8, 9, 28, 10, 29, 30, 31, 11, 12, 13, 16, 14, 17, 18, 19,
+            15, 20, 21, 22, 23, 24, 25, 26,
+        ],
+    )
+}
+
+/// The `5one013` benchmark (Example 12): the published 5-variable
+/// specification whose top output bit indicates an input weight of 0, 1,
+/// or 3.
+pub fn five_one_013_published() -> Benchmark {
+    perm_benchmark(
+        "5one013",
+        "indicator of input weight ∈ {0,1,3} (Example 12)",
+        5,
+        0,
+        vec![
+            16, 17, 18, 3, 19, 4, 5, 20, 21, 6, 7, 22, 8, 23, 24, 9, 25, 10, 11, 26, 12, 27, 28,
+            13, 14, 29, 30, 15, 31, 0, 1, 2,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example2_is_decrement() {
+        let b = paper_example(2);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..8u64 {
+            assert_eq!(p.apply(x), x.wrapping_sub(1) & 7);
+        }
+    }
+
+    #[test]
+    fn example6_is_increment() {
+        let b = paper_example(6);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..8u64 {
+            assert_eq!(p.apply(x), (x + 1) & 7);
+        }
+    }
+
+    #[test]
+    fn example3_is_fredkin() {
+        let b = paper_example(3);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        // Swaps bits 0 and 1 when bit 2 is set.
+        for x in 0..8u64 {
+            let expect = if x & 4 != 0 && (x & 1) != (x >> 1 & 1) {
+                x ^ 0b011
+            } else {
+                x
+            };
+            assert_eq!(p.apply(x), expect, "x={x}");
+        }
+    }
+
+    #[test]
+    fn example8_real_outputs_are_the_adder() {
+        // Fig. 2(b): output bits (c_o, s_o, p_o, g_o) = (3, 2, 1, 0).
+        let b = paper_example(8);
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..8u64 {
+            let y = p.apply(x);
+            let ones = x.count_ones() as u64;
+            assert_eq!(y >> 3 & 1, ones >> 1, "carry at {x}");
+            assert_eq!(y >> 2 & 1, ones & 1, "sum at {x}");
+            assert_eq!(y >> 1 & 1, (x ^ (x >> 1)) & 1, "propagate at {x}");
+        }
+    }
+
+    #[test]
+    fn majority5_top_bit_is_majority() {
+        let b = majority5_published();
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            assert_eq!(p.apply(x) >> 4, u64::from(x.count_ones() >= 3), "x={x}");
+        }
+    }
+
+    #[test]
+    fn five_one_013_top_bit_is_indicator() {
+        let b = five_one_013_published();
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            let w = x.count_ones();
+            assert_eq!(
+                p.apply(x) >> 4,
+                u64::from(w == 0 || w == 1 || w == 3),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn alu_top_bit_matches_fig9() {
+        let b = alu();
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..32u64 {
+            let a = x & 1;
+            let bb = x >> 1 & 1;
+            let control = x >> 2 & 7; // C0 C1 C2 with C0 the MSB
+            let f = match control {
+                0 => 1,
+                1 => a | bb,
+                2 => (a ^ 1) | (bb ^ 1),
+                3 => a ^ bb,
+                4 => (a ^ bb) ^ 1,
+                5 => a & bb,
+                6 => (a ^ 1) & (bb ^ 1),
+                7 => 0,
+                _ => unreachable!(),
+            };
+            assert_eq!(p.apply(x) >> 4, f, "x={x:#07b}");
+        }
+    }
+
+    #[test]
+    fn decod24_low_rows_are_one_hot() {
+        let b = decod24_published();
+        let BenchmarkSpec::Perm(p) = &b.spec else {
+            panic!()
+        };
+        for x in 0..4u64 {
+            assert_eq!(p.apply(x), 1 << x, "decoder row {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn invalid_example_panics() {
+        let _ = paper_example(9);
+    }
+}

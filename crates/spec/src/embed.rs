@@ -1,0 +1,318 @@
+//! Irreversible→reversible embedding (§II-A of the paper).
+//!
+//! An irreversible function is made reversible by appending garbage
+//! outputs until every output word is unique, then adding constant
+//! garbage inputs to square the table. If the most-repeated output word
+//! occurs `p` times, `⌈log₂ p⌉` garbage outputs suffice.
+
+use crate::{Permutation, TruthTable};
+
+/// The result of embedding an irreversible [`TruthTable`] into a
+/// reversible specification.
+///
+/// Wire layout of the embedded permutation (width `w`):
+///
+/// - **input word**: real inputs in bits `0..num_inputs`, constant-0
+///   garbage inputs above them;
+/// - **output word**: garbage outputs in the low bits, real outputs in
+///   bits `w − num_outputs..w` — matching the paper's Fig. 2(b), where
+///   the adder's real outputs `(c_o, s_o, p_o)` occupy the high bit
+///   positions and the garbage output the lowest.
+///
+/// Don't-care rows (those with a nonzero constant input) are completed
+/// deterministically in ascending order, so embeddings are reproducible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    /// The reversible specification.
+    pub permutation: Permutation,
+    /// Number of real (non-constant) inputs.
+    pub real_inputs: usize,
+    /// Number of added constant-0 garbage inputs.
+    pub garbage_inputs: usize,
+    /// Number of real outputs (stored in the high bits of output words).
+    pub real_outputs: usize,
+    /// Number of garbage outputs (stored in the low bits).
+    pub garbage_outputs: usize,
+}
+
+impl Embedding {
+    /// Circuit width of the embedded function.
+    pub fn width(&self) -> usize {
+        self.permutation.num_vars()
+    }
+
+    /// Extracts the real-output word from an embedded output word.
+    pub fn real_output(&self, word: u64) -> u64 {
+        word >> self.garbage_outputs
+    }
+}
+
+/// Embeds a (possibly irreversible) truth table into a reversible
+/// permutation per the paper's rule: `⌈log₂ p⌉` garbage outputs for
+/// maximum output multiplicity `p`, plus constant inputs to square the
+/// table.
+///
+/// The embedding is deterministic: the `k`-th occurrence (in input
+/// order) of a repeated output word receives garbage value `k`, and
+/// don't-care rows are filled with the unused output words in ascending
+/// order.
+///
+/// ```
+/// use rmrls_spec::{embed, TruthTable};
+///
+/// // Single-output AND of two inputs: p = 3 zeros → 2 garbage outputs.
+/// let and = TruthTable::from_fn(2, 1, |x| u64::from(x == 3));
+/// let e = embed(&and);
+/// assert_eq!(e.garbage_outputs, 2);
+/// assert_eq!(e.width(), 3);
+/// // Real output (bit 2) reproduces AND on real-input rows.
+/// for x in 0..4u64 {
+///     assert_eq!(e.real_output(e.permutation.apply(x)), u64::from(x == 3));
+/// }
+/// ```
+pub fn embed(table: &TruthTable) -> Embedding {
+    embed_impl(table, None, CompletionStrategy::HammingGreedy)
+}
+
+/// Like [`embed`], but forces the embedded width to `width` (adding extra
+/// garbage inputs/outputs), matching benchmarks published with wider
+/// registers than strictly necessary (e.g. `2of5` on 7 wires).
+///
+/// # Panics
+///
+/// Panics if `width` is smaller than the minimum embedding width.
+pub fn embed_with_width(table: &TruthTable, width: usize) -> Embedding {
+    embed_impl(table, Some(width), CompletionStrategy::HammingGreedy)
+}
+
+/// How garbage values and don't-care rows are completed during
+/// embedding. Different strategies produce different (all valid)
+/// reversible specifications whose synthesis difficulty can differ
+/// substantially; `rmrls_core::synthesize_embedded` races a portfolio of
+/// them, approximating the paper's §VI dynamic don't-care assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompletionStrategy {
+    /// Choose the free word closest in Hamming distance to the input
+    /// word (embeds near the identity). The default.
+    #[default]
+    HammingGreedy,
+    /// Assign free garbage values / words in ascending order
+    /// (the paper-era sequential completion).
+    Ascending,
+    /// Assign free garbage values / words in descending order.
+    Descending,
+    /// Hamming distance with ties broken toward larger words.
+    HammingGreedyHighTies,
+}
+
+/// [`embed`] with an explicit completion strategy and optional forced
+/// width.
+///
+/// # Panics
+///
+/// Panics if `width` is given and is below the minimum embedding width.
+pub fn embed_with_strategy(
+    table: &TruthTable,
+    width: Option<usize>,
+    strategy: CompletionStrategy,
+) -> Embedding {
+    embed_impl(table, width, strategy)
+}
+
+fn embed_impl(
+    table: &TruthTable,
+    forced_width: Option<usize>,
+    strategy: CompletionStrategy,
+) -> Embedding {
+    let p = table.max_output_multiplicity();
+    let min_garbage_outputs = if p <= 1 {
+        0
+    } else {
+        (usize::BITS - (p - 1).leading_zeros()) as usize
+    };
+    let real_outputs = table.num_outputs();
+    let min_width = table.num_inputs().max(real_outputs + min_garbage_outputs);
+    let width = match forced_width {
+        Some(w) => {
+            assert!(
+                w >= min_width,
+                "forced width {w} below the minimum embedding width {min_width}"
+            );
+            w
+        }
+        None => min_width,
+    };
+    let garbage_outputs = width - real_outputs;
+    let garbage_inputs = width - table.num_inputs();
+
+    let size = 1usize << width;
+    let mut map = vec![u64::MAX; size];
+    let mut used = vec![false; size];
+
+    // Strategy-dependent choice among free output words.
+    let pick = |x: u64, free: &mut dyn Iterator<Item = u64>| -> u64 {
+        match strategy {
+            CompletionStrategy::HammingGreedy => free
+                .min_by_key(|&w| ((w ^ x).count_ones(), w))
+                .expect("a free word exists"),
+            CompletionStrategy::Ascending => free.min().expect("a free word exists"),
+            CompletionStrategy::Descending => free.max().expect("a free word exists"),
+            CompletionStrategy::HammingGreedyHighTies => free
+                .min_by_key(|&w| ((w ^ x).count_ones(), u64::MAX - w))
+                .expect("a free word exists"),
+        }
+    };
+
+    // Care rows (constant inputs 0): among the free garbage values for
+    // this row's real output, pick per strategy — embeddings near the
+    // identity synthesize into far smaller circuits.
+    for x in 0..1u64 << table.num_inputs() {
+        let real = table.row(x);
+        let word = pick(
+            x,
+            &mut (0..1u64 << garbage_outputs)
+                .map(|g| real << garbage_outputs | g)
+                .filter(|&w| !used[w as usize]),
+        );
+        map[x as usize] = word;
+        used[word as usize] = true;
+    }
+
+    // Don't-care rows: assign each remaining input a free output word
+    // per strategy (deterministic in input order).
+    for x in 0..size {
+        if map[x] != u64::MAX {
+            continue;
+        }
+        let word = pick(
+            x as u64,
+            &mut (0..size as u64).filter(|&w| !used[w as usize]),
+        );
+        map[x] = word;
+        used[word as usize] = true;
+    }
+
+    let permutation =
+        Permutation::from_vec(map).expect("embedding always produces a bijection");
+    Embedding {
+        permutation,
+        real_inputs: table.num_inputs(),
+        garbage_inputs,
+        real_outputs,
+        garbage_outputs,
+    }
+}
+
+/// Embeds a *balanced* single-output function into a permutation of the
+/// same width with **zero** garbage inputs: the function value appears on
+/// the top output bit, and the low bits hold the rank of the input within
+/// its value class. Used for the paper's new benchmarks (`majority5`,
+/// `5one245`, …), which are balanced by construction.
+///
+/// # Panics
+///
+/// Panics if the ON-set does not contain exactly half the assignments.
+pub fn embed_balanced(num_vars: usize, f: impl Fn(u64) -> bool) -> Permutation {
+    let size = 1usize << num_vars;
+    let half = size / 2;
+    let on_count = (0..size as u64).filter(|&x| f(x)).count();
+    assert_eq!(
+        on_count, half,
+        "function is not balanced: {on_count} of {size} assignments are ON"
+    );
+    let mut used = vec![false; size];
+    let map: Vec<u64> = (0..size as u64)
+        .map(|x| {
+            let top = u64::from(f(x)) << (num_vars - 1);
+            // Closest free word whose top bit carries the function value.
+            let word = (0..half as u64)
+                .map(|low| top | low)
+                .filter(|&w| !used[w as usize])
+                .min_by_key(|&w| ((w ^ x).count_ones(), w))
+                .expect("half the words carry each value");
+            used[word as usize] = true;
+            word
+        })
+        .collect();
+    Permutation::from_vec(map).expect("balanced embedding is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn augmented_adder() -> TruthTable {
+        TruthTable::from_fn(3, 3, |x| {
+            let ones = x.count_ones() as u64;
+            (ones >> 1) << 2 | (ones & 1) << 1 | u64::from((x ^ (x >> 1)) & 1 == 1)
+        })
+    }
+
+    #[test]
+    fn adder_needs_one_garbage_output_and_input() {
+        // Fig. 2: p = 2 → one garbage output, one constant input.
+        let e = embed(&augmented_adder());
+        assert_eq!(e.garbage_outputs, 1);
+        assert_eq!(e.garbage_inputs, 1);
+        assert_eq!(e.width(), 4);
+    }
+
+    #[test]
+    fn adder_embedding_preserves_real_outputs() {
+        let t = augmented_adder();
+        let e = embed(&t);
+        for x in 0..8u64 {
+            assert_eq!(e.real_output(e.permutation.apply(x)), t.row(x), "row {x}");
+        }
+    }
+
+    #[test]
+    fn reversible_input_needs_no_garbage() {
+        let t = TruthTable::from_rows(2, 2, vec![2, 0, 3, 1]);
+        let e = embed(&t);
+        assert_eq!(e.garbage_outputs, 0);
+        assert_eq!(e.garbage_inputs, 0);
+        assert_eq!(e.permutation.as_slice(), &[2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn garbage_count_follows_log2_rule() {
+        // Constant-0 of 3 inputs: p = 8 → 3 garbage outputs.
+        let t = TruthTable::from_fn(3, 1, |_| 0);
+        let e = embed(&t);
+        assert_eq!(e.garbage_outputs, 3);
+        assert_eq!(e.width(), 4, "1 real + 3 garbage outputs");
+        // Multiplicity 5 → ⌈log₂ 5⌉ = 3.
+        let t5 = TruthTable::from_fn(3, 2, |x| u64::from(x >= 5));
+        assert_eq!(embed(&t5).garbage_outputs, 3);
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let t = TruthTable::from_fn(4, 2, |x| x % 3);
+        assert_eq!(embed(&t), embed(&t));
+    }
+
+    #[test]
+    fn balanced_embedding_parity() {
+        let p = embed_balanced(4, |x| x.count_ones() % 2 == 1);
+        // Top output bit equals the parity on every row.
+        for x in 0..16u64 {
+            assert_eq!(p.apply(x) >> 3, u64::from(x.count_ones() % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn balanced_embedding_majority5() {
+        let p = embed_balanced(5, |x| x.count_ones() >= 3);
+        for x in 0..32u64 {
+            assert_eq!(p.apply(x) >> 4, u64::from(x.count_ones() >= 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not balanced")]
+    fn unbalanced_function_panics() {
+        let _ = embed_balanced(3, |x| x == 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Text formats for specifications: `.perm` permutation files and `.tt`
+//! truth-table files.
+//!
+//! Both are line-oriented with `#` comments. A `.perm` file lists the
+//! output word of every input word in order (the paper's
+//! `{1, 0, 7, 2, …}` notation — braces and commas are accepted and
+//! ignored). A `.tt` file starts with a header line `inputs outputs` and
+//! then lists `2^inputs` output words:
+//!
+//! ```text
+//! # the paper's Fig. 2(a): augmented full adder
+//! 3 3
+//! 0 3 3 4
+//! 2 5 5 6
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{InvalidSpecError, Permutation, TruthTable};
+
+/// Error parsing a `.perm` or `.tt` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpecError {
+    /// A token was not a number.
+    BadToken {
+        /// The offending token.
+        token: String,
+    },
+    /// The header of a `.tt` file is malformed.
+    BadHeader,
+    /// The number of rows does not match the declared width.
+    BadRowCount {
+        /// Rows expected from the header/width.
+        expected: usize,
+        /// Rows found.
+        found: usize,
+    },
+    /// The values do not form a reversible specification.
+    Invalid(InvalidSpecError),
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::BadToken { token } => write!(f, "bad number '{token}'"),
+            ParseSpecError::BadHeader => write!(f, "expected an 'inputs outputs' header"),
+            ParseSpecError::BadRowCount { expected, found } => {
+                write!(f, "expected {expected} rows, found {found}")
+            }
+            ParseSpecError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParseSpecError {}
+
+#[doc(hidden)]
+impl From<InvalidSpecError> for ParseSpecError {
+    fn from(e: InvalidSpecError) -> Self {
+        ParseSpecError::Invalid(e)
+    }
+}
+
+/// Strips comments and collects numeric tokens.
+fn tokens(text: &str) -> Result<Vec<u64>, ParseSpecError> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .flat_map(|l| {
+            l.split(|c: char| c.is_whitespace() || c == ',' || c == '{' || c == '}')
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+        })
+        .map(|t| t.parse::<u64>().map_err(|_| ParseSpecError::BadToken { token: t }))
+        .collect()
+}
+
+/// Parses a `.perm` document into a permutation.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] on bad tokens or a non-reversible table.
+///
+/// ```
+/// use rmrls_spec::formats;
+///
+/// let p = formats::parse_permutation("# Fig. 1\n{1, 0, 7, 2, 3, 4, 5, 6}\n")?;
+/// assert_eq!(p.apply(2), 7);
+/// # Ok::<(), formats::ParseSpecError>(())
+/// ```
+pub fn parse_permutation(text: &str) -> Result<Permutation, ParseSpecError> {
+    Ok(Permutation::from_vec(tokens(text)?)?)
+}
+
+/// Serializes a permutation in the paper's brace notation, one file line.
+pub fn write_permutation(perm: &Permutation) -> String {
+    format!("{perm}\n")
+}
+
+/// Parses a `.tt` document (header `inputs outputs`, then `2^inputs`
+/// output words) into a truth table.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] on a malformed header, a wrong row count,
+/// or out-of-range output words (the latter panics inside
+/// `TruthTable::from_rows` are converted beforehand).
+pub fn parse_truth_table(text: &str) -> Result<TruthTable, ParseSpecError> {
+    let values = tokens(text)?;
+    let [inputs, outputs, rest @ ..] = values.as_slice() else {
+        return Err(ParseSpecError::BadHeader);
+    };
+    let (inputs, outputs) = (*inputs as usize, *outputs as usize);
+    if inputs == 0 || inputs > 24 || outputs == 0 || outputs > 63 {
+        return Err(ParseSpecError::BadHeader);
+    }
+    let expected = 1usize << inputs;
+    if rest.len() != expected {
+        return Err(ParseSpecError::BadRowCount {
+            expected,
+            found: rest.len(),
+        });
+    }
+    let limit = 1u64 << outputs;
+    for &r in rest {
+        if r >= limit {
+            return Err(ParseSpecError::BadToken {
+                token: r.to_string(),
+            });
+        }
+    }
+    Ok(TruthTable::from_rows(inputs, outputs, rest.to_vec()))
+}
+
+/// Serializes a truth table in `.tt` syntax.
+pub fn write_truth_table(table: &TruthTable) -> String {
+    let mut out = format!("{} {}\n", table.num_inputs(), table.num_outputs());
+    for chunk in table.rows().chunks(8) {
+        let words: Vec<String> = chunk.iter().map(u64::to_string).collect();
+        out.push_str(&words.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_roundtrip() {
+        let p = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6]).unwrap();
+        let text = write_permutation(&p);
+        assert_eq!(parse_permutation(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn permutation_accepts_plain_and_braced() {
+        let a = parse_permutation("1 0 3 2").unwrap();
+        let b = parse_permutation("{1, 0, 3, 2}").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_comments_ignored() {
+        let p = parse_permutation("# swap\n1 0 # tail comment\n").unwrap();
+        assert_eq!(p.num_vars(), 1);
+    }
+
+    #[test]
+    fn permutation_rejects_garbage() {
+        assert!(matches!(
+            parse_permutation("1 0 x"),
+            Err(ParseSpecError::BadToken { .. })
+        ));
+        assert!(matches!(
+            parse_permutation("0 0"),
+            Err(ParseSpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn truth_table_roundtrip() {
+        let t = TruthTable::from_fn(3, 2, |x| u64::from(x.count_ones()));
+        let text = write_truth_table(&t);
+        assert_eq!(parse_truth_table(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn truth_table_header_errors() {
+        assert!(matches!(parse_truth_table(""), Err(ParseSpecError::BadHeader)));
+        assert!(matches!(parse_truth_table("1"), Err(ParseSpecError::BadHeader)));
+        assert!(matches!(
+            parse_truth_table("2 1 0 1 0"),
+            Err(ParseSpecError::BadRowCount { expected: 4, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn truth_table_range_check() {
+        assert!(matches!(
+            parse_truth_table("1 1 0 2"),
+            Err(ParseSpecError::BadToken { .. })
+        ));
+    }
+}

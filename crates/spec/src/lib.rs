@@ -1,0 +1,44 @@
+//! Reversible function specifications for the RMRLS synthesizer.
+//!
+//! Provides everything the paper's evaluation needs on the input side:
+//!
+//! - [`Permutation`] — completely specified reversible functions (§II-A),
+//!   with validation, composition, parity, and lexicographic ranking for
+//!   the exhaustive 3-variable sweep of Table I;
+//! - [`TruthTable`] — multi-output, possibly irreversible functions;
+//! - [`embed`] / [`embed_balanced`] — the irreversible→reversible
+//!   embedding with the paper's `⌈log₂ p⌉` garbage-output rule (§II-A,
+//!   Fig. 2);
+//! - [`benchmarks`] — the full Table IV suite and the worked Examples
+//!   1–8, including the explicit specifications published in the paper;
+//! - [`random_permutation`] / [`random_circuit_spec`] — the random
+//!   workload generators of Tables II–III and V–VII (§V-B, §V-E).
+//!
+//! # Example
+//!
+//! ```
+//! use rmrls_spec::{benchmarks, Permutation};
+//!
+//! let fig1 = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6])?;
+//! let pprm = fig1.to_multi_pprm();
+//! assert_eq!(pprm.output(0).to_string(), "1 ⊕ a");
+//!
+//! let rd53 = benchmarks::find("rd53").expect("suite benchmark");
+//! assert_eq!(rd53.width(), 7);
+//! # Ok::<(), rmrls_spec::InvalidSpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod embed;
+pub mod formats;
+mod perm;
+mod random;
+mod truth_table;
+
+pub use embed::{embed, embed_balanced, embed_with_strategy, embed_with_width, CompletionStrategy, Embedding};
+pub use perm::{InvalidSpecError, Permutation};
+pub use random::{random_circuit, random_circuit_spec, random_gate, random_permutation, GateLibrary};
+pub use truth_table::TruthTable;

@@ -1,0 +1,147 @@
+//! Random workload generation for the paper's experiments.
+//!
+//! Tables II–III use uniformly random reversible functions (random
+//! permutations); Tables V–VII use random reversible *circuits* — a
+//! prescribed number of gates drawn from the GT or NCT library — whose
+//! simulated specification is then re-synthesized (§V-E).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use rmrls_circuit::{Circuit, Gate};
+
+use crate::Permutation;
+
+/// The gate library used when generating random circuits (§V-E).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GateLibrary {
+    /// Generalized Toffoli gates with any number of control bits.
+    #[default]
+    Gt,
+    /// NOT, CNOT and 3-bit Toffoli gates only.
+    Nct,
+}
+
+/// Draws a uniformly random permutation of `{0..2^num_vars}` — a random
+/// completely specified reversible function (Tables II–III).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rmrls_spec::random_permutation;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let p = random_permutation(4, &mut rng);
+/// assert_eq!(p.num_vars(), 4);
+/// ```
+pub fn random_permutation(num_vars: usize, rng: &mut impl Rng) -> Permutation {
+    let mut map: Vec<u64> = (0..1u64 << num_vars).collect();
+    map.shuffle(rng);
+    Permutation::from_vec(map).expect("a shuffle is a bijection")
+}
+
+/// Draws a single random gate from the library over `width` wires.
+///
+/// For the GT library the number of control bits is itself drawn
+/// uniformly from `0..width`; for NCT it is drawn from `{0, 1, 2}`.
+pub fn random_gate(width: usize, library: GateLibrary, rng: &mut impl Rng) -> Gate {
+    let max_controls = match library {
+        GateLibrary::Gt => width - 1,
+        GateLibrary::Nct => (width - 1).min(2),
+    };
+    let num_controls = rng.random_range(0..=max_controls);
+    let target = rng.random_range(0..width);
+    let mut others: Vec<usize> = (0..width).filter(|&w| w != target).collect();
+    others.shuffle(rng);
+    others.truncate(num_controls);
+    Gate::toffoli(&others, target)
+}
+
+/// Builds a random reversible circuit with exactly `num_gates` gates
+/// drawn from the library, as in the scalability experiments (§V-E):
+/// gates are picked at random and concatenated.
+pub fn random_circuit(
+    width: usize,
+    num_gates: usize,
+    library: GateLibrary,
+    rng: &mut impl Rng,
+) -> Circuit {
+    let mut c = Circuit::new(width);
+    for _ in 0..num_gates {
+        c.push(random_gate(width, library, rng));
+    }
+    c
+}
+
+/// Generates a random reversible *specification* known to be realizable
+/// in at most `num_gates` gates, by simulating a random circuit
+/// (Tables V–VII). Returns both the specification and the generating
+/// circuit (whose gate count upper-bounds the optimum).
+pub fn random_circuit_spec(
+    width: usize,
+    num_gates: usize,
+    library: GateLibrary,
+    rng: &mut impl Rng,
+) -> (Permutation, Circuit) {
+    let c = random_circuit(width, num_gates, library, rng);
+    (Permutation::from_circuit(&c), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_permutation_is_valid_and_seeded() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let pa = random_permutation(5, &mut a);
+        let pb = random_permutation(5, &mut b);
+        assert_eq!(pa, pb, "same seed, same permutation");
+        assert_eq!(pa.num_vars(), 5);
+    }
+
+    #[test]
+    fn random_permutations_differ_across_seeds() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(random_permutation(5, &mut a), random_permutation(5, &mut b));
+    }
+
+    #[test]
+    fn nct_gates_have_at_most_two_controls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let g = random_gate(8, GateLibrary::Nct, &mut rng);
+            assert!(g.control_count() <= 2, "{g}");
+        }
+    }
+
+    #[test]
+    fn gt_gates_use_full_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let max = (0..500)
+            .map(|_| random_gate(6, GateLibrary::Gt, &mut rng).control_count())
+            .max()
+            .unwrap();
+        assert_eq!(max, 5, "GT library should produce wide gates");
+    }
+
+    #[test]
+    fn random_circuit_has_requested_gates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = random_circuit(6, 15, GateLibrary::Gt, &mut rng);
+        assert_eq!(c.gate_count(), 15);
+        assert_eq!(c.width(), 6);
+    }
+
+    #[test]
+    fn circuit_spec_matches_circuit() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (p, c) = random_circuit_spec(5, 10, GateLibrary::Nct, &mut rng);
+        for x in 0..32 {
+            assert_eq!(p.apply(x), c.apply(x));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-output, possibly irreversible truth tables.
+
+use std::fmt;
+
+use crate::Permutation;
+
+/// A completely specified Boolean function with `num_inputs` inputs and
+/// `num_outputs` outputs, stored as one output word per input assignment.
+///
+/// Unlike [`Permutation`], a `TruthTable` need not be reversible — it is
+/// the starting point for the irreversible→reversible
+/// [embedding](crate::embed) of §II-A.
+///
+/// ```
+/// use rmrls_spec::TruthTable;
+///
+/// // Full adder: carry and sum of three input bits.
+/// let fa = TruthTable::from_fn(3, 2, |x| {
+///     let ones = x.count_ones() as u64;
+///     (ones >> 1) << 1 | (ones & 1)
+/// });
+/// assert_eq!(fa.row(0b111), 0b11);
+/// assert!(!fa.is_reversible());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_inputs: usize,
+    num_outputs: usize,
+    rows: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Builds a table by evaluating `f` on every input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any produced output word has bits above `num_outputs`.
+    pub fn from_fn(num_inputs: usize, num_outputs: usize, mut f: impl FnMut(u64) -> u64) -> Self {
+        let rows: Vec<u64> = (0..1u64 << num_inputs).map(&mut f).collect();
+        TruthTable::from_rows(num_inputs, num_outputs, rows)
+    }
+
+    /// Wraps an explicit row table (`rows[x]` = output word for input `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != 2^num_inputs` or an output word exceeds
+    /// `num_outputs` bits.
+    pub fn from_rows(num_inputs: usize, num_outputs: usize, rows: Vec<u64>) -> Self {
+        assert_eq!(rows.len(), 1usize << num_inputs, "row count mismatch");
+        let limit = if num_outputs >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_outputs) - 1
+        };
+        for (x, &r) in rows.iter().enumerate() {
+            assert!(r <= limit, "row {x} output {r:#b} exceeds {num_outputs} bits");
+        }
+        TruthTable {
+            num_inputs,
+            num_outputs,
+            rows,
+        }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output variables.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The output word for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 2^num_inputs`.
+    pub fn row(&self, x: u64) -> u64 {
+        self.rows[x as usize]
+    }
+
+    /// All rows in input order.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// The single-output restriction to output bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= num_outputs`.
+    pub fn output_column(&self, bit: usize) -> Vec<bool> {
+        assert!(bit < self.num_outputs, "output bit {bit} out of range");
+        self.rows.iter().map(|&r| r >> bit & 1 == 1).collect()
+    }
+
+    /// The largest number of inputs mapping to the same output word — the
+    /// `p` of the paper's garbage-output rule `g = ⌈log₂ p⌉`.
+    pub fn max_output_multiplicity(&self) -> usize {
+        let mut counts = std::collections::HashMap::new();
+        for &r in &self.rows {
+            *counts.entry(r).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the table is already a reversible specification (square and
+    /// bijective).
+    pub fn is_reversible(&self) -> bool {
+        self.num_inputs == self.num_outputs && self.max_output_multiplicity() <= 1
+    }
+
+    /// Converts a reversible table into a [`Permutation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`InvalidSpecError`](crate::InvalidSpecError)
+    /// if the table is not bijective or not square.
+    pub fn to_permutation(&self) -> Result<Permutation, crate::InvalidSpecError> {
+        if self.num_inputs != self.num_outputs {
+            return Err(crate::InvalidSpecError::BadLength {
+                len: self.rows.len(),
+            });
+        }
+        Permutation::from_vec(self.rows.clone())
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TruthTable({} inputs, {} outputs)",
+            self.num_inputs, self.num_outputs
+        )?;
+        for (x, &r) in self.rows.iter().enumerate() {
+            writeln!(
+                f,
+                "  {x:0w$b} -> {r:0v$b}",
+                w = self.num_inputs.max(1),
+                v = self.num_outputs.max(1)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 2(a): the augmented full adder (carry, sum,
+    /// propagate) — output word bits: p=0, s=1, c=2.
+    pub(crate) fn augmented_adder() -> TruthTable {
+        TruthTable::from_fn(3, 3, |x| {
+            let ones = x.count_ones() as u64;
+            let carry = ones >> 1;
+            let sum = ones & 1;
+            let propagate = u64::from((x & 1) ^ (x >> 1 & 1) == 1);
+            carry << 2 | sum << 1 | propagate
+        })
+    }
+
+    #[test]
+    fn augmented_adder_matches_fig2a() {
+        let t = augmented_adder();
+        // Rows listed as (c_o, s_o, p_o) in the paper for inputs cba.
+        let expect = [
+            (0, 0, 0),
+            (0, 1, 1),
+            (0, 1, 1),
+            (1, 0, 0),
+            (0, 1, 0),
+            (1, 0, 1),
+            (1, 0, 1),
+            (1, 1, 0),
+        ];
+        for (x, &(c, s, p)) in expect.iter().enumerate() {
+            assert_eq!(t.row(x as u64), c << 2 | s << 1 | p, "row {x}");
+        }
+    }
+
+    #[test]
+    fn multiplicity_of_augmented_adder_is_two() {
+        // Rows 1/2 and 5/6 repeat (marked † in the paper).
+        assert_eq!(augmented_adder().max_output_multiplicity(), 2);
+        assert!(!augmented_adder().is_reversible());
+    }
+
+    #[test]
+    fn reversible_table_roundtrips() {
+        let t = TruthTable::from_rows(2, 2, vec![3, 2, 1, 0]);
+        assert!(t.is_reversible());
+        let p = t.to_permutation().unwrap();
+        assert_eq!(p.apply(0), 3);
+    }
+
+    #[test]
+    fn non_square_table_is_not_reversible() {
+        let t = TruthTable::from_fn(3, 1, |x| x & 1);
+        assert!(!t.is_reversible());
+        assert!(t.to_permutation().is_err());
+    }
+
+    #[test]
+    fn output_column_extracts_bit() {
+        let t = augmented_adder();
+        let carry = t.output_column(2);
+        assert_eq!(
+            carry,
+            vec![false, false, false, true, false, true, true, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_output_word_panics() {
+        let _ = TruthTable::from_rows(1, 1, vec![0, 2]);
+    }
+}

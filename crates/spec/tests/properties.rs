@@ -1,0 +1,91 @@
+//! Property-based tests of specifications, embeddings and workloads.
+
+use proptest::prelude::*;
+
+use rmrls_spec::{
+    embed, embed_with_strategy, CompletionStrategy, Permutation, TruthTable,
+};
+
+fn truth_table(inputs: usize, outputs: usize) -> impl Strategy<Value = TruthTable> {
+    let limit = 1u64 << outputs;
+    proptest::collection::vec(0..limit, 1 << inputs)
+        .prop_map(move |rows| TruthTable::from_rows(inputs, outputs, rows))
+}
+
+proptest! {
+    /// Every embedding is a bijection that preserves the real outputs on
+    /// every care row, for every completion strategy.
+    #[test]
+    fn embeddings_are_sound(table in truth_table(3, 2)) {
+        for strategy in [
+            CompletionStrategy::HammingGreedy,
+            CompletionStrategy::Ascending,
+            CompletionStrategy::Descending,
+            CompletionStrategy::HammingGreedyHighTies,
+        ] {
+            let e = embed_with_strategy(&table, None, strategy);
+            // Bijection is guaranteed by the Permutation constructor; check
+            // the care rows.
+            for x in 0..1u64 << table.num_inputs() {
+                prop_assert_eq!(
+                    e.real_output(e.permutation.apply(x)),
+                    table.row(x),
+                    "strategy {:?}, row {}", strategy, x
+                );
+            }
+        }
+    }
+
+    /// The garbage-output count always obeys the ⌈log₂ p⌉ rule exactly
+    /// when the output side dominates the width.
+    #[test]
+    fn garbage_rule_holds(table in truth_table(3, 3)) {
+        let e = embed(&table);
+        let p = table.max_output_multiplicity();
+        let needed = if p <= 1 { 0 } else { (usize::BITS - (p - 1).leading_zeros()) as usize };
+        // Width may be forced up by the input side; garbage outputs never
+        // fall below the rule.
+        prop_assert!(e.garbage_outputs >= needed);
+        prop_assert_eq!(e.width(), table.num_inputs().max(table.num_outputs() + needed));
+    }
+
+    /// Inverse and composition laws.
+    #[test]
+    fn permutation_group_laws(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = rmrls_spec::random_permutation(4, &mut rng);
+        let q = rmrls_spec::random_permutation(4, &mut rng);
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        // (p ∘ q)⁻¹ = q⁻¹ ∘ p⁻¹.
+        let left = p.compose(&q).inverse();
+        let right = q.inverse().compose(&p.inverse());
+        prop_assert_eq!(left, right);
+    }
+
+    /// Rank round-trips for 4-variable permutations (16! fits in u128).
+    #[test]
+    fn rank_roundtrip(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = rmrls_spec::random_permutation(4, &mut rng);
+        prop_assert_eq!(Permutation::from_rank(4, p.rank()), p);
+    }
+
+    /// Cycle invariants: order divides lcm bound, parity consistent with
+    /// composition.
+    #[test]
+    fn cycle_invariants(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = rmrls_spec::random_permutation(3, &mut rng);
+        let q = rmrls_spec::random_permutation(3, &mut rng);
+        // Parity is a homomorphism: sgn(pq) = sgn(p)·sgn(q).
+        prop_assert_eq!(
+            p.compose(&q).is_even(),
+            p.is_even() == q.is_even()
+        );
+        // The cycle type's sum is the domain size.
+        prop_assert_eq!(p.cycle_type().iter().sum::<usize>(), 8);
+    }
+}

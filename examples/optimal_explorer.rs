@@ -1,0 +1,54 @@
+//! Exhaustive optimal synthesis for three-variable functions: build the
+//! full 40 320-entry optimal table by BFS (the "Optimal [16]" columns of
+//! Table I), reproduce the distribution, and compare RMRLS against the
+//! optimum on the worst-case benchmark `3_17`.
+//!
+//! Run with: `cargo run --release --example optimal_explorer`
+
+use rmrls::baselines::{OptimalLibrary, OptimalTable};
+use rmrls::circuit::render;
+use rmrls::core::{synthesize_permutation, SynthesisOptions};
+use rmrls::spec::Permutation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building optimal tables for all 8! = 40320 functions…\n");
+    let nct = OptimalTable::build(OptimalLibrary::Nct);
+    let ncts = OptimalTable::build(OptimalLibrary::Ncts);
+
+    println!("gates |   NCT   |  NCTS");
+    println!("------|---------|-------");
+    let (h1, h2) = (nct.histogram(), ncts.histogram());
+    for g in (0..h1.len().max(h2.len())).rev() {
+        println!(
+            "{g:>5} | {:>7} | {:>6}",
+            h1.get(g).copied().unwrap_or(0),
+            h2.get(g).copied().unwrap_or(0)
+        );
+    }
+    println!(
+        "  avg |   {:.2}  |  {:.2}   (paper Table I: 5.87 / 5.63)\n",
+        nct.average(),
+        ncts.average()
+    );
+
+    // The 3_17 benchmark is a worst-case function: 6 optimal gates.
+    let spec = Permutation::from_vec(vec![7, 1, 4, 3, 0, 2, 6, 5])?;
+    let optimal_circuit = nct.circuit(&spec);
+    println!("3_17 = {spec}");
+    println!(
+        "optimal: {} gates: {}",
+        optimal_circuit.gate_count(),
+        optimal_circuit
+    );
+    println!("{}", render(&optimal_circuit));
+
+    let rmrls = synthesize_permutation(&spec, &SynthesisOptions::new())?;
+    println!(
+        "RMRLS:   {} gates: {}",
+        rmrls.circuit.gate_count(),
+        rmrls.circuit
+    );
+    assert_eq!(rmrls.circuit.to_permutation(), spec.as_slice());
+    assert!(rmrls.circuit.gate_count() >= optimal_circuit.gate_count());
+    Ok(())
+}

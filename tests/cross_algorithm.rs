@@ -1,0 +1,88 @@
+//! Cross-algorithm consistency: RMRLS, the MMD baseline, the naive
+//! greedy cascade and exhaustive-optimal synthesis must agree on
+//! function semantics, and their gate counts must be ordered the obvious
+//! way (nothing beats optimal).
+
+use rmrls::baselines::{
+    mmd_synthesize, naive_greedy_permutation, MmdVariant, OptimalLibrary, OptimalTable,
+};
+use rmrls::core::{synthesize_permutation, SynthesisOptions};
+use rmrls::spec::Permutation;
+
+#[test]
+fn nothing_beats_optimal_on_three_variables() {
+    let optimal = OptimalTable::build(OptimalLibrary::Nct);
+    let opts = SynthesisOptions::new();
+    for rank in (0..40320u128).step_by(611) {
+        let spec = Permutation::from_rank(3, rank);
+        let best = optimal.gate_count(&spec);
+
+        let rmrls = synthesize_permutation(&spec, &opts)
+            .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+        assert!(
+            rmrls.circuit.gate_count() >= best,
+            "rank {rank}: RMRLS {} below optimal {best}",
+            rmrls.circuit.gate_count()
+        );
+
+        let mmd = mmd_synthesize(&spec, MmdVariant::Bidirectional);
+        assert!(mmd.gate_count() >= best, "rank {rank}: MMD below optimal");
+
+        if let Ok(naive) = naive_greedy_permutation(&spec, 60) {
+            assert!(naive.gate_count() >= best, "rank {rank}: naive below optimal");
+        }
+    }
+}
+
+#[test]
+fn rmrls_beats_or_matches_mmd_on_average() {
+    // Table I: the paper reports RMRLS avg 6.10 vs Miller-style 6.18.
+    let opts = SynthesisOptions::new();
+    let (mut ours, mut theirs, mut n) = (0usize, 0usize, 0usize);
+    for rank in (0..40320u128).step_by(211) {
+        let spec = Permutation::from_rank(3, rank);
+        ours += synthesize_permutation(&spec, &opts)
+            .expect("3-var always solvable")
+            .circuit
+            .gate_count();
+        theirs += mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count();
+        n += 1;
+    }
+    let (ours, theirs) = (ours as f64 / n as f64, theirs as f64 / n as f64);
+    assert!(
+        ours <= theirs + 0.05,
+        "RMRLS avg {ours:.3} should not trail MMD avg {theirs:.3}"
+    );
+}
+
+#[test]
+fn all_algorithms_realize_the_same_function() {
+    let opts = SynthesisOptions::new();
+    for rank in [7u128, 999, 12345, 39999] {
+        let spec = Permutation::from_rank(3, rank);
+        let a = synthesize_permutation(&spec, &opts).unwrap().circuit;
+        let b = mmd_synthesize(&spec, MmdVariant::Unidirectional);
+        let c = mmd_synthesize(&spec, MmdVariant::Bidirectional);
+        assert_eq!(a.to_permutation(), spec.as_slice());
+        assert_eq!(b.to_permutation(), spec.as_slice());
+        assert_eq!(c.to_permutation(), spec.as_slice());
+    }
+}
+
+#[test]
+fn optimal_averages_match_table1() {
+    // The "Optimal [16]" bottom rows of Table I: 5.87 (NCT), 5.63 (NCTS).
+    let nct = OptimalTable::build(OptimalLibrary::Nct);
+    assert!((nct.average() - 5.866).abs() < 0.01, "NCT avg {}", nct.average());
+    let ncts = OptimalTable::build(OptimalLibrary::Ncts);
+    assert!((ncts.average() - 5.629).abs() < 0.01, "NCTS avg {}", ncts.average());
+}
+
+#[test]
+fn worst_case_three_variable_function_needs_eight_gates() {
+    // Table I: 577 functions require 8 NCT gates and none require more.
+    let optimal = OptimalTable::build(OptimalLibrary::Nct);
+    let hist = optimal.histogram();
+    assert_eq!(hist.len(), 9, "max optimal NCT size is 8");
+    assert_eq!(hist[8], 577);
+}

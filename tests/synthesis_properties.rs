@@ -1,0 +1,142 @@
+//! Property-based integration tests: core invariants that must hold for
+//! arbitrary inputs across the whole crate stack.
+
+use proptest::prelude::*;
+
+use rmrls::baselines::{mmd_synthesize, MmdVariant};
+use rmrls::circuit::{simplify, tfc, Circuit, Gate};
+use rmrls::core::{synthesize_permutation, SynthesisOptions};
+use rmrls::pprm::{MultiPprm, Pprm, BitTable};
+use rmrls::spec::Permutation;
+
+/// Strategy: a random permutation of `2^n` elements via shuffled table.
+fn permutation(num_vars: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        use rand::seq::SliceRandom;
+        let mut map: Vec<u64> = (0..1u64 << num_vars).collect();
+        map.shuffle(&mut rng);
+        Permutation::from_vec(map).expect("shuffle is a bijection")
+    })
+}
+
+/// Strategy: a random Toffoli circuit.
+fn toffoli_circuit(width: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0..width, proptest::bits::u32::masked((1 << width) - 1)), 0..max_gates)
+        .prop_map(move |gates| {
+            let gates = gates
+                .into_iter()
+                .map(|(target, controls)| {
+                    Gate::toffoli_mask(controls & !(1 << target), target)
+                })
+                .collect();
+            Circuit::from_gates(width, gates)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RMRLS output always realizes the specification (3 variables).
+    #[test]
+    fn synthesis_round_trips_3var(spec in permutation(3)) {
+        let result = synthesize_permutation(&spec, &SynthesisOptions::new())
+            .expect("3-variable synthesis must always succeed");
+        prop_assert_eq!(result.circuit.to_permutation(), spec.as_slice());
+    }
+
+    /// RMRLS output always realizes the specification (4 variables,
+    /// first solution).
+    #[test]
+    fn synthesis_round_trips_4var(spec in permutation(4)) {
+        let opts = SynthesisOptions::new()
+            .with_stop_at_first(true)
+            .with_max_gates(40)
+            .with_max_nodes(200_000);
+        let result = synthesize_permutation(&spec, &opts)
+            .expect("4-variable synthesis must succeed within the budget");
+        prop_assert_eq!(result.circuit.to_permutation(), spec.as_slice());
+    }
+
+    /// MMD always succeeds and round-trips, at several widths.
+    #[test]
+    fn mmd_round_trips(spec in permutation(5)) {
+        for variant in [MmdVariant::Unidirectional, MmdVariant::Bidirectional] {
+            let circuit = mmd_synthesize(&spec, variant);
+            prop_assert_eq!(circuit.to_permutation(), spec.as_slice());
+        }
+    }
+
+    /// Template simplification never changes the computed function and
+    /// never increases the gate count.
+    #[test]
+    fn simplify_preserves_function(circuit in toffoli_circuit(4, 16)) {
+        let before_perm = circuit.to_permutation();
+        let before_gates = circuit.gate_count();
+        let mut c = circuit;
+        simplify(&mut c);
+        prop_assert_eq!(c.to_permutation(), before_perm);
+        prop_assert!(c.gate_count() <= before_gates);
+    }
+
+    /// TFC serialization round-trips losslessly.
+    #[test]
+    fn tfc_round_trips(circuit in toffoli_circuit(5, 12)) {
+        let text = tfc::write(&circuit);
+        let back = tfc::parse(&text).expect("own output must parse");
+        prop_assert_eq!(back, circuit);
+    }
+
+    /// A circuit composed with its inverse is the identity.
+    #[test]
+    fn circuit_inverse_cancels(circuit in toffoli_circuit(4, 12)) {
+        let mut both = circuit.clone();
+        both.extend(&circuit.inverse());
+        prop_assert!(both.is_identity());
+    }
+
+    /// PPRM round-trip: truth table → expansion → truth table.
+    #[test]
+    fn pprm_truth_table_round_trip(bits in proptest::collection::vec(any::<bool>(), 32)) {
+        let table = BitTable::from_bools(&bits);
+        let p = Pprm::from_truth_table(&table, 5);
+        prop_assert_eq!(p.to_truth_table(5), table);
+    }
+
+    /// Permutation → MultiPprm → permutation round-trip.
+    #[test]
+    fn multipprm_round_trip(spec in permutation(4)) {
+        let m = spec.to_multi_pprm();
+        prop_assert_eq!(m.to_permutation(), spec.as_slice());
+    }
+
+    /// Substitution semantics: the state after `v := v ⊕ f` composed
+    /// with the emitted gate reproduces the original function.
+    #[test]
+    fn substitution_composes_with_gate(
+        spec in permutation(4),
+        var in 0usize..4,
+        factor_bits in proptest::bits::u32::masked(0b1111),
+    ) {
+        let factor = rmrls::pprm::Term::from_mask(factor_bits & !(1 << var));
+        let m = spec.to_multi_pprm();
+        let (m2, _) = m.substitute(var, factor);
+        let gate = Gate::toffoli_mask(factor.mask(), var);
+        for x in 0..16u64 {
+            prop_assert_eq!(m2.eval(x), m.eval(gate.apply(x)));
+        }
+    }
+
+    /// The quantum cost is invariant under circuit inversion.
+    #[test]
+    fn cost_symmetric_under_inverse(circuit in toffoli_circuit(5, 10)) {
+        prop_assert_eq!(circuit.quantum_cost(), circuit.inverse().quantum_cost());
+    }
+}
+
+#[test]
+fn multipprm_identity_detection_is_exact() {
+    // Identity must be detected, near-identities must not.
+    assert!(MultiPprm::identity(5).is_identity());
+    let swapped = Permutation::from_vec(vec![0, 2, 1, 3]).unwrap().to_multi_pprm();
+    assert!(!swapped.is_identity());
+}
