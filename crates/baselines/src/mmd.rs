@@ -187,7 +187,10 @@ mod tests {
             uni += mmd_synthesize(&spec, MmdVariant::Unidirectional).gate_count();
             bi += mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count();
         }
-        assert!(bi <= uni, "bidirectional {bi} should not exceed unidirectional {uni}");
+        assert!(
+            bi <= uni,
+            "bidirectional {bi} should not exceed unidirectional {uni}"
+        );
     }
 
     #[test]

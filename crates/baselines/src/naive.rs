@@ -99,7 +99,9 @@ pub fn naive_greedy(spec: &MultiPprm, max_gates: usize) -> Result<Circuit, Greed
             }
         }
         match best {
-            Some((terms, _, var, factor, next)) if terms <= state.total_terms() || next.is_identity() => {
+            Some((terms, _, var, factor, next))
+                if terms <= state.total_terms() || next.is_identity() =>
+            {
                 gates.push(Gate::toffoli_mask(factor.mask(), var));
                 seen.insert(next.clone());
                 state = next;
@@ -173,6 +175,9 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures > 0, "expected the naive baseline to fail somewhere");
+        assert!(
+            failures > 0,
+            "expected the naive baseline to fail somewhere"
+        );
     }
 }

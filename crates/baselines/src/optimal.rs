@@ -83,8 +83,9 @@ impl OptimalTable {
                 for &gate in &gates {
                     // Prepend the gate at the output side: one more gate.
                     let neighbor: Vec<u64> = table.iter().map(|&v| gate.apply(v)).collect();
-                    let rank =
-                        Permutation::from_vec(neighbor.clone()).expect("bijection").rank() as usize;
+                    let rank = Permutation::from_vec(neighbor.clone())
+                        .expect("bijection")
+                        .rank() as usize;
                     if dist[rank] == u8::MAX {
                         dist[rank] = level + 1;
                         next.push(neighbor);

@@ -75,9 +75,8 @@ impl PeepholeOptimizer {
             while window_end > start + 1 {
                 let window = &gates[start..window_end];
                 if let Some(replacement) = self.shrink_window(window) {
-                    let mut new_gates = Vec::with_capacity(
-                        gates.len() - window.len() + replacement.len(),
-                    );
+                    let mut new_gates =
+                        Vec::with_capacity(gates.len() - window.len() + replacement.len());
                     new_gates.extend_from_slice(&gates[..start]);
                     new_gates.extend_from_slice(&replacement);
                     new_gates.extend_from_slice(&gates[window_end..]);
@@ -170,10 +169,7 @@ mod tests {
 
     #[test]
     fn identity_runs_vanish() {
-        let mut c = Circuit::from_gates(
-            4,
-            vec![Gate::cnot(0, 1), Gate::cnot(0, 1), Gate::not(3)],
-        );
+        let mut c = Circuit::from_gates(4, vec![Gate::cnot(0, 1), Gate::cnot(0, 1), Gate::not(3)]);
         let removed = optimizer().optimize(&mut c);
         assert_eq!(removed, 2);
         assert_eq!(c.gate_count(), 1);

@@ -23,7 +23,9 @@ fn workload_3var(samples: usize) -> Vec<Permutation> {
 
 fn workload_4var(samples: usize) -> Vec<Permutation> {
     let mut rng = StdRng::seed_from_u64(0xab1a);
-    (0..samples).map(|_| random_permutation(4, &mut rng)).collect()
+    (0..samples)
+        .map(|_| random_permutation(4, &mut rng))
+        .collect()
 }
 
 fn evaluate(name: &str, workload: &[Permutation], opts: &SynthesisOptions, widths: &[usize]) {
@@ -81,15 +83,38 @@ fn main() {
     print_rule(&widths);
     for (name, opts) in [
         ("astar (default)", base.clone()),
-        ("eq4 cumulative", base.clone().with_priority_mode(PriorityMode::CumulativeRate)),
-        ("eq4 step", base.clone().with_priority_mode(PriorityMode::StepElim)),
-        ("fewest-terms", base.clone().with_priority_mode(PriorityMode::FewestTerms)),
-        ("no additional subs", base.clone().with_additional_substitutions(false)),
-        ("monotone-only (paper lit.)", base.clone().with_monotone_only(true)),
+        (
+            "eq4 cumulative",
+            base.clone()
+                .with_priority_mode(PriorityMode::CumulativeRate),
+        ),
+        (
+            "eq4 step",
+            base.clone().with_priority_mode(PriorityMode::StepElim),
+        ),
+        (
+            "fewest-terms",
+            base.clone().with_priority_mode(PriorityMode::FewestTerms),
+        ),
+        (
+            "no additional subs",
+            base.clone().with_additional_substitutions(false),
+        ),
+        (
+            "monotone-only (paper lit.)",
+            base.clone().with_monotone_only(true),
+        ),
         ("greedy pruning", base.clone().with_pruning(Pruning::Greedy)),
         ("top-3 pruning", base.clone().with_pruning(Pruning::TopK(3))),
-        ("ncts (swap subs, §VI)", base.clone().with_fredkin_substitutions(FredkinMode::SwapOnly)),
-        ("gf (full fredkin, §VI)", base.clone().with_fredkin_substitutions(FredkinMode::Full)),
+        (
+            "ncts (swap subs, §VI)",
+            base.clone()
+                .with_fredkin_substitutions(FredkinMode::SwapOnly),
+        ),
+        (
+            "gf (full fredkin, §VI)",
+            base.clone().with_fredkin_substitutions(FredkinMode::Full),
+        ),
         ("no seeding dive", base.clone().with_initial_dive(false)),
     ] {
         evaluate(name, &w3, &opts, &widths);
@@ -97,14 +122,25 @@ fn main() {
 
     println!("\n## 4-variable random functions");
     let w4 = workload_4var(scaled(40, 500));
-    let base4 = base.clone().with_max_nodes(60_000).with_pruning(Pruning::TopK(4));
+    let base4 = base
+        .clone()
+        .with_max_nodes(60_000)
+        .with_pruning(Pruning::TopK(4));
     print_row(&header, &widths);
     print_rule(&widths);
     for (name, opts) in [
         ("astar top-4 (default)", base4.clone()),
-        ("eq4 cumulative top-4", base4.clone().with_priority_mode(PriorityMode::CumulativeRate)),
+        (
+            "eq4 cumulative top-4",
+            base4
+                .clone()
+                .with_priority_mode(PriorityMode::CumulativeRate),
+        ),
         ("astar greedy", base4.clone().with_pruning(Pruning::Greedy)),
-        ("astar exhaustive", base4.clone().with_pruning(Pruning::Exhaustive)),
+        (
+            "astar exhaustive",
+            base4.clone().with_pruning(Pruning::Exhaustive),
+        ),
         ("no restarts", base4.clone().with_restart_after(None)),
         ("no state dedup", base4.clone().with_dedup_states(false)),
     ] {

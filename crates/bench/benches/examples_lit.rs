@@ -47,10 +47,16 @@ fn main() {
             &widths,
         );
         if n == 1 {
-            println!("\nFig. 7 — Example 1 realization:\n{}", render(&result.circuit));
+            println!(
+                "\nFig. 7 — Example 1 realization:\n{}",
+                render(&result.circuit)
+            );
         }
         if n == 8 {
-            println!("\nFig. 8 — augmented full-adder realization:\n{}", render(&result.circuit));
+            println!(
+                "\nFig. 8 — augmented full-adder realization:\n{}",
+                render(&result.circuit)
+            );
         }
     }
 }

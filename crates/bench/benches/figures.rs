@@ -25,7 +25,10 @@ fn main() {
     let result = synthesize(&pprm, &opts).expect("Fig. 1 function synthesizes");
     assert_eq!(result.circuit.to_permutation(), spec.as_slice());
 
-    println!("## Fig. 3(d) — synthesized circuit ({} gates)", result.circuit.gate_count());
+    println!(
+        "## Fig. 3(d) — synthesized circuit ({} gates)",
+        result.circuit.gate_count()
+    );
     println!("{}", result.circuit);
     println!("{}", render(&result.circuit));
 

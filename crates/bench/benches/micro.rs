@@ -5,9 +5,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use rmrls_baselines::{mmd_synthesize, MmdVariant, OptimalLibrary, OptimalTable, PeepholeOptimizer};
+use rmrls_baselines::{
+    mmd_synthesize, MmdVariant, OptimalLibrary, OptimalTable, PeepholeOptimizer,
+};
 use rmrls_circuit::decompose_to_nct;
-use rmrls_core::{synthesize, SynthesisOptions};
+use rmrls_core::{synthesize, synthesize_with_observer, Observer, SynthesisOptions};
 use rmrls_pprm::{anf_transform, walsh_spectrum, BitTable, MultiPprm, Term};
 use rmrls_spec::Permutation;
 
@@ -45,7 +47,14 @@ fn bench_synthesis(c: &mut Criterion) {
     let fig1 = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
     let opts = SynthesisOptions::new();
     group.bench_function("fig1_3var", |b| {
-        b.iter(|| black_box(synthesize(&fig1, &opts).expect("solvable").circuit.gate_count()))
+        b.iter(|| {
+            black_box(
+                synthesize(&fig1, &opts)
+                    .expect("solvable")
+                    .circuit
+                    .gate_count(),
+            )
+        })
     });
     let four = Permutation::from_rank(4, 9_876_543_210).to_multi_pprm();
     let opts4 = SynthesisOptions::new()
@@ -53,7 +62,47 @@ fn bench_synthesis(c: &mut Criterion) {
         .with_max_gates(40)
         .with_max_nodes(100_000);
     group.bench_function("random_4var_first_solution", |b| {
-        b.iter(|| black_box(synthesize(&four, &opts4).expect("solvable").circuit.gate_count()))
+        b.iter(|| {
+            black_box(
+                synthesize(&four, &opts4)
+                    .expect("solvable")
+                    .circuit
+                    .gate_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The `--report`/`--log-json` acceptance check: a null observer must
+/// not measurably slow the search relative to the plain entry point.
+/// Compare `synthesize/fig1_3var` above against these two runs.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(20);
+    let fig1 = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+    let opts = SynthesisOptions::new();
+    group.bench_function("fig1_null_observer", |b| {
+        b.iter(|| {
+            let mut obs = Observer::null();
+            black_box(
+                synthesize_with_observer(&fig1, &opts, &mut obs)
+                    .expect("solvable")
+                    .circuit
+                    .gate_count(),
+            )
+        })
+    });
+    group.bench_function("fig1_metrics_observer", |b| {
+        b.iter(|| {
+            let mut obs = Observer::null().with_metrics();
+            black_box(
+                synthesize_with_observer(&fig1, &opts, &mut obs)
+                    .expect("solvable")
+                    .circuit
+                    .gate_count(),
+            )
+        })
     });
     group.finish();
 }
@@ -127,6 +176,7 @@ criterion_group!(
     bench_anf,
     bench_substitution,
     bench_synthesis,
+    bench_observer_overhead,
     bench_mmd,
     bench_spectrum,
     bench_fredkin_substitution,

@@ -61,7 +61,11 @@ fn main() {
         ours.record(result.circuit.gate_count());
         let ncts = synthesize(&spec.to_multi_pprm(), &opts_ncts)
             .unwrap_or_else(|e| panic!("rank {rank} (NCTS) failed: {e}"));
-        assert_eq!(ncts.circuit.to_permutation(), spec.as_slice(), "rank {rank} NCTS");
+        assert_eq!(
+            ncts.circuit.to_permutation(),
+            spec.as_slice(),
+            "rank {rank} NCTS"
+        );
         ours_ncts.record(ncts.circuit.gate_count());
         mmd.record(mmd_synthesize(&spec, MmdVariant::Bidirectional).gate_count());
         opt_nct_h.record(opt_nct.gate_count(&spec));

@@ -64,7 +64,11 @@ fn main() {
 
     let widths = [12usize, 15, 18];
     print_row(
-        &["circuit size".into(), "no. of circuits".into(), "paper (of 50000)".into()],
+        &[
+            "circuit size".into(),
+            "no. of circuits".into(),
+            "paper (of 50000)".into(),
+        ],
         &widths,
     );
     print_rule(&widths);

@@ -68,7 +68,11 @@ fn main() {
 
     let widths = [12usize, 15, 17];
     print_row(
-        &["circuit size".into(), "no. of circuits".into(), "paper (of 3000)".into()],
+        &[
+            "circuit size".into(),
+            "no. of circuits".into(),
+            "paper (of 3000)".into(),
+        ],
         &widths,
     );
     print_rule(&widths);

@@ -90,10 +90,7 @@ fn main() {
                         assert_eq!(circuit.apply(x), spec.eval(x), "{}: row {x}", bench.name);
                     }
                 }
-                (
-                    Some(circuit.gate_count()),
-                    Some(circuit.quantum_cost()),
-                )
+                (Some(circuit.gate_count()), Some(circuit.quantum_cost()))
             }
             Err(_) => (None, None),
         };

@@ -4,8 +4,17 @@
 use rmrls_bench::run_scalability_table;
 
 const PAPER_FAIL: &[(usize, f64)] = &[
-    (6, 0.2), (7, 0.0), (8, 0.8), (9, 1.2), (10, 0.6), (11, 1.4),
-    (12, 2.8), (13, 3.2), (14, 3.0), (15, 4.6), (16, 3.6),
+    (6, 0.2),
+    (7, 0.0),
+    (8, 0.8),
+    (9, 1.2),
+    (10, 0.6),
+    (11, 1.4),
+    (12, 2.8),
+    (13, 3.2),
+    (14, 3.0),
+    (15, 4.6),
+    (16, 3.6),
 ];
 
 fn main() {

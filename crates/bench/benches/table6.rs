@@ -4,8 +4,17 @@
 use rmrls_bench::run_scalability_table;
 
 const PAPER_FAIL: &[(usize, f64)] = &[
-    (6, 0.1), (7, 0.5), (8, 2.6), (9, 5.6), (10, 6.6), (11, 9.0),
-    (12, 11.1), (13, 12.5), (14, 15.1), (15, 16.2), (16, 16.0),
+    (6, 0.1),
+    (7, 0.5),
+    (8, 2.6),
+    (9, 5.6),
+    (10, 6.6),
+    (11, 9.0),
+    (12, 11.1),
+    (13, 12.5),
+    (14, 15.1),
+    (15, 16.2),
+    (16, 16.0),
 ];
 
 fn main() {

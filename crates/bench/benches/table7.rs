@@ -5,8 +5,17 @@
 use rmrls_bench::run_scalability_table;
 
 const PAPER_FAIL: &[(usize, f64)] = &[
-    (6, 1.1), (7, 5.4), (8, 9.7), (9, 15.7), (10, 21.9), (11, 23.0),
-    (12, 27.5), (13, 26.3), (14, 29.5), (15, 45.2), (16, 38.3),
+    (6, 1.1),
+    (7, 5.4),
+    (8, 9.7),
+    (9, 15.7),
+    (10, 21.9),
+    (11, 23.0),
+    (12, 27.5),
+    (13, 26.3),
+    (14, 29.5),
+    (15, 45.2),
+    (16, 38.3),
 ];
 
 fn main() {

@@ -15,11 +15,13 @@
 
 use std::time::Duration;
 
-use rmrls_core::{Pruning, SynthesisOptions};
+use rmrls_core::{NoSolutionError, Pruning, Synthesis, SynthesisOptions};
 
 /// Whether paper-scale workloads were requested via `RMRLS_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("RMRLS_FULL").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("RMRLS_FULL")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// Picks the reduced or full-scale value.
@@ -55,7 +57,10 @@ pub fn table2_options() -> SynthesisOptions {
     SynthesisOptions::new()
         .with_pruning(Pruning::TopK(4))
         .with_max_gates(40)
-        .with_time_limit(scaled_time(Duration::from_millis(250), Duration::from_secs(60)))
+        .with_time_limit(scaled_time(
+            Duration::from_millis(250),
+            Duration::from_secs(60),
+        ))
 }
 
 /// The §V-B five-variable configuration: 60-gate cap, 180 s in the paper.
@@ -66,7 +71,10 @@ pub fn table3_options() -> SynthesisOptions {
         // weight; see the AStar weight docs and the ablation bench.
         .with_astar_weight(1.0)
         .with_max_gates(60)
-        .with_time_limit(scaled_time(Duration::from_millis(600), Duration::from_secs(180)))
+        .with_time_limit(scaled_time(
+            Duration::from_millis(600),
+            Duration::from_secs(180),
+        ))
 }
 
 /// The benchmark-suite configuration (§V-C/V-D): 60 s in the paper.
@@ -84,7 +92,10 @@ pub fn scalability_options() -> SynthesisOptions {
         .with_pruning(Pruning::Greedy)
         .with_max_gates(60)
         .with_stop_at_first(true)
-        .with_time_limit(scaled_time(Duration::from_millis(500), Duration::from_secs(60)))
+        .with_time_limit(scaled_time(
+            Duration::from_millis(500),
+            Duration::from_secs(60),
+        ))
 }
 
 /// A histogram over exact circuit sizes.
@@ -150,6 +161,43 @@ impl SizeHistogram {
     }
 }
 
+/// Appends one run-report line for a finished synthesis attempt — the
+/// same JSON shape the CLI's `--report` flag writes (see
+/// [`rmrls_core::run_report`] and DESIGN.md for the schema), so tooling
+/// that parses CLI reports parses bench output unchanged.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_report_line<W: std::io::Write>(
+    w: &mut W,
+    options: &SynthesisOptions,
+    result: &Result<Synthesis, NoSolutionError>,
+) -> std::io::Result<()> {
+    let (stats, circuit) = match result {
+        Ok(r) => (&r.stats, Some(&r.circuit)),
+        Err(e) => (&e.stats, None),
+    };
+    let json = rmrls_core::run_report(options, stats, circuit, None, 0);
+    writeln!(w, "{json}")
+}
+
+/// Opens the JSON-lines run-report sink requested via the
+/// `RMRLS_REPORT` environment variable, if any. Each synthesis attempt
+/// of a table sweep appends one report line.
+pub fn report_sink_from_env() -> Option<(String, std::io::BufWriter<std::fs::File>)> {
+    let path = std::env::var("RMRLS_REPORT")
+        .ok()
+        .filter(|p| !p.is_empty())?;
+    match std::fs::File::create(&path) {
+        Ok(f) => Some((path, std::io::BufWriter::new(f))),
+        Err(e) => {
+            eprintln!("RMRLS_REPORT: cannot create {path}: {e}");
+            None
+        }
+    }
+}
+
 /// Runs one of the scalability experiments (Tables V–VII, §V-E): for
 /// each width 6..=16, generate random GT-library circuits with
 /// `workload_gates` gates, simulate them into specifications, and
@@ -177,9 +225,11 @@ pub fn run_scalability_table(
         opts.time_limit.unwrap()
     );
 
-    let buckets = ["1-5", "6-10", "11-15", "16-20", "21-25", "26-30", "31-35", "36-40"];
+    let buckets = [
+        "1-5", "6-10", "11-15", "16-20", "21-25", "26-30", "31-35", "36-40",
+    ];
     let mut widths_fmt = vec![9usize];
-    widths_fmt.extend(std::iter::repeat(7).take(buckets.len()));
+    widths_fmt.extend(std::iter::repeat_n(7, buckets.len()));
     widths_fmt.extend([7, 7, 12]);
     let mut header: Vec<String> = vec!["variables".into()];
     header.extend(buckets.iter().map(|b| b.to_string()));
@@ -187,13 +237,24 @@ pub fn run_scalability_table(
     print_row(&header, &widths_fmt);
     print_rule(&widths_fmt);
 
+    let mut report_sink = report_sink_from_env();
+    let mut reports_written = 0u64;
+
     for num_vars in 6..=16usize {
         let mut rng = StdRng::seed_from_u64(seed ^ (num_vars as u64) << 8);
         let mut hist = SizeHistogram::new();
         let mut failures = 0usize;
         for i in 0..samples {
-            let (spec, _circuit) = random_circuit_spec(num_vars, workload_gates, GateLibrary::Gt, &mut rng);
-            match synthesize(&spec.to_multi_pprm(), &opts) {
+            let (spec, _circuit) =
+                random_circuit_spec(num_vars, workload_gates, GateLibrary::Gt, &mut rng);
+            let result = synthesize(&spec.to_multi_pprm(), &opts);
+            if let Some((path, w)) = &mut report_sink {
+                match write_report_line(w, &opts, &result) {
+                    Ok(()) => reports_written += 1,
+                    Err(e) => eprintln!("RMRLS_REPORT: write to {path} failed: {e}"),
+                }
+            }
+            match result {
                 Ok(r) => {
                     debug_assert_eq!(
                         r.circuit.to_permutation(),
@@ -218,6 +279,15 @@ pub fn run_scalability_table(
                 .unwrap_or_default(),
         );
         print_row(&row, &widths_fmt);
+    }
+
+    if let Some((path, w)) = &mut report_sink {
+        use std::io::Write;
+        if let Err(e) = w.flush() {
+            eprintln!("RMRLS_REPORT: flushing {path} failed: {e}");
+        } else {
+            println!("\nwrote {reports_written} run-report lines to {path}");
+        }
     }
 }
 
@@ -275,6 +345,51 @@ mod tests {
         if !full_scale() {
             assert_eq!(scaled(10, 100), 10);
         }
+    }
+
+    #[test]
+    fn report_line_matches_cli_report_shape() {
+        use rmrls_core::synthesize;
+        use rmrls_obs::Json;
+        use rmrls_spec::Permutation;
+
+        // Figure 1 example: a small spec every preset solves instantly.
+        let spec = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6]).unwrap();
+        let opts = table1_options();
+        let result = synthesize(&spec.to_multi_pprm(), &opts);
+        assert!(result.is_ok());
+
+        let mut buf = Vec::new();
+        write_report_line(&mut buf, &opts, &result).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let json = Json::parse(line.trim()).expect("report line must be valid JSON");
+
+        let obj = match &json {
+            Json::Obj(pairs) => pairs,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let get = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        assert_eq!(get("schema_version"), Some(&Json::Num(1.0)));
+        assert_eq!(get("solved"), Some(&Json::Bool(true)));
+        assert!(matches!(get("circuit"), Some(Json::Obj(_))));
+        assert!(matches!(get("stats"), Some(Json::Obj(_))));
+        // Bench reports carry no metrics registry.
+        assert_eq!(get("metrics"), Some(&Json::Null));
+
+        // A failed attempt reports a null circuit on the same schema.
+        let tight = table1_options().with_max_gates(0);
+        let failed = synthesize(&spec.to_multi_pprm(), &tight);
+        assert!(failed.is_err());
+        let mut buf = Vec::new();
+        write_report_line(&mut buf, &tight, &failed).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let json = Json::parse(line.trim()).unwrap();
+        let Json::Obj(pairs) = json else { panic!() };
+        let circuit = pairs
+            .iter()
+            .find(|(k, _)| k == "circuit")
+            .map(|(_, v)| v.clone());
+        assert_eq!(circuit, Some(Json::Null));
     }
 
     #[test]

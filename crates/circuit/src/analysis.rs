@@ -103,9 +103,9 @@ pub fn analyze(circuit: &Circuit) -> CircuitStats {
             }
         }
         let finish = start + 1;
-        for w in 0..width {
+        for (w, free_at) in wire_free_at.iter_mut().enumerate() {
             if support >> w & 1 == 1 {
-                wire_free_at[w] = finish;
+                *free_at = finish;
             }
         }
         logical_depth = logical_depth.max(finish);
@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn cost_matches_circuit_method() {
-        let c = Circuit::from_gates(
-            5,
-            vec![Gate::toffoli(&[0, 1, 2, 3], 4), Gate::not(0)],
-        );
+        let c = Circuit::from_gates(5, vec![Gate::toffoli(&[0, 1, 2, 3], 4), Gate::not(0)]);
         assert_eq!(analyze(&c).quantum_cost, c.quantum_cost());
     }
 
@@ -186,6 +183,9 @@ mod tests {
     fn display_mentions_key_figures() {
         let c = Circuit::from_gates(2, vec![Gate::cnot(0, 1)]);
         let text = analyze(&c).to_string();
-        assert!(text.contains("1 gates") && text.contains("depth 1"), "{text}");
+        assert!(
+            text.contains("1 gates") && text.contains("depth 1"),
+            "{text}"
+        );
     }
 }

@@ -239,11 +239,7 @@ mod tests {
         // TOF1(a) TOF2(a,b) TOF3(b,a,c) realizes {7,0,1,2,3,4,5,6}.
         let c = Circuit::from_gates(
             3,
-            vec![
-                Gate::not(0),
-                Gate::cnot(0, 1),
-                Gate::toffoli(&[1, 0], 2),
-            ],
+            vec![Gate::not(0), Gate::cnot(0, 1), Gate::toffoli(&[1, 0], 2)],
         );
         assert_eq!(c.to_permutation(), vec![7, 0, 1, 2, 3, 4, 5, 6]);
     }

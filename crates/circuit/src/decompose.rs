@@ -55,18 +55,12 @@ impl Error for DecomposeError {}
 /// touches every wire (no borrowed ancilla available).
 pub fn decompose_gate(gate: Gate, width: usize) -> Result<Vec<Gate>, DecomposeError> {
     match gate {
-        Gate::Toffoli { controls, target } => {
-            decompose_toffoli(controls, target as usize, width)
-        }
+        Gate::Toffoli { controls, target } => decompose_toffoli(controls, target as usize, width),
         Gate::Fredkin { controls, targets } => {
             // FRED(C; x, y) = CNOT(y→x) · TOF(C∪{x}; y) · CNOT(y→x).
             let (x, y) = (targets.0 as usize, targets.1 as usize);
             let mut out = vec![Gate::cnot(y, x)];
-            out.extend(decompose_toffoli(
-                controls | (1 << x),
-                y,
-                width,
-            )?);
+            out.extend(decompose_toffoli(controls | (1 << x), y, width)?);
             out.push(Gate::cnot(y, x));
             Ok(out)
         }
@@ -84,9 +78,11 @@ fn decompose_toffoli(
     }
     // A dirty ancilla: any wire that is neither a control nor the target.
     let support = controls | (1 << target);
-    let ancilla = (0..width).find(|&w| support >> w & 1 == 0).ok_or(DecomposeError {
-        gate: Gate::toffoli_mask(controls, target),
-    })?;
+    let ancilla = (0..width)
+        .find(|&w| support >> w & 1 == 0)
+        .ok_or(DecomposeError {
+            gate: Gate::toffoli_mask(controls, target),
+        })?;
 
     // Split the controls into halves P and Q, P taking the larger half:
     // both recursive gate families (`P → a` with ⌈k/2⌉ controls and
@@ -94,7 +90,11 @@ fn decompose_toffoli(
     // `k` controls for every k ≥ 3, so the recursion terminates.
     let mut control_list: Vec<usize> = (0..width).filter(|&w| controls >> w & 1 == 1).collect();
     let half = control_list.len().div_ceil(2);
-    let q: u32 = control_list.split_off(half).iter().map(|&w| 1u32 << w).sum();
+    let q: u32 = control_list
+        .split_off(half)
+        .iter()
+        .map(|&w| 1u32 << w)
+        .sum();
     let p: u32 = control_list.iter().map(|&w| 1u32 << w).sum();
 
     // t ^= P·Q  =  a ^= P; t ^= Q·a; a ^= P; t ^= Q·a.
@@ -102,7 +102,11 @@ fn decompose_toffoli(
     let second = Gate::toffoli_mask(q | (1 << ancilla), target);
     let mut out = Vec::new();
     for g in [first, second, first, second] {
-        out.extend(decompose_toffoli(g.controls(), g.target_mask().trailing_zeros() as usize, width)?);
+        out.extend(decompose_toffoli(
+            g.controls(),
+            g.target_mask().trailing_zeros() as usize,
+            width,
+        )?);
     }
     Ok(out)
 }
@@ -220,8 +224,7 @@ mod tests {
                         .filter(|&w| w != target && rng.random_bool(0.5))
                         .collect();
                     // Keep one line free so decomposition is possible.
-                    let controls: Vec<usize> =
-                        controls.into_iter().take(width - 2).collect();
+                    let controls: Vec<usize> = controls.into_iter().take(width - 2).collect();
                     Gate::toffoli(&controls, target)
                 })
                 .collect();

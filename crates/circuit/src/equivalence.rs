@@ -43,10 +43,9 @@ impl fmt::Display for Equivalence {
         match self {
             Equivalence::Equivalent => write!(f, "equivalent (exhaustive)"),
             Equivalence::ProbablyEquivalent => write!(f, "equivalent on all probes"),
-            Equivalence::Counterexample { input, left, right } => write!(
-                f,
-                "differ at input {input:#b}: {left:#b} vs {right:#b}"
-            ),
+            Equivalence::Counterexample { input, left, right } => {
+                write!(f, "differ at input {input:#b}: {left:#b} vs {right:#b}")
+            }
         }
     }
 }
@@ -62,7 +61,11 @@ pub struct CompareWidthError {
 
 impl fmt::Display for CompareWidthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot compare circuits of widths {} and {}", self.left, self.right)
+        write!(
+            f,
+            "cannot compare circuits of widths {} and {}",
+            self.left, self.right
+        )
     }
 }
 
@@ -103,7 +106,11 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<Equivalence, Compar
         for x in 0..1u64 << width {
             let (l, r) = (a.apply(x), b.apply(x));
             if l != r {
-                return Ok(Equivalence::Counterexample { input: x, left: l, right: r });
+                return Ok(Equivalence::Counterexample {
+                    input: x,
+                    left: l,
+                    right: r,
+                });
             }
         }
         return Ok(Equivalence::Equivalent);
@@ -113,7 +120,11 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<Equivalence, Compar
         let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask;
         let (l, r) = (a.apply(x), b.apply(x));
         if l != r {
-            return Ok(Equivalence::Counterexample { input: x, left: l, right: r });
+            return Ok(Equivalence::Counterexample {
+                input: x,
+                left: l,
+                right: r,
+            });
         }
     }
     Ok(Equivalence::ProbablyEquivalent)
@@ -173,8 +184,15 @@ mod tests {
 
     #[test]
     fn verdict_display() {
-        assert_eq!(Equivalence::Equivalent.to_string(), "equivalent (exhaustive)");
-        let ce = Equivalence::Counterexample { input: 1, left: 0, right: 2 };
+        assert_eq!(
+            Equivalence::Equivalent.to_string(),
+            "equivalent (exhaustive)"
+        );
+        let ce = Equivalence::Counterexample {
+            input: 1,
+            left: 0,
+            right: 2,
+        };
         assert!(ce.to_string().contains("differ at input"));
     }
 }

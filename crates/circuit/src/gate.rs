@@ -254,7 +254,12 @@ impl fmt::Display for Gate {
             Gate::Fredkin { targets, .. } => {
                 write!(f, "FRE{}(", self.size())?;
                 list(f)?;
-                write!(f, "{},{})", name(targets.0 as usize), name(targets.1 as usize))
+                write!(
+                    f,
+                    "{},{})",
+                    name(targets.0 as usize),
+                    name(targets.1 as usize)
+                )
             }
         }
     }

@@ -44,4 +44,4 @@ pub use decompose::{decompose_gate, decompose_to_nct, DecomposeError};
 pub use equivalence::{check_equivalence, CompareWidthError, Equivalence};
 pub use gate::{Gate, MAX_WIDTH};
 pub use render::render;
-pub use templates::simplify;
+pub use templates::{simplify, simplify_with_stats, SimplifyStats};

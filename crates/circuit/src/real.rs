@@ -82,7 +82,11 @@ impl ParseRealError {
 
 impl fmt::Display for ParseRealError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "real parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "real parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

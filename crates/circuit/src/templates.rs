@@ -39,14 +39,56 @@ use crate::{Circuit, Gate};
 /// assert_eq!(c.gate_count(), 1);
 /// ```
 pub fn simplify(circuit: &mut Circuit) -> usize {
-    let before = circuit.gate_count();
+    simplify_with_stats(circuit).removed()
+}
+
+/// Statistics of one [`simplify_with_stats`] run — which template
+/// classes fired and how much they saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Gate count before simplification.
+    pub gates_before: usize,
+    /// Gate count at the fixpoint.
+    pub gates_after: usize,
+    /// Sweeps performed (including the final no-change sweep).
+    pub passes: u64,
+    /// Successful duplicate-cancellation rewrites (each removes two
+    /// gates).
+    pub cancellations: u64,
+    /// Successful control-merge rewrites (each nets at least one gate).
+    pub merges: u64,
+}
+
+impl SimplifyStats {
+    /// Net gates removed.
+    pub fn removed(&self) -> usize {
+        self.gates_before - self.gates_after
+    }
+}
+
+/// [`simplify`] with per-template accounting, for run reports.
+pub fn simplify_with_stats(circuit: &mut Circuit) -> SimplifyStats {
+    let mut stats = SimplifyStats {
+        gates_before: circuit.gate_count(),
+        ..SimplifyStats::default()
+    };
     loop {
-        let changed = cancel_duplicates(circuit) || merge_controls(circuit);
+        stats.passes += 1;
+        let changed = if cancel_duplicates(circuit) {
+            stats.cancellations += 1;
+            true
+        } else if merge_controls(circuit) {
+            stats.merges += 1;
+            true
+        } else {
+            false
+        };
         if !changed {
             break;
         }
     }
-    before - circuit.gate_count()
+    stats.gates_after = circuit.gate_count();
+    stats
 }
 
 /// One sweep of duplicate cancellation across commuting windows.
@@ -79,11 +121,19 @@ fn cancel_duplicates(circuit: &mut Circuit) -> bool {
 fn merge_controls(circuit: &mut Circuit) -> bool {
     let gates = circuit.gates();
     for i in 0..gates.len() {
-        let Gate::Toffoli { controls: c1, target: t1 } = gates[i] else {
+        let Gate::Toffoli {
+            controls: c1,
+            target: t1,
+        } = gates[i]
+        else {
             continue;
         };
         for j in (i + 1)..gates.len() {
-            if let Gate::Toffoli { controls: c2, target: t2 } = gates[j] {
+            if let Gate::Toffoli {
+                controls: c2,
+                target: t2,
+            } = gates[j]
+            {
                 if t1 == t2 && adjacent_up_to_commutation(gates, i, j) {
                     let diff = c1 ^ c2;
                     if diff.count_ones() == 1 && (c1 & c2 == c1.min(c2)) {
@@ -141,7 +191,12 @@ mod tests {
     fn duplicates_cancel_across_commuting_gates() {
         let mut c = Circuit::from_gates(
             3,
-            vec![Gate::not(0), Gate::cnot(0, 1), Gate::cnot(0, 2), Gate::cnot(0, 1)],
+            vec![
+                Gate::not(0),
+                Gate::cnot(0, 1),
+                Gate::cnot(0, 2),
+                Gate::cnot(0, 1),
+            ],
         );
         // CNOT(0,2) commutes with CNOT(0,1); the pair cancels.
         assert_eq!(simplify(&mut c), 2);
@@ -217,6 +272,29 @@ mod tests {
             simplify(&mut c);
             assert_eq!(c.to_permutation(), before, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn stats_account_for_each_template_class() {
+        let mut c = Circuit::from_gates(2, vec![Gate::cnot(0, 1), Gate::cnot(0, 1)]);
+        let stats = simplify_with_stats(&mut c);
+        assert_eq!(stats.gates_before, 2);
+        assert_eq!(stats.gates_after, 0);
+        assert_eq!(stats.removed(), 2);
+        assert_eq!((stats.cancellations, stats.merges), (1, 0));
+        assert_eq!(stats.passes, 2, "one rewrite sweep plus the fixpoint check");
+
+        let mut merged = Circuit::from_gates(
+            3,
+            vec![
+                Gate::not(1),
+                Gate::toffoli(&[0, 1], 2),
+                Gate::toffoli(&[0], 2),
+            ],
+        );
+        let stats = simplify_with_stats(&mut merged);
+        assert!(stats.merges >= 1, "control merge should fire: {stats:?}");
+        assert!(stats.removed() >= 1);
     }
 
     #[test]

@@ -133,7 +133,10 @@ pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
             seen_v = true;
             continue;
         }
-        if line.starts_with('.') || line.eq_ignore_ascii_case("begin") || line.eq_ignore_ascii_case("end") {
+        if line.starts_with('.')
+            || line.eq_ignore_ascii_case("begin")
+            || line.eq_ignore_ascii_case("end")
+        {
             continue;
         }
         if !seen_v {
@@ -161,7 +164,10 @@ pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
             if declared != signals.len() {
                 return Err(ParseTfcError::new(
                     lineno,
-                    format!("gate arity {declared} does not match {} signals", signals.len()),
+                    format!(
+                        "gate arity {declared} does not match {} signals",
+                        signals.len()
+                    ),
                 ));
             }
         }
@@ -189,7 +195,10 @@ pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
                 Gate::fredkin(&signals[..signals.len() - 2], t0, t1)
             }
             other => {
-                return Err(ParseTfcError::new(lineno, format!("unknown gate kind '{other}'")));
+                return Err(ParseTfcError::new(
+                    lineno,
+                    format!("unknown gate kind '{other}'"),
+                ));
             }
         };
         gates.push(gate);

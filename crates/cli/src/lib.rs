@@ -19,11 +19,12 @@ use std::fmt;
 use std::time::Duration;
 
 use rmrls_baselines::{mmd_synthesize, MmdVariant};
-use rmrls_circuit::{analyze, real, render, simplify, tfc, Circuit};
+use rmrls_circuit::{analyze, real, render, simplify, simplify_with_stats, tfc, Circuit};
 use rmrls_core::{
-    synthesize, synthesize_bidirectional, synthesize_embedded, FredkinMode, Pruning,
-    SynthesisOptions,
+    run_report, synthesize_bidirectional, synthesize_embedded, synthesize_with_observer,
+    FredkinMode, Observer, Progress, Pruning, SynthesisOptions,
 };
+use rmrls_obs::{EventSink, JsonLinesSink};
 use rmrls_pprm::MultiPprm;
 use rmrls_spec::{benchmarks, Permutation};
 
@@ -69,6 +70,10 @@ SYNTH OPTIONS:
   --render                           print an ASCII diagram
   --tfc-out FILE                     write the circuit as TFC
   --real-out FILE                    write the circuit as RevLib .real
+  --report FILE                      write a machine-readable JSON run report
+  --progress                         print periodic search progress to stderr
+  --log-json FILE                    stream search events as JSON lines
+                                     (FILE '-' streams to stderr)
 ";
 
 /// Where the input specification comes from.
@@ -97,8 +102,8 @@ impl SpecSource {
                 let values: Result<Vec<u64>, _> =
                     text.split(',').map(|s| s.trim().parse::<u64>()).collect();
                 let values = values.map_err(|e| err(format!("bad --spec: {e}")))?;
-                let perm = Permutation::from_vec(values)
-                    .map_err(|e| err(format!("bad --spec: {e}")))?;
+                let perm =
+                    Permutation::from_vec(values).map_err(|e| err(format!("bad --spec: {e}")))?;
                 Ok((perm.to_multi_pprm(), format!("{perm}")))
             }
             SpecSource::Benchmark(name) => {
@@ -153,6 +158,13 @@ pub enum Command {
         tfc_out: Option<String>,
         /// Write the result to this RevLib .real file.
         real_out: Option<String>,
+        /// Write a machine-readable JSON run report to this file.
+        report: Option<String>,
+        /// Print periodic progress snapshots to stderr.
+        progress: bool,
+        /// Stream search events as JSON lines to this file (`-` =
+        /// stderr).
+        log_json: Option<String>,
     },
     /// `rmrls mmd`.
     Mmd {
@@ -241,13 +253,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut table_path = None;
     let mut outputs = None;
     let mut spec_file = None;
+    let mut report = None;
+    let mut progress = false;
+    let mut log_json = None;
 
-    let take_value = |args: &mut std::iter::Peekable<I::IntoIter>,
-                          flag: &str|
-     -> Result<String, CliError> {
-        args.next()
-            .ok_or_else(|| err(format!("{flag} needs a value")))
-    };
+    let take_value =
+        |args: &mut std::iter::Peekable<I::IntoIter>, flag: &str| -> Result<String, CliError> {
+            args.next()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -289,6 +303,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 let v = take_value(&mut args, "--outputs")?;
                 outputs = Some(v.parse().map_err(|_| err("bad --outputs"))?);
             }
+            "--report" => report = Some(take_value(&mut args, "--report")?),
+            "--progress" => progress = true,
+            "--log-json" => log_json = Some(take_value(&mut args, "--log-json")?),
             "--fredkin" => {
                 fredkin = match take_value(&mut args, "--fredkin")?.as_str() {
                     "swap" => FredkinMode::SwapOnly,
@@ -300,19 +317,42 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         }
     }
 
+    let obs_flags_used = report.is_some() || progress || log_json.is_some();
+    if obs_flags_used && cmd != "synth" {
+        return Err(err(
+            "--report, --progress and --log-json apply only to 'synth'",
+        ));
+    }
+
     match cmd.as_str() {
-        "synth" => Ok(Command::Synth {
-            source: parse_source(spec, benchmark, tfc_path, spec_file)?,
-            pruning,
-            time_limit,
-            max_gates,
-            bidirectional,
-            fredkin,
-            simplify: do_simplify,
-            render: do_render,
-            tfc_out,
-            real_out,
-        }),
+        "synth" => {
+            if progress && log_json.as_deref() == Some("-") {
+                return Err(err(
+                    "--progress and '--log-json -' both write to stderr; pick one",
+                ));
+            }
+            if bidirectional && (progress || log_json.is_some()) {
+                return Err(err(
+                    "--progress/--log-json instrument a single search; drop --bidi \
+                     (--report works with --bidi)",
+                ));
+            }
+            Ok(Command::Synth {
+                source: parse_source(spec, benchmark, tfc_path, spec_file)?,
+                pruning,
+                time_limit,
+                max_gates,
+                bidirectional,
+                fredkin,
+                simplify: do_simplify,
+                render: do_render,
+                tfc_out,
+                real_out,
+                report,
+                progress,
+                log_json,
+            })
+        }
         "mmd" => Ok(Command::Mmd {
             source: parse_source(spec, benchmark, tfc_path, spec_file)?,
             unidirectional,
@@ -361,7 +401,10 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             Ok(())
         }
         Command::Benchmarks => {
-            for b in benchmarks::table4_suite().iter().chain(&benchmarks::example_suite()) {
+            for b in benchmarks::table4_suite()
+                .iter()
+                .chain(&benchmarks::example_suite())
+            {
                 writeln!(out, "{b}").map_err(|e| err(e.to_string()))?;
             }
             Ok(())
@@ -377,6 +420,9 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             render: do_render,
             tfc_out,
             real_out,
+            report: report_path,
+            progress,
+            log_json,
         } => {
             let (pprm, name) = source.resolve()?;
             let mut opts = SynthesisOptions::new()
@@ -388,26 +434,99 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             if let Some(g) = max_gates {
                 opts = opts.with_max_gates(g);
             }
-            let result = if bidirectional {
+
+            let mut obs = match &log_json {
+                Some(path) if path == "-" => {
+                    Observer::with_sink(Box::new(JsonLinesSink::new(std::io::stderr())))
+                }
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| err(format!("cannot create {path}: {e}")))?;
+                    let sink: Box<dyn EventSink> =
+                        Box::new(JsonLinesSink::new(std::io::BufWriter::new(file)));
+                    Observer::with_sink(sink)
+                }
+                None => Observer::null(),
+            };
+            if report_path.is_some() {
+                obs = obs.with_metrics();
+            }
+            if progress {
+                obs = obs.with_progress(Box::new(|p: &Progress| {
+                    eprintln!(
+                        "progress: {} nodes, queue {}, best {}, {} restarts, {:.1}s",
+                        p.nodes_expanded,
+                        p.queue_depth,
+                        p.best_gates
+                            .map(|g| g.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        p.restarts,
+                        p.elapsed.as_secs_f64()
+                    );
+                }));
+            }
+
+            let write_report = |stats: &rmrls_core::SearchStats,
+                                circuit: Option<&Circuit>,
+                                obs: &Observer,
+                                out: &mut dyn fmt::Write|
+             -> Result<(), CliError> {
+                let Some(path) = &report_path else {
+                    return Ok(());
+                };
+                let metrics = obs.metrics_snapshot();
+                let json = run_report(
+                    &opts,
+                    stats,
+                    circuit,
+                    metrics.as_ref(),
+                    obs.dropped_events(),
+                );
+                std::fs::write(path, format!("{json}\n"))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+                Ok(())
+            };
+
+            let outcome = if bidirectional {
                 if pprm.num_vars() > 16 {
                     return Err(err("--bidi needs an explicit truth table (<= 16 wires)"));
                 }
                 let perm = Permutation::from_vec(pprm.to_permutation())
                     .map_err(|e| err(format!("specification is not reversible: {e}")))?;
-                synthesize_bidirectional(&perm, &opts).map_err(|e| err(e.to_string()))?
+                synthesize_bidirectional(&perm, &opts)
             } else {
-                synthesize(&pprm, &opts).map_err(|e| err(e.to_string()))?
+                synthesize_with_observer(&pprm, &opts, &mut obs)
+            };
+            let result = match outcome {
+                Ok(r) => r,
+                Err(e) => {
+                    // Failed runs still get a report (stop reason and
+                    // counters are exactly what post-mortems need).
+                    write_report(&e.stats, None, &obs, out)?;
+                    return Err(err(e.to_string()));
+                }
             };
             let mut circuit = result.circuit;
             if do_simplify {
-                let removed = simplify(&mut circuit);
-                writeln!(out, "template simplification removed {removed} gates")
-                    .map_err(|e| err(e.to_string()))?;
+                let s = simplify_with_stats(&mut circuit);
+                writeln!(
+                    out,
+                    "template simplification removed {} gates \
+                     ({} cancellations, {} merges, {} passes)",
+                    s.removed(),
+                    s.cancellations,
+                    s.merges,
+                    s.passes
+                )
+                .map_err(|e| err(e.to_string()))?;
             }
+            write_report(&result.stats, Some(&circuit), &obs, out)?;
             report(&circuit, &name, out).map_err(|e| err(e.to_string()))?;
             writeln!(out, "search: {}", result.stats).map_err(|e| err(e.to_string()))?;
             if do_render {
-                out.write_str(&render(&circuit)).map_err(|e| err(e.to_string()))?;
+                out.write_str(&render(&circuit))
+                    .map_err(|e| err(e.to_string()))?;
             }
             if let Some(path) = tfc_out {
                 std::fs::write(&path, tfc::write(&circuit))
@@ -449,7 +568,10 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 .map_err(|e| err(format!("cannot read {table_path}: {e}")))?;
             let rows: Vec<u64> = text
                 .split_whitespace()
-                .map(|w| w.parse().map_err(|e| err(format!("bad output word '{w}': {e}"))))
+                .map(|w| {
+                    w.parse()
+                        .map_err(|e| err(format!("bad output word '{w}': {e}")))
+                })
                 .collect::<Result<_, _>>()?;
             if rows.is_empty() || !rows.len().is_power_of_two() {
                 return Err(err(format!(
@@ -479,7 +601,8 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
         Command::Info { tfc_path } => {
             let circuit = load_tfc(&tfc_path)?;
             report(&circuit, &tfc_path, out).map_err(|e| err(e.to_string()))?;
-            out.write_str(&render(&circuit)).map_err(|e| err(e.to_string()))?;
+            out.write_str(&render(&circuit))
+                .map_err(|e| err(e.to_string()))?;
             Ok(())
         }
         Command::Analyze { tfc_path } => {
@@ -488,25 +611,33 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             writeln!(out, "{tfc_path}: {stats}").map_err(|e| err(e.to_string()))?;
             for (size, count) in stats.gate_size_histogram.iter().enumerate() {
                 if *count > 0 {
-                    writeln!(out, "  size-{size} gates: {count}").map_err(|e| err(e.to_string()))?;
+                    writeln!(out, "  size-{size} gates: {count}")
+                        .map_err(|e| err(e.to_string()))?;
                 }
             }
-            writeln!(out, "  idle wires: {}", stats.idle_wires()).map_err(|e| err(e.to_string()))?;
+            writeln!(out, "  idle wires: {}", stats.idle_wires())
+                .map_err(|e| err(e.to_string()))?;
             Ok(())
         }
         Command::Simplify { tfc_path, tfc_out } => {
             let mut circuit = load_tfc(&tfc_path)?;
             let before = circuit.gate_count();
             let removed = simplify(&mut circuit);
-            writeln!(out, "{before} gates -> {} (removed {removed})", circuit.gate_count())
-                .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "{before} gates -> {} (removed {removed})",
+                circuit.gate_count()
+            )
+            .map_err(|e| err(e.to_string()))?;
             match tfc_out {
                 Some(path) => {
                     std::fs::write(&path, tfc::write(&circuit))
                         .map_err(|e| err(format!("cannot write {path}: {e}")))?;
                     writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
                 }
-                None => out.write_str(&tfc::write(&circuit)).map_err(|e| err(e.to_string()))?,
+                None => out
+                    .write_str(&tfc::write(&circuit))
+                    .map_err(|e| err(e.to_string()))?,
             }
             Ok(())
         }
@@ -634,7 +765,11 @@ mod tests {
     #[test]
     fn synth_flags_parse() {
         match parse(&["synth", "--spec", "0,1", "--bidi", "--fredkin", "full"]).unwrap() {
-            Command::Synth { bidirectional, fredkin, .. } => {
+            Command::Synth {
+                bidirectional,
+                fredkin,
+                ..
+            } => {
                 assert!(bidirectional);
                 assert_eq!(fredkin, FredkinMode::Full);
             }
@@ -697,6 +832,167 @@ mod tests {
         let mut out = String::new();
         run(cmd, &mut out).unwrap();
         assert!(out.contains("gates: 3"), "{out}");
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        match parse(&[
+            "synth",
+            "--spec",
+            "0,1",
+            "--report",
+            "run.json",
+            "--progress",
+            "--log-json",
+            "events.jsonl",
+        ])
+        .unwrap()
+        {
+            Command::Synth {
+                report,
+                progress,
+                log_json,
+                ..
+            } => {
+                assert_eq!(report.as_deref(), Some("run.json"));
+                assert!(progress);
+                assert_eq!(log_json.as_deref(), Some("events.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Value-taking flags demand values.
+        assert!(parse(&["synth", "--spec", "0,1", "--report"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--log-json"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_rejected_outside_synth() {
+        assert!(parse(&["mmd", "--spec", "0,1", "--report", "r.json"]).is_err());
+        assert!(parse(&["info", "--tfc", "x.tfc", "--progress"]).is_err());
+        assert!(parse(&["benchmarks", "--log-json", "-"]).is_err());
+    }
+
+    #[test]
+    fn observability_flag_conflicts() {
+        // --progress and '--log-json -' would interleave on stderr.
+        assert!(parse(&["synth", "--spec", "0,1", "--progress", "--log-json", "-"]).is_err());
+        // A file-backed event log composes with --progress.
+        assert!(parse(&[
+            "synth",
+            "--spec",
+            "0,1",
+            "--progress",
+            "--log-json",
+            "e.jsonl"
+        ])
+        .is_ok());
+        // --bidi runs two uninstrumented searches.
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--progress"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--log-json", "e.jsonl"]).is_err());
+        // ... but --report only needs the returned stats.
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--report", "r.json"]).is_ok());
+    }
+
+    #[test]
+    fn usage_documents_observability_flags() {
+        for flag in ["--report", "--progress", "--log-json"] {
+            assert!(USAGE.contains(flag), "USAGE must mention {flag}");
+        }
+    }
+
+    #[test]
+    fn report_file_round_trips_against_cli_output() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-report.json");
+        let cmd = parse(&[
+            "synth",
+            "--benchmark",
+            "ex1",
+            "--report",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("ex1 synthesizes");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = rmrls_obs::Json::parse(&text).expect("report is valid JSON");
+        assert_eq!(json.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("solved").unwrap().as_bool(), Some(true));
+        // The report's gate count agrees with the human-readable output.
+        let gates = json
+            .get("circuit")
+            .unwrap()
+            .get("gates")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(out.contains(&format!("gates: {gates}")), "{out}");
+        let stats = json.get("stats").unwrap();
+        for field in [
+            "nodes_expanded",
+            "children_pushed",
+            "restarts",
+            "dedup_hits",
+            "queue_peak",
+            "restart_spans",
+            "stop_reason",
+        ] {
+            assert!(stats.get(field).is_some(), "stats.{field} missing");
+        }
+        // Metrics ride along because --report enables the registry.
+        assert!(json.get("metrics").unwrap().get("histograms").is_some());
+        assert_eq!(json.get("events_dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn failed_synthesis_still_writes_a_report() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("failed-report.json");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "0,1,2,4,3,5,6,7",
+            "--max-gates",
+            "1",
+            "--report",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        assert!(run(cmd, &mut out).is_err(), "cap below optimum must fail");
+        let json = rmrls_obs::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(json.get("solved").unwrap().as_bool(), Some(false));
+        assert!(json.get("stats").unwrap().get("stop_reason").is_some());
+    }
+
+    #[test]
+    fn log_json_streams_bracketed_events() {
+        let dir = std::env::temp_dir().join("rmrls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "1,0,7,2,3,4,5,6",
+            "--log-json",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "expected a stream of events: {text}");
+        let first = rmrls_obs::Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("run_start"));
+        let last = rmrls_obs::Json::parse(lines[lines.len() - 1]).unwrap();
+        assert_eq!(last.get("event").unwrap().as_str(), Some("run_end"));
+        for line in &lines {
+            rmrls_obs::Json::parse(line).expect("every line is standalone JSON");
+        }
     }
 
     #[test]

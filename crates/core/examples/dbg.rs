@@ -4,8 +4,13 @@ use std::time::{Duration, Instant};
 fn main() {
     let t0 = Instant::now();
     let (mut nct, mut swap, mut full, mut n) = (0usize, 0usize, 0usize, 0usize);
-    let base = SynthesisOptions::new().with_max_nodes(20000).with_max_gates(20).with_time_limit(Duration::from_millis(500));
-    let s = base.clone().with_fredkin_substitutions(FredkinMode::SwapOnly);
+    let base = SynthesisOptions::new()
+        .with_max_nodes(20000)
+        .with_max_gates(20)
+        .with_time_limit(Duration::from_millis(500));
+    let s = base
+        .clone()
+        .with_fredkin_substitutions(FredkinMode::SwapOnly);
     let f = base.clone().with_fredkin_substitutions(FredkinMode::Full);
     for rank in (0..40320u128).step_by(101) {
         let spec = Permutation::from_rank(3, rank).to_multi_pprm();
@@ -14,6 +19,11 @@ fn main() {
         full += synthesize(&spec, &f).unwrap().circuit.gate_count();
         n += 1;
     }
-    println!("NCT {:.3} | NCTS(swap) {:.3} | GF(full fredkin) {:.3} over {n} ({:?})",
-        nct as f64/n as f64, swap as f64/n as f64, full as f64/n as f64, t0.elapsed());
+    println!(
+        "NCT {:.3} | NCTS(swap) {:.3} | GF(full fredkin) {:.3} over {n} ({:?})",
+        nct as f64 / n as f64,
+        swap as f64 / n as f64,
+        full as f64 / n as f64,
+        t0.elapsed()
+    );
 }

@@ -8,9 +8,25 @@
 //! completions can differ by several gates, so the portfolio recovers
 //! much of the benefit of dynamic assignment at a bounded cost.
 
+use std::time::Duration;
+
+use rmrls_obs::{Event, Value};
 use rmrls_spec::{embed_with_strategy, CompletionStrategy, Embedding, TruthTable};
 
-use crate::{synthesize, NoSolutionError, Synthesis, SynthesisOptions};
+use crate::{synthesize, NoSolutionError, Observer, StopReason, Synthesis, SynthesisOptions};
+
+/// How one completion strategy of the embedding portfolio fared.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingAttempt {
+    /// The completion strategy tried.
+    pub strategy: CompletionStrategy,
+    /// Gate count of its circuit, if it synthesized.
+    pub gates: Option<u32>,
+    /// Wall-clock time its search spent.
+    pub elapsed: Duration,
+    /// Why its search stopped.
+    pub stop_reason: Option<StopReason>,
+}
 
 /// The winning embedding and its synthesis.
 #[derive(Clone, Debug)]
@@ -21,6 +37,9 @@ pub struct EmbeddedSynthesis {
     pub embedding: Embedding,
     /// The completion strategy that produced it.
     pub strategy: CompletionStrategy,
+    /// Every strategy tried, in portfolio order, with its outcome —
+    /// attribution for run reports.
+    pub attempts: Vec<EmbeddingAttempt>,
 }
 
 /// The portfolio tried by [`synthesize_embedded`], in order.
@@ -58,16 +77,63 @@ pub fn synthesize_embedded(
     table: &TruthTable,
     options: &SynthesisOptions,
 ) -> Result<EmbeddedSynthesis, NoSolutionError> {
+    synthesize_embedded_with_observer(table, options, &mut Observer::null())
+}
+
+/// [`synthesize_embedded`] with per-strategy attribution streamed
+/// through `obs` as `embedding_attempt` events; the returned
+/// [`EmbeddedSynthesis::attempts`] records the same outcomes.
+///
+/// # Errors
+///
+/// Same as [`synthesize_embedded`].
+pub fn synthesize_embedded_with_observer(
+    table: &TruthTable,
+    options: &SynthesisOptions,
+    obs: &mut Observer,
+) -> Result<EmbeddedSynthesis, NoSolutionError> {
     let mut per_try = options.clone();
     if let Some(t) = options.time_limit {
         per_try.time_limit = Some(t / COMPLETION_PORTFOLIO.len() as u32);
     }
     let mut best: Option<EmbeddedSynthesis> = None;
     let mut last_err: Option<NoSolutionError> = None;
+    let mut attempts: Vec<EmbeddingAttempt> = Vec::with_capacity(COMPLETION_PORTFOLIO.len());
 
     for strategy in COMPLETION_PORTFOLIO {
         let embedding = embed_with_strategy(table, None, strategy);
-        match synthesize(&embedding.permutation.to_multi_pprm(), &per_try) {
+        let result = synthesize(&embedding.permutation.to_multi_pprm(), &per_try);
+        let attempt = match &result {
+            Ok(s) => EmbeddingAttempt {
+                strategy,
+                gates: Some(s.circuit.gate_count() as u32),
+                elapsed: s.stats.elapsed,
+                stop_reason: s.stats.stop_reason,
+            },
+            Err(e) => EmbeddingAttempt {
+                strategy,
+                gates: None,
+                elapsed: e.stats.elapsed,
+                stop_reason: e.stats.stop_reason,
+            },
+        };
+        obs.emit(Event::new(
+            "embedding_attempt",
+            vec![
+                ("strategy", Value::Str(format!("{strategy:?}"))),
+                ("solved", Value::from(attempt.gates.is_some())),
+                (
+                    "gates",
+                    match attempt.gates {
+                        Some(g) => Value::from(g),
+                        None => Value::Int(-1),
+                    },
+                ),
+                ("seconds", Value::from(attempt.elapsed.as_secs_f64())),
+            ],
+        ));
+        attempts.push(attempt);
+        match result {
             Ok(synthesis) => {
                 let better = best
                     .as_ref()
@@ -78,13 +144,20 @@ pub fn synthesize_embedded(
                         synthesis,
                         embedding,
                         strategy,
+                        attempts: Vec::new(),
                     });
                 }
             }
             Err(e) => last_err = Some(e),
         }
     }
-    best.ok_or_else(|| last_err.expect("no successes implies at least one failure"))
+    match best {
+        Some(mut winner) => {
+            winner.attempts = attempts;
+            Ok(winner)
+        }
+        None => Err(last_err.expect("no successes implies at least one failure")),
+    }
 }
 
 #[cfg(test)]
@@ -146,10 +219,35 @@ mod tests {
     }
 
     #[test]
+    fn attempts_cover_the_whole_portfolio() {
+        let best = synthesize_embedded(&adder(), &SynthesisOptions::new().with_max_nodes(20_000))
+            .expect("succeeds");
+        assert_eq!(best.attempts.len(), COMPLETION_PORTFOLIO.len());
+        let winning = best
+            .attempts
+            .iter()
+            .find(|a| a.strategy == best.strategy)
+            .expect("winner is among the attempts");
+        assert_eq!(
+            winning.gates,
+            Some(best.synthesis.circuit.gate_count() as u32)
+        );
+        // No attempted strategy beat the declared winner.
+        for a in &best.attempts {
+            if let Some(g) = a.gates {
+                assert!(g >= best.synthesis.circuit.gate_count() as u32);
+            }
+        }
+    }
+
+    #[test]
     fn strategies_produce_distinct_embeddings() {
         let table = adder();
         let a = embed_with_strategy(&table, None, CompletionStrategy::HammingGreedy);
         let b = embed_with_strategy(&table, None, CompletionStrategy::Ascending);
-        assert_ne!(a.permutation, b.permutation, "portfolio must have diversity");
+        assert_ne!(
+            a.permutation, b.permutation,
+            "portfolio must have diversity"
+        );
     }
 }

@@ -29,15 +29,33 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// NoSolutionError deliberately carries the full SearchStats (counters,
+// restart spans, stop reason) so failed runs are as reportable as
+// successful ones; synthesis calls are far too coarse for the extra
+// bytes on the error path to matter.
+#![allow(clippy::result_large_err)]
 
 mod embedding_search;
+mod observe;
 mod options;
 mod portfolio;
+mod report;
 mod search;
 mod stats;
 
+pub use embedding_search::{
+    synthesize_embedded, synthesize_embedded_with_observer, EmbeddedSynthesis, EmbeddingAttempt,
+    COMPLETION_PORTFOLIO,
+};
+pub use observe::{Observer, Progress, ProgressFn};
 pub use options::{FredkinMode, PriorityMode, Pruning, SynthesisOptions, Weights};
-pub use embedding_search::{synthesize_embedded, EmbeddedSynthesis, COMPLETION_PORTFOLIO};
-pub use portfolio::{default_portfolio, synthesize_portfolio};
-pub use search::{synthesize, synthesize_bidirectional, synthesize_permutation, NoSolutionError, Synthesis};
-pub use stats::{SearchStats, StopReason, TraceEvent};
+pub use portfolio::{
+    default_portfolio, synthesize_portfolio, synthesize_portfolio_attributed, ConfigOutcome,
+    PortfolioRun,
+};
+pub use report::{options_to_json, run_report, stats_to_json, RUN_REPORT_SCHEMA_VERSION};
+pub use search::{
+    synthesize, synthesize_bidirectional, synthesize_permutation, synthesize_with_observer,
+    NoSolutionError, Synthesis,
+};
+pub use stats::{RestartSpan, SearchStats, StopReason, TraceEvent};

@@ -173,6 +173,18 @@ pub struct SynthesisOptions {
     /// Skip re-expanding search states already seen since the last
     /// restart. An engineering addition over the paper (documented in
     /// DESIGN.md); prevents oscillating `v ⊕ 1` chains.
+    ///
+    /// States are identified by a 64-bit `DefaultHasher` fingerprint, so
+    /// two distinct states can collide and the later one be wrongly
+    /// skipped (birthday bound: about `k²/2⁶⁵` for `k` visited states,
+    /// ≈ 3·10⁻⁸ at a million states). As a partial guard the search also
+    /// records each state's term count and never skips on a fingerprint
+    /// match whose term counts differ, counting the event in
+    /// [`SearchStats::dedup_collisions`](crate::SearchStats::dedup_collisions).
+    /// An undetected collision can at worst hide one search branch
+    /// (possibly missing a smaller circuit); it can never corrupt an
+    /// emitted circuit, which realizes the spec by construction of the
+    /// substitution chain.
     pub dedup_states: bool,
     /// Discard children whose substitution does not strictly decrease the
     /// term count (the literal reading of Fig. 4 line 31). The default is

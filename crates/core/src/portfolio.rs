@@ -8,9 +8,13 @@
 //! near-admissible weight that polishes small ones cost one wall-clock
 //! budget together.
 
+use rmrls_obs::{Event, Value};
 use rmrls_pprm::MultiPprm;
 
-use crate::{synthesize, NoSolutionError, PriorityMode, Pruning, Synthesis, SynthesisOptions};
+use crate::{
+    synthesize, NoSolutionError, Observer, PriorityMode, Pruning, SearchStats, Synthesis,
+    SynthesisOptions,
+};
 
 /// A sensible default portfolio derived from the ablation study:
 /// near-admissible A* (quality), weighted A* (depth), greedy pruning
@@ -19,7 +23,9 @@ pub fn default_portfolio(base: &SynthesisOptions) -> Vec<SynthesisOptions> {
     vec![
         base.clone(),
         base.clone().with_astar_weight(1.0),
-        base.clone().with_pruning(Pruning::Greedy).with_astar_weight(1.0),
+        base.clone()
+            .with_pruning(Pruning::Greedy)
+            .with_astar_weight(1.0),
         base.clone()
             .with_priority_mode(PriorityMode::CumulativeRate)
             .with_pruning(Pruning::TopK(4)),
@@ -53,34 +59,98 @@ pub fn synthesize_portfolio(
     spec: &MultiPprm,
     configs: &[SynthesisOptions],
 ) -> Result<Synthesis, NoSolutionError> {
-    assert!(!configs.is_empty(), "portfolio needs at least one configuration");
-    let mut results: Vec<Result<Synthesis, NoSolutionError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = configs
-                .iter()
-                .map(|opts| scope.spawn(move || synthesize(spec, opts)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("synthesis threads do not panic"))
-                .collect()
-        });
+    synthesize_portfolio_attributed(spec, configs, &mut Observer::null()).result
+}
 
-    let mut best: Option<Synthesis> = None;
+/// How one portfolio configuration fared.
+#[derive(Clone, Debug)]
+pub struct ConfigOutcome {
+    /// Index into the submitted configuration list.
+    pub index: usize,
+    /// Gate count of this configuration's solution, if it found one.
+    pub gates: Option<u32>,
+    /// Quantum cost of this configuration's solution, if any.
+    pub quantum_cost: Option<u64>,
+    /// The run's search statistics (recorded on success and failure).
+    pub stats: SearchStats,
+}
+
+/// A portfolio run with per-configuration attribution: which
+/// configuration won, and what every configuration spent.
+#[derive(Debug)]
+pub struct PortfolioRun {
+    /// The best circuit found, or the first failure if none solved it.
+    pub result: Result<Synthesis, NoSolutionError>,
+    /// Index of the winning configuration; `None` when all failed.
+    pub winner: Option<usize>,
+    /// Per-configuration outcomes in submission order.
+    pub outcomes: Vec<ConfigOutcome>,
+}
+
+/// [`synthesize_portfolio`] with winner attribution and per-config
+/// outcomes, reported through `obs` as `portfolio_config` /
+/// `portfolio_winner` events.
+///
+/// The member searches run uninstrumented on their own threads (an
+/// [`Observer`] is single-threaded by design); the parent thread emits
+/// one attribution event per configuration once all of them finish.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn synthesize_portfolio_attributed(
+    spec: &MultiPprm,
+    configs: &[SynthesisOptions],
+    obs: &mut Observer,
+) -> PortfolioRun {
+    assert!(
+        !configs.is_empty(),
+        "portfolio needs at least one configuration"
+    );
+    let mut results: Vec<Result<Synthesis, NoSolutionError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|opts| scope.spawn(move || synthesize(spec, opts)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("synthesis threads do not panic"))
+            .collect()
+    });
+
+    let outcomes: Vec<ConfigOutcome> = results
+        .iter()
+        .enumerate()
+        .map(|(index, result)| match result {
+            Ok(s) => ConfigOutcome {
+                index,
+                gates: Some(s.circuit.gate_count() as u32),
+                quantum_cost: Some(s.circuit.quantum_cost()),
+                stats: s.stats.clone(),
+            },
+            Err(e) => ConfigOutcome {
+                index,
+                gates: None,
+                quantum_cost: None,
+                stats: e.stats.clone(),
+            },
+        })
+        .collect();
+
+    let mut best: Option<(usize, Synthesis)> = None;
     let mut first_err: Option<NoSolutionError> = None;
-    for result in results.drain(..) {
+    for (index, result) in results.drain(..).enumerate() {
         match result {
             Ok(s) => {
                 let better = best
                     .as_ref()
-                    .map(|b| {
+                    .map(|(_, b)| {
                         let (sg, bg) = (s.circuit.gate_count(), b.circuit.gate_count());
-                        sg < bg
-                            || (sg == bg && s.circuit.quantum_cost() < b.circuit.quantum_cost())
+                        sg < bg || (sg == bg && s.circuit.quantum_cost() < b.circuit.quantum_cost())
                     })
                     .unwrap_or(true);
                 if better {
-                    best = Some(s);
+                    best = Some((index, s));
                 }
             }
             Err(e) => {
@@ -90,7 +160,42 @@ pub fn synthesize_portfolio(
             }
         }
     }
-    best.ok_or_else(|| first_err.expect("all failed implies an error"))
+
+    let winner = best.as_ref().map(|(i, _)| *i);
+    for outcome in &outcomes {
+        obs.emit(Event::new(
+            "portfolio_config",
+            vec![
+                ("config", Value::from(outcome.index)),
+                ("solved", Value::from(outcome.gates.is_some())),
+                (
+                    "gates",
+                    match outcome.gates {
+                        Some(g) => Value::from(g),
+                        None => Value::Int(-1),
+                    },
+                ),
+                ("nodes", Value::from(outcome.stats.nodes_expanded)),
+                ("seconds", Value::from(outcome.stats.elapsed.as_secs_f64())),
+            ],
+        ));
+    }
+    if let Some(w) = winner {
+        obs.emit(Event::new(
+            "portfolio_winner",
+            vec![("config", Value::from(w))],
+        ));
+    }
+
+    let result = match best {
+        Some((_, s)) => Ok(s),
+        None => Err(first_err.expect("all failed implies an error")),
+    };
+    PortfolioRun {
+        result,
+        winner,
+        outcomes,
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +242,39 @@ mod tests {
     fn empty_portfolio_panics() {
         let spec = MultiPprm::identity(2);
         let _ = synthesize_portfolio(&spec, &[]);
+    }
+
+    #[test]
+    fn attributed_portfolio_names_the_winner() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let configs = default_portfolio(&budgeted());
+        let mut obs = Observer::null();
+        let run = synthesize_portfolio_attributed(&spec, &configs, &mut obs);
+        let best = run.result.expect("solution");
+        let winner = run.winner.expect("winner exists when result is Ok");
+        assert_eq!(run.outcomes.len(), configs.len());
+        assert_eq!(
+            run.outcomes[winner].gates,
+            Some(best.circuit.gate_count() as u32),
+            "winner outcome must match the returned circuit"
+        );
+        // No losing configuration did strictly better.
+        for o in &run.outcomes {
+            if let Some(g) = o.gates {
+                assert!(g >= best.circuit.gate_count() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn attributed_portfolio_reports_all_failures() {
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let impossible = budgeted().with_max_gates(1);
+        let configs = vec![impossible.clone(), impossible];
+        let run = synthesize_portfolio_attributed(&spec, &configs, &mut Observer::null());
+        assert!(run.result.is_err());
+        assert_eq!(run.winner, None);
+        assert!(run.outcomes.iter().all(|o| o.gates.is_none()));
     }
 
     #[test]

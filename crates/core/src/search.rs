@@ -21,9 +21,12 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use rmrls_circuit::{Circuit, Gate};
+use rmrls_obs::SpanTimer;
 use rmrls_pprm::{MultiPprm, Term};
 use rmrls_spec::Permutation;
 
+use crate::observe::{Observer, Progress};
+use crate::stats::RestartSpan;
 use crate::{SearchStats, StopReason, SynthesisOptions, TraceEvent};
 
 /// Cap on recorded trace events.
@@ -128,12 +131,16 @@ struct Candidate {
     state: MultiPprm,
     eliminated: i64,
     priority: f64,
+    /// Total PPRM terms of `state` (computed during evaluation; reused
+    /// by dedup collision detection and the observer).
+    terms: usize,
 }
 
 struct Search<'a> {
     options: &'a SynthesisOptions,
     stats: SearchStats,
     start: Instant,
+    obs: &'a mut Observer,
     seq: u64,
     /// Terms in the root expansion (`initTerms`); Eq. 4's `elim` is the
     /// cumulative count of terms eliminated relative to this, so
@@ -143,11 +150,19 @@ struct Search<'a> {
     /// Best solution: (gate count, quantum cost, path).
     best: Option<(u32, u64, Option<Rc<PathNode>>)>,
     queue: BinaryHeap<QueueEntry>,
-    /// State fingerprint → shallowest depth at which it was queued.
-    /// Re-queuing is allowed when a strictly shallower path is found, so
-    /// deduplication never hides a shorter circuit.
-    visited: HashMap<u64, u32>,
+    /// State fingerprint → (shallowest queued depth, term count of the
+    /// recorded state). Re-queuing is allowed when a strictly shallower
+    /// path is found, so deduplication never hides a shorter circuit.
+    /// The term count guards against 64-bit fingerprint collisions: a
+    /// matching fingerprint with a *different* term count is provably a
+    /// distinct state and is never pruned (see `SynthesisOptions::
+    /// dedup_states` for the residual risk).
+    visited: HashMap<u64, (u32, u32)>,
     steps_since_restart: u64,
+    /// Timer for the current restart segment.
+    segment_timer: SpanTimer,
+    /// `nodes_expanded` at the start of the current segment.
+    segment_start_nodes: u64,
 }
 
 fn state_fingerprint(state: &MultiPprm) -> u64 {
@@ -157,24 +172,46 @@ fn state_fingerprint(state: &MultiPprm) -> u64 {
 }
 
 impl<'a> Search<'a> {
-    fn new(options: &'a SynthesisOptions, init_terms: usize) -> Self {
+    fn new(options: &'a SynthesisOptions, init_terms: usize, obs: &'a mut Observer) -> Self {
         Search {
             options,
             stats: SearchStats::default(),
             start: Instant::now(),
+            obs,
             seq: 0,
             init_terms,
             best: None,
             queue: BinaryHeap::new(),
             visited: HashMap::new(),
             steps_since_restart: 0,
+            segment_timer: SpanTimer::start(),
+            segment_start_nodes: 0,
         }
     }
 
     fn trace(&mut self, event: TraceEvent) {
-        if self.options.trace && self.stats.trace.len() < TRACE_CAP {
-            self.stats.trace.push(event);
+        if self.options.trace {
+            if self.stats.trace.len() < TRACE_CAP {
+                self.stats.trace.push(event);
+            } else {
+                // Never truncate silently: account for every event the
+                // buffer could not keep (satellite of the obs layer; the
+                // streaming sink has no cap at all).
+                self.stats.trace_dropped += 1;
+            }
         }
+    }
+
+    /// Closes the current restart segment, recording its span.
+    fn end_segment(&mut self) -> RestartSpan {
+        let span = RestartSpan {
+            ordinal: self.stats.restart_spans.len() as u64,
+            nodes_expanded: self.stats.nodes_expanded - self.segment_start_nodes,
+            elapsed: self.segment_timer.lap(),
+        };
+        self.stats.restart_spans.push(span);
+        self.segment_start_nodes = self.stats.nodes_expanded;
+        span
     }
 
     /// Depth bound children must stay under to remain useful.
@@ -185,11 +222,7 @@ impl<'a> Search<'a> {
             .as_ref()
             .map(|(d, _, _)| (d + slack).saturating_sub(1))
             .unwrap_or(u32::MAX);
-        let from_cap = self
-            .options
-            .max_gates
-            .map(|g| g as u32)
-            .unwrap_or(u32::MAX);
+        let from_cap = self.options.max_gates.map(|g| g as u32).unwrap_or(u32::MAX);
         from_best.min(from_cap)
     }
 
@@ -207,6 +240,9 @@ impl<'a> Search<'a> {
             depth: entry.depth,
             terms: state.total_terms(),
         });
+        if self.obs.is_active() {
+            self.obs.on_expand(entry.depth, state.total_terms());
+        }
 
         for var in 0..n {
             let expansion = state.output(var);
@@ -382,8 +418,7 @@ impl<'a> Search<'a> {
                 .best
                 .as_ref()
                 .map(|&(d, c, _)| {
-                    child_depth < d
-                        || (self.options.tie_break_cost && child_depth == d && cost < c)
+                    child_depth < d || (self.options.tie_break_cost && child_depth == d && cost < c)
                 })
                 .unwrap_or(true);
             let within_cap = self
@@ -395,6 +430,9 @@ impl<'a> Search<'a> {
                 depth: child_depth,
                 improved: improved && within_cap,
             });
+            if self.obs.is_active() {
+                self.obs.on_solution(child_depth, improved && within_cap);
+            }
             if improved && within_cap {
                 self.best = Some((child_depth, cost, path));
                 self.steps_since_restart = 0;
@@ -434,48 +472,80 @@ impl<'a> Search<'a> {
                 state: new_state,
                 eliminated,
                 priority,
+                terms,
             });
         }
         false
     }
 
     fn push_child(&mut self, entry: &QueueEntry, candidate: Candidate, child_depth: u32) {
+        let Candidate {
+            gate,
+            state,
+            eliminated,
+            priority,
+            terms,
+        } = candidate;
         if child_depth >= self.depth_cutoff() {
+            self.stats.depth_pruned += 1;
             return;
         }
         if self.options.dedup_states {
-            let fp = state_fingerprint(&candidate.state);
+            let fp = state_fingerprint(&state);
+            let terms32 = terms as u32;
             match self.visited.get(&fp) {
-                Some(&seen) if seen <= child_depth => return,
+                Some(&(_, seen_terms)) if seen_terms != terms32 => {
+                    // Same fingerprint, different term count: provably a
+                    // 64-bit hash collision between distinct states. Keep
+                    // the candidate (never prune on a collision) and
+                    // record the newcomer.
+                    self.stats.dedup_collisions += 1;
+                    self.visited.insert(fp, (child_depth, terms32));
+                }
+                Some(&(seen_depth, _)) if seen_depth <= child_depth => {
+                    self.stats.dedup_hits += 1;
+                    return;
+                }
                 _ => {
-                    self.visited.insert(fp, child_depth);
+                    self.visited.insert(fp, (child_depth, terms32));
                 }
             }
         }
         self.trace(TraceEvent::Push {
-            gate: candidate.gate,
+            gate,
             depth: child_depth,
-            eliminated: candidate.eliminated,
-            priority: candidate.priority,
+            eliminated,
+            priority,
         });
         self.stats.children_pushed += 1;
         self.seq += 1;
         self.queue.push(QueueEntry {
-            priority: candidate.priority,
+            priority,
             seq: self.seq,
             depth: child_depth,
-            state: candidate.state.clone(),
+            state,
             path: Some(Rc::new(PathNode {
                 parent: entry.path.as_ref().map(Rc::clone),
-                gate: candidate.gate,
+                gate,
             })),
         });
+        if self.queue.len() as u64 > self.stats.queue_peak {
+            self.stats.queue_peak = self.queue.len() as u64;
+        }
+        if self.obs.is_active() {
+            let queue_depth = self.queue.len();
+            self.obs
+                .on_push(gate, child_depth, eliminated, priority, terms, queue_depth);
+        }
         if let Some(cap) = self.options.max_queue {
             if self.queue.len() > cap {
                 // Beam trim: keep the better half, drop the rest.
                 let mut entries: Vec<QueueEntry> = std::mem::take(&mut self.queue).into_vec();
                 entries.sort_by(|a, b| b.cmp(a));
+                let dropped = entries.len().saturating_sub(cap / 2);
                 entries.truncate(cap / 2);
+                self.stats.beam_trims += 1;
+                self.stats.beam_dropped += dropped as u64;
                 self.queue = BinaryHeap::from(entries);
             }
         }
@@ -490,6 +560,17 @@ impl<'a> Search<'a> {
 
     fn finish(mut self, num_vars: usize) -> Result<Synthesis, NoSolutionError> {
         self.stats.elapsed = self.start.elapsed();
+        self.end_segment();
+        if self.obs.is_active() {
+            let reason = self
+                .stats
+                .stop_reason
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".into());
+            let gates = self.best.as_ref().map(|&(d, _, _)| d);
+            self.obs
+                .on_run_end(&reason, self.stats.nodes_expanded, gates);
+        }
         match self.best.take() {
             Some((_, _, path)) => {
                 let circuit = Circuit::from_gates(num_vars, path_to_gates(&path));
@@ -510,7 +591,9 @@ impl<'a> Search<'a> {
 /// solve outright here.
 fn greedy_dive(spec: &MultiPprm, options: &SynthesisOptions) -> Option<Vec<Gate>> {
     let n = spec.num_vars();
-    let cap = options.max_gates.unwrap_or(4 * spec.total_terms().max(n) + 8);
+    let cap = options
+        .max_gates
+        .unwrap_or(4 * spec.total_terms().max(n) + 8);
     let mut state = spec.clone();
     let mut gates = Vec::new();
     while !state.is_identity() {
@@ -589,8 +672,32 @@ pub fn synthesize(
     spec: &MultiPprm,
     options: &SynthesisOptions,
 ) -> Result<Synthesis, NoSolutionError> {
+    let mut obs = Observer::null();
+    synthesize_with_observer(spec, options, &mut obs)
+}
+
+/// [`synthesize`] with an attached [`Observer`] that streams structured
+/// events, aggregates metrics, and reports periodic progress.
+///
+/// With [`Observer::null()`] this is exactly [`synthesize`] (each hook
+/// site costs one predictable branch). See [`Observer`] for the
+/// available instrumentation; after the run, query the observer for
+/// dropped events and metric snapshots.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with_observer(
+    spec: &MultiPprm,
+    options: &SynthesisOptions,
+    obs: &mut Observer,
+) -> Result<Synthesis, NoSolutionError> {
     let n = spec.num_vars();
-    let mut search = Search::new(options, spec.total_terms());
+    let init_terms = spec.total_terms();
+    let mut search = Search::new(options, init_terms, obs);
+    if search.obs.is_active() {
+        search.obs.on_run_start(n, init_terms);
+    }
 
     if spec.is_identity() {
         search.stats.stop_reason = Some(StopReason::QueueExhausted);
@@ -610,6 +717,9 @@ pub fn synthesize(
                     depth: gates.len() as u32,
                     improved: true,
                 });
+                if search.obs.is_active() {
+                    search.obs.on_solution(gates.len() as u32, true);
+                }
                 let cost = if options.tie_break_cost {
                     gates.iter().map(|&g| rmrls_circuit::gate_cost(g, n)).sum()
                 } else {
@@ -636,26 +746,31 @@ pub fn synthesize(
         state: spec.clone(),
         path: None,
     };
-    search.visited.insert(state_fingerprint(spec), 0);
+    search
+        .visited
+        .insert(state_fingerprint(spec), (0, init_terms as u32));
     if search.expand(&root) {
         return search.finish(n);
     }
     let mut root_children: Vec<QueueEntry> = search.queue.drain().collect();
     root_children.sort_by(|a, b| b.cmp(a)); // best first
-    // Restart schedule (§IV-E): the r-th restart reseeds the queue with
-    // only the r-th best first-level substitution, forcing an alternative
-    // path; once every first-level alternative has had its budget, a final
-    // phase reseeds everything and runs without further restarts.
+                                            // Restart schedule (§IV-E): the r-th restart reseeds the queue with
+                                            // only the r-th best first-level substitution, forcing an alternative
+                                            // path; once every first-level alternative has had its budget, a final
+                                            // phase reseeds everything and runs without further restarts.
     let mut restarts_left = root_children.len().saturating_sub(1);
     let mut next_restart_child = 0usize;
     let reseed = |search: &mut Search, children: &[QueueEntry]| {
         search.queue.clear();
         search.visited.clear();
-        search.visited.insert(state_fingerprint(spec), 0);
+        search
+            .visited
+            .insert(state_fingerprint(spec), (0, init_terms as u32));
         for child in children {
-            search
-                .visited
-                .insert(state_fingerprint(&child.state), child.depth);
+            search.visited.insert(
+                state_fingerprint(&child.state),
+                (child.depth, child.state.total_terms() as u32),
+            );
             search.queue.push(QueueEntry {
                 priority: child.priority,
                 seq: child.seq,
@@ -673,14 +788,32 @@ pub fn synthesize(
             break;
         };
         if entry.depth >= search.depth_cutoff() {
+            // Stale entry: pushed before the cutoff tightened.
+            search.stats.depth_pruned += 1;
             continue;
         }
         search.stats.nodes_expanded += 1;
         search.steps_since_restart += 1;
 
-        if search.stats.nodes_expanded % TIME_CHECK_INTERVAL == 0 && search.over_time() {
-            search.stats.stop_reason = Some(StopReason::TimeLimit);
-            break;
+        if search
+            .stats
+            .nodes_expanded
+            .is_multiple_of(TIME_CHECK_INTERVAL)
+        {
+            if search.obs.is_active() {
+                let progress = Progress {
+                    nodes_expanded: search.stats.nodes_expanded,
+                    queue_depth: search.queue.len(),
+                    best_gates: search.best.as_ref().map(|&(d, _, _)| d),
+                    restarts: search.stats.restarts,
+                    elapsed: search.start.elapsed(),
+                };
+                search.obs.on_progress(&progress);
+            }
+            if search.over_time() {
+                search.stats.stop_reason = Some(StopReason::TimeLimit);
+                break;
+            }
         }
         if let Some(max) = options.max_nodes {
             if search.stats.nodes_expanded > max {
@@ -704,6 +837,12 @@ pub fn synthesize(
                     search.stats.restarts += 1;
                     let ordinal = search.stats.restarts;
                     search.trace(TraceEvent::Restart { ordinal });
+                    let span = search.end_segment();
+                    if search.obs.is_active() {
+                        search
+                            .obs
+                            .on_restart(ordinal, span.nodes_expanded, span.elapsed);
+                    }
                     reseed(
                         &mut search,
                         std::slice::from_ref(&root_children[next_restart_child]),
@@ -715,6 +854,12 @@ pub fn synthesize(
                     search.stats.restarts += 1;
                     let ordinal = search.stats.restarts;
                     search.trace(TraceEvent::Restart { ordinal });
+                    let span = search.end_segment();
+                    if search.obs.is_active() {
+                        search
+                            .obs
+                            .on_restart(ordinal, span.nodes_expanded, span.elapsed);
+                    }
                     reseed(&mut search, &root_children);
                 }
             }
@@ -860,8 +1005,8 @@ mod tests {
         for rank in (0..40320u128).step_by(1001) {
             let p = Permutation::from_rank(3, rank);
             let spec = p.to_multi_pprm();
-            let result = synthesize(&spec, &opts)
-                .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
+            let result =
+                synthesize(&spec, &opts).unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
             verify(&spec, &result);
         }
     }
@@ -950,8 +1095,7 @@ mod tests {
         for trial in 0..10 {
             let p = rmrls_spec::random_permutation(4, &mut rng);
             let spec = p.to_multi_pprm();
-            let result =
-                synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let result = synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             verify(&spec, &result);
         }
     }
@@ -994,8 +1138,7 @@ mod tests {
         for trial in 0..20 {
             let p = rmrls_spec::random_permutation(3, &mut rng);
             let spec = p.to_multi_pprm();
-            let result =
-                synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let result = synthesize(&spec, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             verify(&spec, &result);
         }
     }
@@ -1082,6 +1225,92 @@ mod tests {
         let a = synthesize_permutation(&p, &SynthesisOptions::new()).expect("solution");
         let b = synthesize(&p.to_multi_pprm(), &SynthesisOptions::new()).expect("solution");
         assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn dedup_counts_hits_and_detects_no_collisions_on_small_runs() {
+        // Commuting gate orders reach identical states, so dedup fires.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let with = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert!(
+            with.stats.dedup_hits > 0,
+            "dedup should fire: {}",
+            with.stats
+        );
+        // A detected 64-bit collision in a run this small would signal a
+        // broken fingerprint, not bad luck (expected rate ≈ k²/2⁶⁵).
+        assert_eq!(with.stats.dedup_collisions, 0);
+        let without =
+            synthesize(&spec, &SynthesisOptions::new().with_dedup_states(false)).expect("solution");
+        assert_eq!(without.stats.dedup_hits, 0);
+        assert_eq!(
+            with.circuit.gate_count(),
+            without.circuit.gate_count(),
+            "dedup must not change the result"
+        );
+    }
+
+    #[test]
+    fn observer_streams_events_and_spans_cover_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct SharedSink(Rc<RefCell<Vec<rmrls_obs::Event>>>);
+        impl rmrls_obs::EventSink for SharedSink {
+            fn emit(&mut self, event: rmrls_obs::Event) {
+                self.0.borrow_mut().push(event);
+            }
+        }
+
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let mut obs = Observer::with_sink(Box::new(SharedSink(events.clone()))).with_metrics();
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let result =
+            synthesize_with_observer(&spec, &SynthesisOptions::new(), &mut obs).expect("solution");
+        verify(&spec, &result);
+
+        // Per-restart spans partition the run.
+        assert_eq!(
+            result.stats.restart_spans.len() as u64,
+            result.stats.restarts + 1
+        );
+        let span_nodes: u64 = result
+            .stats
+            .restart_spans
+            .iter()
+            .map(|s| s.nodes_expanded)
+            .sum();
+        assert_eq!(span_nodes, result.stats.nodes_expanded);
+        assert!(result.stats.queue_peak > 0);
+
+        // The event stream brackets the run and records the search walk.
+        let kinds: Vec<&'static str> = events.borrow().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.first(), Some(&"run_start"));
+        assert_eq!(kinds.last(), Some(&"run_end"));
+        for expected in ["expand", "push", "solution"] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
+        assert_eq!(obs.dropped_events(), 0);
+
+        // Metrics recorded every push.
+        let snap = obs.metrics_snapshot().unwrap();
+        let (_, priority) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "push_priority")
+            .unwrap();
+        assert_eq!(priority.count, result.stats.children_pushed);
+    }
+
+    #[test]
+    fn null_observer_matches_plain_synthesize() {
+        let spec = fig1();
+        let plain = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        let mut obs = Observer::null();
+        let observed =
+            synthesize_with_observer(&spec, &SynthesisOptions::new(), &mut obs).expect("solution");
+        assert_eq!(plain.circuit, observed.circuit);
+        assert_eq!(plain.stats.nodes_expanded, observed.stats.nodes_expanded);
     }
 
     #[test]

@@ -31,6 +31,22 @@ impl fmt::Display for StopReason {
     }
 }
 
+/// Timing of one search segment between restarts (§IV-E).
+///
+/// Segment 0 runs from the start of the search to the first restart;
+/// the final segment ends when the search stops. The spans let a run
+/// report show *where* the node budget went across the restart
+/// schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartSpan {
+    /// 0-based segment index (0 = before any restart).
+    pub ordinal: u64,
+    /// Nodes expanded during this segment.
+    pub nodes_expanded: u64,
+    /// Wall-clock duration of the segment.
+    pub elapsed: Duration,
+}
+
 /// Counters describing a synthesis run.
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
@@ -44,26 +60,71 @@ pub struct SearchStats {
     pub restarts: u64,
     /// Solutions encountered (improving or not).
     pub solutions_seen: u64,
+    /// Children discarded because their depth reached the current
+    /// cutoff (best solution so far, or the gate cap).
+    pub depth_pruned: u64,
+    /// Children skipped because an equal-or-shallower queue entry with
+    /// the same state fingerprint was already seen (`dedup_states`).
+    pub dedup_hits: u64,
+    /// Fingerprint collisions *detected* during dedup: a candidate
+    /// whose 64-bit fingerprint matched a recorded state of a
+    /// different term count (so the states are provably distinct). Such
+    /// candidates are kept, not pruned. Collisions between states with
+    /// equal term counts remain undetectable; this counter is a lower
+    /// bound on the true collision count.
+    pub dedup_collisions: u64,
+    /// Beam trims performed when the queue exceeded `max_queue`.
+    pub beam_trims: u64,
+    /// Queue entries discarded by beam trims.
+    pub beam_dropped: u64,
+    /// Largest queue size observed.
+    pub queue_peak: u64,
     /// Wall-clock duration of the search.
     pub elapsed: Duration,
     /// Why the loop stopped (`None` only before the search ran).
     pub stop_reason: Option<StopReason>,
     /// Search trace, if requested.
     pub trace: Vec<TraceEvent>,
+    /// Trace events dropped after the trace buffer filled. Nonzero
+    /// means `trace` is a truncated prefix of the run.
+    pub trace_dropped: u64,
+    /// Per-segment timing between restarts (always recorded; one entry
+    /// per segment, so its length is `restarts + 1` after a completed
+    /// search).
+    pub restart_spans: Vec<RestartSpan>,
+}
+
+impl SearchStats {
+    /// Whether the recorded `trace` is incomplete because the buffer
+    /// cap was reached.
+    pub fn trace_truncated(&self) -> bool {
+        self.trace_dropped > 0
+    }
 }
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes expanded, {} children ({} pushed), {} restarts, {} solutions, {:?}",
+            "{} nodes expanded, {} children ({} pushed), {} restarts, {} solutions, \
+             queue peak {}, {} dedup hits, {:?}",
             self.nodes_expanded,
             self.children_generated,
             self.children_pushed,
             self.restarts,
             self.solutions_seen,
+            self.queue_peak,
+            self.dedup_hits,
             self.elapsed
-        )
+        )?;
+        if self.trace_truncated() {
+            write!(
+                f,
+                " [trace truncated: {} events dropped]",
+                self.trace_dropped
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -142,7 +203,28 @@ mod tests {
             ..SearchStats::default()
         };
         let text = s.to_string();
-        assert!(text.contains("7 nodes") && text.contains("1 restarts"), "{text}");
+        assert!(
+            text.contains("7 nodes") && text.contains("1 restarts"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("truncated"),
+            "no truncation note when nothing was dropped: {text}"
+        );
+    }
+
+    #[test]
+    fn stats_display_flags_trace_truncation() {
+        let s = SearchStats {
+            trace_dropped: 42,
+            ..SearchStats::default()
+        };
+        assert!(s.trace_truncated());
+        let text = s.to_string();
+        assert!(
+            text.contains("trace truncated") && text.contains("42"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -155,7 +237,11 @@ mod tests {
         };
         assert_eq!(e.to_string(), "push TOF1(a) depth=1 elim=2 priority=1.500");
         assert_eq!(
-            TraceEvent::Solution { depth: 3, improved: true }.to_string(),
+            TraceEvent::Solution {
+                depth: 3,
+                improved: true
+            }
+            .to_string(),
             "solution depth=3 (new best)"
         );
     }

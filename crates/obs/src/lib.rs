@@ -1,0 +1,32 @@
+//! Observability primitives for the RMRLS synthesis engine.
+//!
+//! This crate is deliberately dependency-free (the build environment is
+//! offline) and single-threaded by design: a search run owns one
+//! [`MetricsRegistry`] and one [`EventSink`], and the portfolio layer
+//! merges per-thread results after joining rather than sharing state.
+//!
+//! The pieces:
+//!
+//! - [`metrics`] — named counters, gauges (with high-water tracking),
+//!   and fixed-bucket histograms, all cheap `Rc`-handle based so hot
+//!   loops can hold a handle without registry lookups.
+//! - [`sink`] — a pluggable [`EventSink`] trait with null, bounded
+//!   memory-ring, and JSON-lines implementations. Sinks never silently
+//!   truncate: overflow is surfaced through a `dropped_events` count.
+//! - [`span`] — monotonic span timing built on `std::time::Instant`.
+//! - [`json`] — a hand-rolled JSON value type with writer (correct
+//!   string escaping) and parser, used for run reports and round-trip
+//!   tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{Event, EventSink, JsonLinesSink, MemorySink, NullSink, Value};
+pub use span::SpanTimer;

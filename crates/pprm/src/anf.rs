@@ -51,8 +51,7 @@ pub fn anf_transform(table: &mut BitTable, num_vars: usize) {
         table.len()
     );
     let words = table.words_mut();
-    for k in 0..num_vars.min(6) {
-        let mask = HALF_MASKS[k];
+    for (k, &mask) in HALF_MASKS.iter().enumerate().take(num_vars.min(6)) {
         let shift = 1 << k;
         for w in words.iter_mut() {
             *w ^= (*w & mask) << shift;

@@ -63,6 +63,8 @@ impl Cube {
     }
 
     /// Negative-literal mask.
+    // Not arithmetic negation: `pos`/`neg` are the cube's polarity masks.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> u32 {
         self.neg
     }
@@ -179,7 +181,11 @@ impl Esop {
 
     /// Converts a PPRM expansion into an (all-positive) ESOP.
     pub fn from_pprm(pprm: &Pprm, num_vars: usize) -> Self {
-        let cubes = pprm.terms().iter().map(|t| Cube::new(t.mask(), 0)).collect();
+        let cubes = pprm
+            .terms()
+            .iter()
+            .map(|t| Cube::new(t.mask(), 0))
+            .collect();
         Esop { num_vars, cubes }
     }
 

@@ -74,7 +74,10 @@ impl Pprm {
         let mut coeffs = table.clone();
         anf_transform(&mut coeffs, num_vars);
         Pprm {
-            terms: coeffs.iter_ones().map(|s| Term::from_mask(s as u32)).collect(),
+            terms: coeffs
+                .iter_ones()
+                .map(|s| Term::from_mask(s as u32))
+                .collect(),
         }
     }
 

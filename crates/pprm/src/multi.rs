@@ -170,13 +170,11 @@ impl MultiPprm {
     ///
     /// Panics if `a == b`, either variable is out of range, or the
     /// control contains `a` or `b`.
-    pub fn substitute_fredkin(
-        &self,
-        a: usize,
-        b: usize,
-        control: Term,
-    ) -> (MultiPprm, i64) {
-        assert!(a < self.num_vars && b < self.num_vars, "variable out of range");
+    pub fn substitute_fredkin(&self, a: usize, b: usize, control: Term) -> (MultiPprm, i64) {
+        assert!(
+            a < self.num_vars && b < self.num_vars,
+            "variable out of range"
+        );
         assert_ne!(a, b, "fredkin swaps two distinct variables");
         assert!(
             !control.contains_var(a) && !control.contains_var(b),
@@ -352,10 +350,7 @@ mod tests {
     fn fredkin_invariant_on_products_of_both() {
         // A term containing both swapped variables is unchanged.
         let p = Pprm::from_terms(vec![Term::of(&[0, 1])]);
-        let m = MultiPprm::from_outputs(
-            vec![p, Pprm::var(1), Pprm::var(2)],
-            3,
-        );
+        let m = MultiPprm::from_outputs(vec![p, Pprm::var(1), Pprm::var(2)], 3);
         let (m2, _) = m.substitute_fredkin(0, 1, Term::var(2));
         assert!(m2.output(0).contains(Term::of(&[0, 1])));
         assert_eq!(m2.output(0).len(), 1);

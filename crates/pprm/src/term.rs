@@ -124,6 +124,7 @@ impl std::ops::Mul for Term {
 
     /// Product of two monomials. Boolean variables are idempotent
     /// (`x·x = x`), so the product is the union of variable sets.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: Term) -> Term {
         Term(self.0 | rhs.0)
     }

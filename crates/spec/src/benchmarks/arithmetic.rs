@@ -40,7 +40,7 @@ pub fn mod_adder(name: &'static str, bits: usize, modulus: u64) -> Benchmark {
         let b = x & ((1 << bits) - 1);
         let a = x >> bits;
         if a < modulus && b < modulus {
-            (a << bits) | (a + b) % modulus
+            (a << bits) | ((a + b) % modulus)
         } else {
             x
         }
@@ -62,7 +62,7 @@ pub fn mod_k_indicator(name: &'static str, inputs: usize, k: u64) -> Benchmark {
     let width = inputs + 1;
     let perm = Permutation::from_fn(width, |x| {
         let value = x & ((1 << inputs) - 1);
-        x ^ (u64::from(value % k == 0) << inputs)
+        x ^ (u64::from(value.is_multiple_of(k)) << inputs)
     })
     .expect("XOR embedding is a bijection");
     Benchmark {

@@ -108,7 +108,9 @@ mod tests {
         // check (over ALL positions with bit p set) is even.
         for data in 0..16u64 {
             // Scatter 4 data bits into positions 3,5,6,7 (bits 2,4,5,6).
-            let x = (data & 1) << 2 | (data >> 1 & 1) << 4 | (data >> 2 & 1) << 5
+            let x = (data & 1) << 2
+                | (data >> 1 & 1) << 4
+                | (data >> 2 & 1) << 5
                 | (data >> 3 & 1) << 6;
             let y = p.apply(x);
             for p_pos in [1usize, 2, 4] {

@@ -22,8 +22,8 @@ pub fn count_ones_benchmark(name: &'static str, inputs: usize) -> Benchmark {
     }
 }
 
-/// The `2of5` benchmark: outputs 1 iff exactly two of the five inputs are
-/// 1. Embedded on 7 wires (5 real + 2 constant inputs) to match the
+/// The `2of5` benchmark: outputs 1 iff exactly two of the five inputs
+/// are 1; embedded on 7 wires (5 real + 2 constant inputs) to match the
 /// published wire count.
 pub fn two_of_five() -> Benchmark {
     let table = TruthTable::from_fn(5, 1, |x| u64::from(x.count_ones() == 2));

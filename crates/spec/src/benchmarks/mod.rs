@@ -169,10 +169,35 @@ mod tests {
         assert_eq!(suite.len(), 29);
         let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
         for expected in [
-            "2of5", "rd32", "3_17", "4_49", "alu", "rd53", "xor5", "4mod5", "5mod5", "ham3",
-            "ham7", "hwb4", "decod24", "shift10", "shift15", "shift28", "5one013", "5one245",
-            "6one135", "6one0246", "majority3", "majority5", "graycode6", "graycode10",
-            "graycode20", "mod5adder", "mod32adder", "mod15adder", "mod64adder",
+            "2of5",
+            "rd32",
+            "3_17",
+            "4_49",
+            "alu",
+            "rd53",
+            "xor5",
+            "4mod5",
+            "5mod5",
+            "ham3",
+            "ham7",
+            "hwb4",
+            "decod24",
+            "shift10",
+            "shift15",
+            "shift28",
+            "5one013",
+            "5one245",
+            "6one135",
+            "6one0246",
+            "majority3",
+            "majority5",
+            "graycode6",
+            "graycode10",
+            "graycode20",
+            "mod5adder",
+            "mod32adder",
+            "mod15adder",
+            "mod64adder",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

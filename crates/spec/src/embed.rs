@@ -180,20 +180,19 @@ fn embed_impl(
 
     // Don't-care rows: assign each remaining input a free output word
     // per strategy (deterministic in input order).
-    for x in 0..size {
-        if map[x] != u64::MAX {
+    for (x, slot) in map.iter_mut().enumerate() {
+        if *slot != u64::MAX {
             continue;
         }
         let word = pick(
             x as u64,
             &mut (0..size as u64).filter(|&w| !used[w as usize]),
         );
-        map[x] = word;
+        *slot = word;
         used[word as usize] = true;
     }
 
-    let permutation =
-        Permutation::from_vec(map).expect("embedding always produces a bijection");
+    let permutation = Permutation::from_vec(map).expect("embedding always produces a bijection");
     Embedding {
         permutation,
         real_inputs: table.num_inputs(),

@@ -71,7 +71,10 @@ fn tokens(text: &str) -> Result<Vec<u64>, ParseSpecError> {
                 .filter(|t| !t.is_empty())
                 .map(str::to_string)
         })
-        .map(|t| t.parse::<u64>().map_err(|_| ParseSpecError::BadToken { token: t }))
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|_| ParseSpecError::BadToken { token: t })
+        })
         .collect()
 }
 
@@ -188,11 +191,20 @@ mod tests {
 
     #[test]
     fn truth_table_header_errors() {
-        assert!(matches!(parse_truth_table(""), Err(ParseSpecError::BadHeader)));
-        assert!(matches!(parse_truth_table("1"), Err(ParseSpecError::BadHeader)));
+        assert!(matches!(
+            parse_truth_table(""),
+            Err(ParseSpecError::BadHeader)
+        ));
+        assert!(matches!(
+            parse_truth_table("1"),
+            Err(ParseSpecError::BadHeader)
+        ));
         assert!(matches!(
             parse_truth_table("2 1 0 1 0"),
-            Err(ParseSpecError::BadRowCount { expected: 4, found: 3 })
+            Err(ParseSpecError::BadRowCount {
+                expected: 4,
+                found: 3
+            })
         ));
     }
 

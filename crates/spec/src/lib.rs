@@ -38,7 +38,11 @@ mod perm;
 mod random;
 mod truth_table;
 
-pub use embed::{embed, embed_balanced, embed_with_strategy, embed_with_width, CompletionStrategy, Embedding};
+pub use embed::{
+    embed, embed_balanced, embed_with_strategy, embed_with_width, CompletionStrategy, Embedding,
+};
 pub use perm::{InvalidSpecError, Permutation};
-pub use random::{random_circuit, random_circuit_spec, random_gate, random_permutation, GateLibrary};
+pub use random::{
+    random_circuit, random_circuit_spec, random_gate, random_permutation, GateLibrary,
+};
 pub use truth_table::TruthTable;

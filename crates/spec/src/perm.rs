@@ -33,7 +33,10 @@ impl fmt::Display for InvalidSpecError {
                 write!(f, "specification length {len} is not a power of two")
             }
             InvalidSpecError::Duplicate { value } => {
-                write!(f, "output value {value} repeats; the function is not reversible")
+                write!(
+                    f,
+                    "output value {value} repeats; the function is not reversible"
+                )
             }
             InvalidSpecError::OutOfRange { value } => {
                 write!(f, "output value {value} is out of range")
@@ -104,10 +107,7 @@ impl Permutation {
     ///
     /// Returns [`InvalidSpecError`] if the tabulated map is not a
     /// bijection.
-    pub fn from_fn(
-        num_vars: usize,
-        f: impl FnMut(u64) -> u64,
-    ) -> Result<Self, InvalidSpecError> {
+    pub fn from_fn(num_vars: usize, f: impl FnMut(u64) -> u64) -> Result<Self, InvalidSpecError> {
         Permutation::from_vec((0..1u64 << num_vars).map(f).collect())
     }
 
@@ -188,7 +188,7 @@ impl Permutation {
             }
             transpositions += len - 1;
         }
-        transpositions % 2 == 0
+        transpositions.is_multiple_of(2)
     }
 
     /// The disjoint cycles of the permutation (fixed points omitted),
@@ -228,7 +228,7 @@ impl Permutation {
     pub fn cycle_type(&self) -> Vec<usize> {
         let mut lengths: Vec<usize> = self.cycles().iter().map(Vec::len).collect();
         let moved: usize = lengths.iter().sum();
-        lengths.extend(std::iter::repeat(1).take(self.map.len() - moved));
+        lengths.extend(std::iter::repeat_n(1, self.map.len() - moved));
         lengths.sort_unstable_by(|a, b| b.cmp(a));
         lengths
     }
@@ -285,7 +285,10 @@ impl Permutation {
     /// Panics if `rank >= (2^n)!` or the table would exceed 32 entries.
     pub fn from_rank(num_vars: usize, rank: u128) -> Permutation {
         let n = 1usize << num_vars;
-        assert!(n <= 32, "from_rank only supported for tables up to 32 entries");
+        assert!(
+            n <= 32,
+            "from_rank only supported for tables up to 32 entries"
+        );
         let mut factorials = vec![1u128; n + 1];
         for i in 1..=n {
             factorials[i] = factorials[i - 1] * i as u128;

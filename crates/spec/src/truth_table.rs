@@ -54,7 +54,10 @@ impl TruthTable {
             (1u64 << num_outputs) - 1
         };
         for (x, &r) in rows.iter().enumerate() {
-            assert!(r <= limit, "row {x} output {r:#b} exceeds {num_outputs} bits");
+            assert!(
+                r <= limit,
+                "row {x} output {r:#b} exceeds {num_outputs} bits"
+            );
         }
         TruthTable {
             num_inputs,

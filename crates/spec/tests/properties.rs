@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use rmrls_spec::{
-    embed, embed_with_strategy, CompletionStrategy, Permutation, TruthTable,
-};
+use rmrls_spec::{embed, embed_with_strategy, CompletionStrategy, Permutation, TruthTable};
 
 fn truth_table(inputs: usize, outputs: usize) -> impl Strategy<Value = TruthTable> {
     let limit = 1u64 << outputs;

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Synthesize the embedded function.
     let result = synthesize_permutation(&e.permutation, &SynthesisOptions::new())?;
-    println!("circuit ({} gates): {}", result.circuit.gate_count(), result.circuit);
+    println!(
+        "circuit ({} gates): {}",
+        result.circuit.gate_count(),
+        result.circuit
+    );
     println!("{}", render(&result.circuit));
 
     // Check the adder semantics on the real rows (constant input d = 0).

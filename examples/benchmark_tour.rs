@@ -15,10 +15,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_max_gates(80)
         .with_time_limit(Duration::from_secs(2));
 
-    println!("{:<12} {:>6} {:>7} {:>6} {:>9}   circuit", "benchmark", "wires", "garbage", "gates", "cost");
+    println!(
+        "{:<12} {:>6} {:>7} {:>6} {:>9}   circuit",
+        "benchmark", "wires", "garbage", "gates", "cost"
+    );
     for name in [
-        "3_17", "4_49", "rd32", "xor5", "4mod5", "hwb4", "decod24", "graycode10", "6one135",
-        "majority3", "mod32adder", "shift10",
+        "3_17",
+        "4_49",
+        "rd32",
+        "xor5",
+        "4mod5",
+        "hwb4",
+        "decod24",
+        "graycode10",
+        "6one135",
+        "majority3",
+        "mod32adder",
+        "shift10",
     ] {
         let bench = benchmarks::find(name).expect("suite benchmark");
         let spec = bench.to_multi_pprm();

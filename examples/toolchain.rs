@@ -8,9 +8,7 @@
 use rmrls::circuit::{
     analyze, check_equivalence, decompose_to_nct, simplify, Circuit, Equivalence,
 };
-use rmrls::core::{
-    synthesize, synthesize_embedded, FredkinMode, SynthesisOptions,
-};
+use rmrls::core::{synthesize, synthesize_embedded, FredkinMode, SynthesisOptions};
 use rmrls::spec::TruthTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 18) - 1);
         let k = (x >> 16 & 1) + 2 * (x >> 17 & 1);
         let y = result.circuit.apply(x);
-        assert_eq!(y & data_mask, (x & data_mask).wrapping_add(k) & data_mask, "at {x}");
+        assert_eq!(
+            y & data_mask,
+            (x & data_mask).wrapping_add(k) & data_mask,
+            "at {x}"
+        );
         assert_eq!(y >> 16, x >> 16, "selects pass through at {x}");
     }
     println!("\nverified on 10000 sampled inputs: data := data + s0 + 2*s1 (mod 2^16)");

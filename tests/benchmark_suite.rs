@@ -35,8 +35,19 @@ fn fast_benchmarks_synthesize_and_verify() {
         .with_stop_at_first(true)
         .with_time_limit(Duration::from_secs(20));
     for name in [
-        "3_17", "4_49", "xor5", "4mod5", "rd32", "hwb4", "decod24", "graycode6", "graycode10",
-        "6one135", "6one0246", "majority3", "ham3",
+        "3_17",
+        "4_49",
+        "xor5",
+        "4mod5",
+        "rd32",
+        "hwb4",
+        "decod24",
+        "graycode6",
+        "graycode10",
+        "6one135",
+        "6one0246",
+        "majority3",
+        "ham3",
     ] {
         let b = benchmarks::find(name).unwrap_or_else(|| panic!("missing {name}"));
         let spec = b.to_multi_pprm();
@@ -65,7 +76,8 @@ fn linear_benchmarks_hit_published_gate_counts() {
         ("6one0246", 6),
     ] {
         let b = benchmarks::find(name).unwrap();
-        let result = synthesize(&b.to_multi_pprm(), &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let result =
+            synthesize(&b.to_multi_pprm(), &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             result.circuit.gate_count(),
             gates,
@@ -131,7 +143,8 @@ fn counting_benchmarks_count() {
 
 #[test]
 fn indicator_benchmarks_indicate() {
-    let cases: [(&str, &dyn Fn(u32) -> bool, usize); 4] = [
+    type Indicator<'a> = &'a dyn Fn(u32) -> bool;
+    let cases: [(&str, Indicator, usize); 4] = [
         ("majority5", &|w| w >= 3, 5),
         ("5one013", &|w| [0, 1, 3].contains(&w), 5),
         ("5one245", &|w| [2, 4, 5].contains(&w), 5),

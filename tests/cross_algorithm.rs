@@ -17,8 +17,8 @@ fn nothing_beats_optimal_on_three_variables() {
         let spec = Permutation::from_rank(3, rank);
         let best = optimal.gate_count(&spec);
 
-        let rmrls = synthesize_permutation(&spec, &opts)
-            .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+        let rmrls =
+            synthesize_permutation(&spec, &opts).unwrap_or_else(|e| panic!("rank {rank}: {e}"));
         assert!(
             rmrls.circuit.gate_count() >= best,
             "rank {rank}: RMRLS {} below optimal {best}",
@@ -29,7 +29,10 @@ fn nothing_beats_optimal_on_three_variables() {
         assert!(mmd.gate_count() >= best, "rank {rank}: MMD below optimal");
 
         if let Ok(naive) = naive_greedy_permutation(&spec, 60) {
-            assert!(naive.gate_count() >= best, "rank {rank}: naive below optimal");
+            assert!(
+                naive.gate_count() >= best,
+                "rank {rank}: naive below optimal"
+            );
         }
     }
 }
@@ -73,9 +76,17 @@ fn all_algorithms_realize_the_same_function() {
 fn optimal_averages_match_table1() {
     // The "Optimal [16]" bottom rows of Table I: 5.87 (NCT), 5.63 (NCTS).
     let nct = OptimalTable::build(OptimalLibrary::Nct);
-    assert!((nct.average() - 5.866).abs() < 0.01, "NCT avg {}", nct.average());
+    assert!(
+        (nct.average() - 5.866).abs() < 0.01,
+        "NCT avg {}",
+        nct.average()
+    );
     let ncts = OptimalTable::build(OptimalLibrary::Ncts);
-    assert!((ncts.average() - 5.629).abs() < 0.01, "NCTS avg {}", ncts.average());
+    assert!(
+        (ncts.average() - 5.629).abs() < 0.01,
+        "NCTS avg {}",
+        ncts.average()
+    );
 }
 
 #[test]

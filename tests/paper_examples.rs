@@ -75,12 +75,7 @@ fn published_circuits() -> Vec<PaperCircuit> {
             // Example 8 / Fig. 8: the augmented full adder.
             name: "example8",
             spec: vec![0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5],
-            gates: vec![
-                tof(&[B, A], D),
-                tof(&[A], B),
-                tof(&[C, B], D),
-                tof(&[B], C),
-            ],
+            gates: vec![tof(&[B, A], D), tof(&[A], B), tof(&[C, B], D), tof(&[B], C)],
         },
         PaperCircuit {
             // Example 11: decod24.
@@ -122,8 +117,8 @@ fn rmrls_matches_published_gate_counts() {
     let opts = SynthesisOptions::new().with_time_limit(std::time::Duration::from_secs(3));
     for pc in published_circuits() {
         let spec = Permutation::from_vec(pc.spec.clone()).expect("published specs are reversible");
-        let result = synthesize_permutation(&spec, &opts)
-            .unwrap_or_else(|e| panic!("{}: {e}", pc.name));
+        let result =
+            synthesize_permutation(&spec, &opts).unwrap_or_else(|e| panic!("{}: {e}", pc.name));
         assert_eq!(
             result.circuit.to_permutation(),
             spec.as_slice(),

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use rmrls::baselines::{mmd_synthesize, MmdVariant};
 use rmrls::circuit::{simplify, tfc, Circuit, Gate};
 use rmrls::core::{synthesize_permutation, SynthesisOptions};
-use rmrls::pprm::{MultiPprm, Pprm, BitTable};
+use rmrls::pprm::{BitTable, MultiPprm, Pprm};
 use rmrls::spec::Permutation;
 
 /// Strategy: a random permutation of `2^n` elements via shuffled table.
@@ -21,16 +21,17 @@ fn permutation(num_vars: usize) -> impl Strategy<Value = Permutation> {
 
 /// Strategy: a random Toffoli circuit.
 fn toffoli_circuit(width: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0..width, proptest::bits::u32::masked((1 << width) - 1)), 0..max_gates)
-        .prop_map(move |gates| {
-            let gates = gates
-                .into_iter()
-                .map(|(target, controls)| {
-                    Gate::toffoli_mask(controls & !(1 << target), target)
-                })
-                .collect();
-            Circuit::from_gates(width, gates)
-        })
+    proptest::collection::vec(
+        (0..width, proptest::bits::u32::masked((1 << width) - 1)),
+        0..max_gates,
+    )
+    .prop_map(move |gates| {
+        let gates = gates
+            .into_iter()
+            .map(|(target, controls)| Gate::toffoli_mask(controls & !(1 << target), target))
+            .collect();
+        Circuit::from_gates(width, gates)
+    })
 }
 
 proptest! {
@@ -137,6 +138,8 @@ proptest! {
 fn multipprm_identity_detection_is_exact() {
     // Identity must be detected, near-identities must not.
     assert!(MultiPprm::identity(5).is_identity());
-    let swapped = Permutation::from_vec(vec![0, 2, 1, 3]).unwrap().to_multi_pprm();
+    let swapped = Permutation::from_vec(vec![0, 2, 1, 3])
+        .unwrap()
+        .to_multi_pprm();
     assert!(!swapped.is_identity());
 }
