@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use rmrls_circuit::Gate;
 use rmrls_obs::{
-    Event, EventSink, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, NullSink, Value,
+    Counter, Event, EventSink, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, NullSink, Value,
 };
 
 /// Bucket bounds for the Eq. 4 priority histogram. Priorities are
@@ -52,6 +52,8 @@ struct ObserverMetrics {
     priority_hist: Histogram,
     terms_hist: Histogram,
     queue_depth: Gauge,
+    candidates_scored: Counter,
+    candidates_materialized: Counter,
 }
 
 impl ObserverMetrics {
@@ -60,11 +62,15 @@ impl ObserverMetrics {
         let priority_hist = registry.histogram("push_priority", &PRIORITY_BOUNDS);
         let terms_hist = registry.histogram("terms_remaining", &TERMS_BOUNDS);
         let queue_depth = registry.gauge("queue_depth");
+        let candidates_scored = registry.counter("candidates_scored");
+        let candidates_materialized = registry.counter("candidates_materialized");
         ObserverMetrics {
             registry,
             priority_hist,
             terms_hist,
             queue_depth,
+            candidates_scored,
+            candidates_materialized,
         }
     }
 }
@@ -264,6 +270,17 @@ impl Observer {
         }
         if let Some(f) = &mut self.progress_fn {
             f(progress);
+        }
+    }
+
+    /// Records the final scored/materialized totals of the two-phase
+    /// expansion kernel. Called once, at the end of the run — the search
+    /// loop keeps these as plain `SearchStats` counters rather than
+    /// paying a hook per candidate.
+    pub(crate) fn on_candidate_totals(&mut self, scored: u64, materialized: u64) {
+        if let Some(m) = &self.metrics {
+            m.candidates_scored.add(scored);
+            m.candidates_materialized.add(materialized);
         }
     }
 

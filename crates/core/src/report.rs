@@ -116,6 +116,14 @@ pub fn stats_to_json(stats: &SearchStats) -> Json {
             Json::uint(stats.children_generated),
         ),
         (
+            "candidates_scored".to_string(),
+            Json::uint(stats.candidates_scored),
+        ),
+        (
+            "candidates_materialized".to_string(),
+            Json::uint(stats.candidates_materialized),
+        ),
+        (
             "children_pushed".to_string(),
             Json::uint(stats.children_pushed),
         ),
@@ -226,6 +234,11 @@ mod tests {
         for (field, expected) in [
             ("nodes_expanded", result.stats.nodes_expanded),
             ("children_pushed", result.stats.children_pushed),
+            ("candidates_scored", result.stats.candidates_scored),
+            (
+                "candidates_materialized",
+                result.stats.candidates_materialized,
+            ),
             ("restarts", result.stats.restarts),
             ("dedup_hits", result.stats.dedup_hits),
             ("queue_peak", result.stats.queue_peak),
@@ -236,6 +249,13 @@ mod tests {
                 "field {field}"
             );
         }
+        // The two-phase kernel must have skipped some materializations.
+        assert!(
+            result.stats.candidates_materialized < result.stats.candidates_scored,
+            "materialized {} !< scored {}",
+            result.stats.candidates_materialized,
+            result.stats.candidates_scored
+        );
         // One restart span per segment; at minimum the closing segment.
         let spans = stats.get("restart_spans").unwrap().as_arr().unwrap();
         assert_eq!(spans.len(), result.stats.restart_spans.len());

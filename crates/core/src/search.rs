@@ -12,17 +12,15 @@
 //! root→leaf order are exactly the gate cascade from inputs to outputs.
 
 use std::cmp::Ordering;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::time::Instant;
 
 use rmrls_circuit::{Circuit, Gate};
 use rmrls_obs::SpanTimer;
-use rmrls_pprm::{MultiPprm, Term};
+use rmrls_pprm::{MultiPprm, SubstCount, SubstScratch, Term};
 use rmrls_spec::Permutation;
 
 use crate::observe::{Observer, Progress};
@@ -125,15 +123,33 @@ impl Ord for QueueEntry {
     }
 }
 
+/// The substitution a candidate would apply — enough to re-derive the
+/// child state from the parent during materialization.
+#[derive(Clone, Copy)]
+enum Move {
+    /// `v := v ⊕ factor` (a Toffoli gate).
+    Toffoli { var: usize, factor: Term },
+    /// Swap `a`/`b` under `control` (a Fredkin gate, §VI).
+    Fredkin { a: usize, b: usize, control: Term },
+}
+
 /// A candidate substitution produced while expanding a node.
+///
+/// Candidates are *scored, not materialized*: they carry the move plus
+/// the counting kernel's predictions (term count, fingerprint,
+/// elimination) and only survivors of pruning/dedup/depth-cutoff are
+/// turned into a real child `MultiPprm` (see [`Search::push_child`]).
 struct Candidate {
     gate: Gate,
-    state: MultiPprm,
+    mv: Move,
     eliminated: i64,
     priority: f64,
-    /// Total PPRM terms of `state` (computed during evaluation; reused
-    /// by dedup collision detection and the observer).
+    /// Predicted total PPRM terms of the child (exact; reused by dedup
+    /// collision detection and the observer).
     terms: usize,
+    /// Predicted state fingerprint of the child (exact; consulted by
+    /// dedup *before* any allocation happens).
+    fp: u64,
 }
 
 struct Search<'a> {
@@ -150,29 +166,44 @@ struct Search<'a> {
     /// Best solution: (gate count, quantum cost, path).
     best: Option<(u32, u64, Option<Rc<PathNode>>)>,
     queue: BinaryHeap<QueueEntry>,
-    /// State fingerprint → (shallowest queued depth, term count of the
-    /// recorded state). Re-queuing is allowed when a strictly shallower
-    /// path is found, so deduplication never hides a shorter circuit.
-    /// The term count guards against 64-bit fingerprint collisions: a
-    /// matching fingerprint with a *different* term count is provably a
-    /// distinct state and is never pruned (see `SynthesisOptions::
-    /// dedup_states` for the residual risk).
+    /// State fingerprint ([`MultiPprm::fingerprint`], the XOR-combined
+    /// per-term hash maintained incrementally by the substitution
+    /// kernels — not SipHash) → (shallowest queued depth, term count of
+    /// the recorded state). Re-queuing is allowed when a strictly
+    /// shallower path is found, so deduplication never hides a shorter
+    /// circuit. The term count guards against 64-bit fingerprint
+    /// collisions: a matching fingerprint with a *different* term count
+    /// is provably a distinct state and is never pruned. The XOR
+    /// combiner makes collisions GF(2)-linear (any term-membership
+    /// multiset whose hashes XOR to zero collides) rather than
+    /// avalanche-random, but each per-term hash is a full 64-bit mixed
+    /// value, so the practical bound stays ≈ k²/2⁶⁵ for k distinct
+    /// states (see `MultiPprm::fingerprint` and
+    /// `SynthesisOptions::dedup_states` for the residual risk).
     visited: HashMap<u64, (u32, u32)>,
     steps_since_restart: u64,
     /// Timer for the current restart segment.
     segment_timer: SpanTimer,
     /// `nodes_expanded` at the start of the current segment.
     segment_start_nodes: u64,
-}
-
-fn state_fingerprint(state: &MultiPprm) -> u64 {
-    let mut h = DefaultHasher::new();
-    state.hash(&mut h);
-    h.finish()
+    /// Reusable buffer for the substitution kernels: after warm-up,
+    /// scoring and materialization allocate nothing for the generated
+    /// term stream.
+    scratch: SubstScratch,
+    /// `MultiPprm::identity(n).fingerprint()`, precomputed so the
+    /// solution check runs against scores alone (a candidate whose
+    /// predicted fingerprint differs cannot be the identity — the
+    /// fingerprint is a deterministic function of the state).
+    identity_fp: u64,
 }
 
 impl<'a> Search<'a> {
-    fn new(options: &'a SynthesisOptions, init_terms: usize, obs: &'a mut Observer) -> Self {
+    fn new(
+        options: &'a SynthesisOptions,
+        init_terms: usize,
+        identity_fp: u64,
+        obs: &'a mut Observer,
+    ) -> Self {
         Search {
             options,
             stats: SearchStats::default(),
@@ -186,6 +217,8 @@ impl<'a> Search<'a> {
             steps_since_restart: 0,
             segment_timer: SpanTimer::start(),
             segment_start_nodes: 0,
+            scratch: SubstScratch::new(),
+            identity_fp,
         }
     }
 
@@ -303,13 +336,16 @@ impl<'a> Search<'a> {
                         for (va, vb) in [(a, b), (b, a)] {
                             for &t in state.output(va).terms() {
                                 if t.contains_var(vb) {
-                                    let c = t.without_var(va).without_var(vb);
-                                    if !controls.contains(&c) {
-                                        controls.push(c);
-                                    }
+                                    controls.push(t.without_var(va).without_var(vb));
                                 }
                             }
                         }
+                        // Sort+dedup instead of an O(k²) `contains` scan
+                        // per insertion; `Term::ONE` (mask 0) sorts
+                        // first, so the unconditional swap stays the
+                        // lead candidate.
+                        controls.sort_unstable();
+                        controls.dedup();
                     }
 
                     let mut candidates: Vec<Candidate> = Vec::new();
@@ -332,6 +368,23 @@ impl<'a> Search<'a> {
         false
     }
 
+    /// Materializes a scored move into the real child state. The only
+    /// place (besides the root) where a `MultiPprm` is built during the
+    /// search.
+    fn materialize(&mut self, entry: &QueueEntry, mv: Move) -> (MultiPprm, i64) {
+        self.stats.candidates_materialized += 1;
+        match mv {
+            Move::Toffoli { var, factor } => {
+                entry.state.substitute_with(var, factor, &mut self.scratch)
+            }
+            Move::Fredkin { a, b, control } => {
+                entry
+                    .state
+                    .substitute_fredkin_with(a, b, control, &mut self.scratch)
+            }
+        }
+    }
+
     /// Evaluates one Toffoli substitution. Returns `true` when a solution
     /// was found and the caller should stop immediately (`stop_at_first`).
     fn consider(
@@ -343,13 +396,13 @@ impl<'a> Search<'a> {
         allow_growth: bool,
         candidates: &mut Vec<Candidate>,
     ) -> bool {
-        let (new_state, eliminated) = entry.state.substitute(var, factor);
+        let score = entry.state.count_substitute(var, factor, &mut self.scratch);
         let gate = Gate::toffoli_mask(factor.mask(), var);
-        self.consider_gate(
+        self.consider_scored(
             entry,
             gate,
-            new_state,
-            eliminated,
+            Move::Toffoli { var, factor },
+            score,
             factor.literal_count(),
             child_depth,
             allow_growth,
@@ -359,7 +412,6 @@ impl<'a> Search<'a> {
 
     /// Evaluates one Fredkin substitution (§VI future work): swap the
     /// variable pair under the control monomial.
-    #[allow(clippy::too_many_arguments)]
     fn consider_fredkin(
         &mut self,
         entry: &QueueEntry,
@@ -369,13 +421,15 @@ impl<'a> Search<'a> {
         child_depth: u32,
         candidates: &mut Vec<Candidate>,
     ) -> bool {
-        let (new_state, eliminated) = entry.state.substitute_fredkin(a, b, control);
+        let score = entry
+            .state
+            .count_substitute_fredkin(a, b, control, &mut self.scratch);
         let gate = Gate::fredkin_mask(control.mask(), a, b);
-        self.consider_gate(
+        self.consider_scored(
             entry,
             gate,
-            new_state,
-            eliminated,
+            Move::Fredkin { a, b, control },
+            score,
             control.literal_count() + 1,
             child_depth,
             false,
@@ -383,23 +437,40 @@ impl<'a> Search<'a> {
         )
     }
 
-    /// Shared candidate evaluation: solution check, priority, pruning
-    /// eligibility.
+    /// Shared candidate evaluation over the *score* alone: solution
+    /// check, priority, pruning eligibility. No child state exists yet —
+    /// a candidate is only materialized if it turns out to be a solution
+    /// (confirmed against the real state, so a fingerprint collision can
+    /// never fabricate one) or later survives pruning in `push_child`.
     #[allow(clippy::too_many_arguments)]
-    fn consider_gate(
+    fn consider_scored(
         &mut self,
         entry: &QueueEntry,
         gate: Gate,
-        new_state: MultiPprm,
-        eliminated: i64,
+        mv: Move,
+        score: SubstCount,
         lits: u32,
         child_depth: u32,
         allow_growth: bool,
         candidates: &mut Vec<Candidate>,
     ) -> bool {
         self.stats.children_generated += 1;
+        self.stats.candidates_scored += 1;
+        let SubstCount {
+            terms,
+            eliminated,
+            fingerprint,
+        } = score;
 
-        if new_state.is_identity() {
+        // Identity test on the score: the fingerprint is deterministic,
+        // so a true identity always matches (no false negatives); a
+        // match is confirmed on the materialized state before being
+        // recorded as a solution.
+        let n = entry.state.num_vars();
+        if terms == n && fingerprint == self.identity_fp && {
+            let (new_state, _) = self.materialize(entry, mv);
+            new_state.is_identity()
+        } {
             self.stats.solutions_seen += 1;
             let path = Some(Rc::new(PathNode {
                 parent: entry.path.as_ref().map(Rc::clone),
@@ -444,7 +515,6 @@ impl<'a> Search<'a> {
             return false;
         }
 
-        let terms = new_state.total_terms();
         let cumulative = self.init_terms as i64 - terms as i64;
         let improving = eliminated > 0 || allow_growth;
         if improving || !self.options.monotone_only {
@@ -469,29 +539,34 @@ impl<'a> Search<'a> {
             }
             candidates.push(Candidate {
                 gate,
-                state: new_state,
+                mv,
                 eliminated,
                 priority,
                 terms,
+                fp: fingerprint,
             });
         }
         false
     }
 
+    /// Admits one pruning survivor: depth cutoff and dedup run first,
+    /// against the candidate's *predicted* term count and fingerprint,
+    /// and only then is the child state materialized and queued — a
+    /// rejected candidate never allocates.
     fn push_child(&mut self, entry: &QueueEntry, candidate: Candidate, child_depth: u32) {
         let Candidate {
             gate,
-            state,
+            mv,
             eliminated,
             priority,
             terms,
+            fp,
         } = candidate;
         if child_depth >= self.depth_cutoff() {
             self.stats.depth_pruned += 1;
             return;
         }
         if self.options.dedup_states {
-            let fp = state_fingerprint(&state);
             let terms32 = terms as u32;
             match self.visited.get(&fp) {
                 Some(&(_, seen_terms)) if seen_terms != terms32 => {
@@ -511,6 +586,14 @@ impl<'a> Search<'a> {
                 }
             }
         }
+        let (state, mat_elim) = self.materialize(entry, mv);
+        debug_assert_eq!(mat_elim, eliminated, "score/materialize elim mismatch");
+        debug_assert_eq!(
+            state.total_terms(),
+            terms,
+            "score/materialize term mismatch"
+        );
+        debug_assert_eq!(state.fingerprint(), fp, "score/materialize fp mismatch");
         self.trace(TraceEvent::Push {
             gate,
             depth: child_depth,
@@ -568,6 +651,10 @@ impl<'a> Search<'a> {
                 .map(|r| r.to_string())
                 .unwrap_or_else(|| "unknown".into());
             let gates = self.best.as_ref().map(|&(d, _, _)| d);
+            self.obs.on_candidate_totals(
+                self.stats.candidates_scored,
+                self.stats.candidates_materialized,
+            );
             self.obs
                 .on_run_end(&reason, self.stats.nodes_expanded, gates);
         }
@@ -594,14 +681,18 @@ fn greedy_dive(spec: &MultiPprm, options: &SynthesisOptions) -> Option<Vec<Gate>
     let cap = options
         .max_gates
         .unwrap_or(4 * spec.total_terms().max(n) + 8);
+    let identity_fp = MultiPprm::identity(n).fingerprint();
+    let mut scratch = SubstScratch::new();
     let mut state = spec.clone();
     let mut gates = Vec::new();
     while !state.is_identity() {
         if gates.len() >= cap {
             return None;
         }
+        // Two-phase like the main search: score every factor without
+        // allocating, materialize only the winner (or a solution).
         // (elim desc, literal count asc, var asc)
-        let mut best: Option<(i64, u32, usize, Term, MultiPprm)> = None;
+        let mut best: Option<(i64, u32, usize, Term)> = None;
         for var in 0..n {
             let factors: Vec<Term> = state
                 .output(var)
@@ -611,26 +702,30 @@ fn greedy_dive(spec: &MultiPprm, options: &SynthesisOptions) -> Option<Vec<Gate>
                 .filter(|t| !t.contains_var(var))
                 .collect();
             for factor in factors {
-                let (next, elim) = state.substitute(var, factor);
-                if next.is_identity() {
-                    gates.push(Gate::toffoli_mask(factor.mask(), var));
-                    return Some(gates);
+                let score = state.count_substitute(var, factor, &mut scratch);
+                if score.terms == n && score.fingerprint == identity_fp {
+                    let (next, _) = state.substitute_with(var, factor, &mut scratch);
+                    if next.is_identity() {
+                        gates.push(Gate::toffoli_mask(factor.mask(), var));
+                        return Some(gates);
+                    }
                 }
-                if elim <= 0 {
+                if score.eliminated <= 0 {
                     continue;
                 }
                 let lits = factor.literal_count();
                 let better = match &best {
                     None => true,
-                    Some((be, bl, bv, _, _)) => (-elim, lits, var) < (-*be, *bl, *bv),
+                    Some((be, bl, bv, _)) => (-score.eliminated, lits, var) < (-*be, *bl, *bv),
                 };
                 if better {
-                    best = Some((elim, lits, var, factor, next));
+                    best = Some((score.eliminated, lits, var, factor));
                 }
             }
         }
         match best {
-            Some((_, _, var, factor, next)) => {
+            Some((_, _, var, factor)) => {
+                let (next, _) = state.substitute_with(var, factor, &mut scratch);
                 gates.push(Gate::toffoli_mask(factor.mask(), var));
                 state = next;
             }
@@ -694,7 +789,8 @@ pub fn synthesize_with_observer(
 ) -> Result<Synthesis, NoSolutionError> {
     let n = spec.num_vars();
     let init_terms = spec.total_terms();
-    let mut search = Search::new(options, init_terms, obs);
+    let identity_fp = MultiPprm::identity(n).fingerprint();
+    let mut search = Search::new(options, init_terms, identity_fp, obs);
     if search.obs.is_active() {
         search.obs.on_run_start(n, init_terms);
     }
@@ -748,7 +844,7 @@ pub fn synthesize_with_observer(
     };
     search
         .visited
-        .insert(state_fingerprint(spec), (0, init_terms as u32));
+        .insert(spec.fingerprint(), (0, init_terms as u32));
     if search.expand(&root) {
         return search.finish(n);
     }
@@ -765,10 +861,10 @@ pub fn synthesize_with_observer(
         search.visited.clear();
         search
             .visited
-            .insert(state_fingerprint(spec), (0, init_terms as u32));
+            .insert(spec.fingerprint(), (0, init_terms as u32));
         for child in children {
             search.visited.insert(
-                state_fingerprint(&child.state),
+                child.state.fingerprint(),
                 (child.depth, child.state.total_terms() as u32),
             );
             search.queue.push(QueueEntry {
@@ -1248,6 +1344,28 @@ mod tests {
             without.circuit.gate_count(),
             "dedup must not change the result"
         );
+    }
+
+    #[test]
+    fn two_phase_counters_show_materialization_savings() {
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        for opts in [
+            SynthesisOptions::new(),
+            SynthesisOptions::new().with_pruning(P::TopK(2)),
+            SynthesisOptions::new().with_pruning(P::Greedy),
+        ] {
+            let r = synthesize(&spec, &opts).expect("solution");
+            assert!(
+                r.stats.candidates_materialized < r.stats.candidates_scored,
+                "materialized {} !< scored {} under {:?}",
+                r.stats.candidates_materialized,
+                r.stats.candidates_scored,
+                opts.pruning
+            );
+            // Every queued child was materialized exactly once.
+            assert!(r.stats.candidates_materialized >= r.stats.children_pushed);
+            verify(&spec, &r);
+        }
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub struct SearchStats {
     pub nodes_expanded: u64,
     /// Children generated (before pruning).
     pub children_generated: u64,
+    /// Candidate substitutions scored by the allocation-free counting
+    /// kernel (`count_substitute`), one per candidate considered during
+    /// expansion.
+    pub candidates_scored: u64,
+    /// Candidates actually materialized into a child `MultiPprm` —
+    /// survivors of pruning, dedup, and the depth cutoff, plus
+    /// solution confirmations. The gap between this and
+    /// `candidates_scored` is work the two-phase kernel avoided.
+    pub candidates_materialized: u64,
     /// Children pushed onto the queue (after pruning).
     pub children_pushed: u64,
     /// Restarts performed (§IV-E).
@@ -106,10 +115,12 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes expanded, {} children ({} pushed), {} restarts, {} solutions, \
-             queue peak {}, {} dedup hits, {:?}",
+            "{} nodes expanded, {} children ({} scored, {} materialized, {} pushed), \
+             {} restarts, {} solutions, queue peak {}, {} dedup hits, {:?}",
             self.nodes_expanded,
             self.children_generated,
+            self.candidates_scored,
+            self.candidates_materialized,
             self.children_pushed,
             self.restarts,
             self.solutions_seen,

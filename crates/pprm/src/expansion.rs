@@ -64,6 +64,18 @@ impl Pprm {
         Pprm { terms: out }
     }
 
+    /// Builds an expansion from terms already sorted strictly ascending
+    /// (i.e. duplicate-free). Used by the substitution kernels, whose
+    /// merge pass produces canonical term vectors directly — re-sorting
+    /// there would double the work of the hot path.
+    pub(crate) fn from_sorted_terms(terms: Vec<Term>) -> Self {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "terms must be sorted strictly ascending"
+        );
+        Pprm { terms }
+    }
+
     /// Derives the canonical PPRM expansion from a truth table via the fast
     /// ANF transform.
     ///

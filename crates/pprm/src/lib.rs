@@ -42,6 +42,6 @@ pub use anf::{anf_to_truth_table, anf_transform};
 pub use bits::{BitTable, IterOnes};
 pub use esop::{Cube, Esop};
 pub use expansion::Pprm;
-pub use multi::MultiPprm;
+pub use multi::{MultiPprm, SubstCount, SubstScratch};
 pub use spectrum::{spectral_complexity, state_spectral_complexity, walsh_spectrum};
 pub use term::{Term, Vars, MAX_VARS};

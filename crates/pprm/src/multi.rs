@@ -4,6 +4,146 @@ use std::fmt;
 
 use crate::{BitTable, Pprm, Term};
 
+/// Reusable buffers for the substitution kernels.
+///
+/// Scoring a candidate substitution ([`MultiPprm::count_substitute`])
+/// and materializing a surviving one ([`MultiPprm::substitute_with`])
+/// both stage the generated terms of each rewritten output in a scratch
+/// vector before merging them into the sorted expansion. Owning the
+/// scratch outside the state lets a search loop evaluate millions of
+/// candidates without a single heap allocation in the scoring phase:
+/// the vector grows to the high-water mark of one output's generated
+/// terms and is reused from then on.
+///
+/// The buffer carries no state between calls (every kernel clears it on
+/// entry), so one scratch per search thread is enough.
+#[derive(Debug, Default)]
+pub struct SubstScratch {
+    generated: Vec<Term>,
+}
+
+impl SubstScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SubstScratch::default()
+    }
+}
+
+/// The result of scoring a candidate substitution without materializing
+/// the child state: everything pruning heuristics and state
+/// deduplication need, at a fraction of the cost of
+/// [`MultiPprm::substitute`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubstCount {
+    /// Total PPRM terms of the would-be child state.
+    pub terms: usize,
+    /// Terms eliminated relative to the parent (negative if the state
+    /// grew).
+    pub eliminated: i64,
+    /// The child's [`MultiPprm::fingerprint`], computed incrementally
+    /// from the parent's.
+    pub fingerprint: u64,
+}
+
+/// `mix64(0)` must not be 0 (a splitmix64 finalizer fixes 0), so every
+/// key is offset by the golden-ratio increment before finalizing.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: a cheap, statistically strong 64-bit
+/// mixer built from two multiply-xorshift rounds (the same family as
+/// FNV/Fx folds, but with full avalanche).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hash contribution of one `(output, term)` membership pair.
+#[inline]
+fn term_hash(output: usize, term: Term) -> u64 {
+    mix64(((output as u64) << 32) | u64::from(term.mask()))
+}
+
+/// Base fingerprint of a state with no terms at all.
+#[inline]
+fn fingerprint_seed(num_vars: usize) -> u64 {
+    mix64(0x517c_c1b7_2722_0a95 ^ (num_vars as u64))
+}
+
+/// Sorts the staged generated terms and walks them against the sorted
+/// parent expansion, returning `(survivors, matched, delta)`:
+/// `survivors` generated terms remain after even multiplicities cancel
+/// in pairs, `matched` of those already occur in the parent (and will
+/// cancel against it), and `delta` is the XOR of their
+/// [`term_hash`]es — the fingerprint flip of this output's rewrite.
+///
+/// The child's term count for this output is
+/// `parent.len() + survivors - 2 * matched`.
+fn score_generated(parent: &[Term], gen: &mut [Term], output: usize) -> (usize, usize, u64) {
+    gen.sort_unstable();
+    let (mut survivors, mut matched, mut delta) = (0usize, 0usize, 0u64);
+    let (mut j, mut k) = (0usize, 0usize);
+    while k < gen.len() {
+        let g = gen[k];
+        let mut run = 1;
+        while k + run < gen.len() && gen[k + run] == g {
+            run += 1;
+        }
+        k += run;
+        if run % 2 == 0 {
+            continue;
+        }
+        survivors += 1;
+        delta ^= term_hash(output, g);
+        while j < parent.len() && parent[j] < g {
+            j += 1;
+        }
+        if j < parent.len() && parent[j] == g {
+            matched += 1;
+            j += 1;
+        }
+    }
+    (survivors, matched, delta)
+}
+
+/// Materializing twin of [`score_generated`]: merges the staged
+/// generated terms into the parent expansion (symmetric difference)
+/// and returns the new sorted term vector plus the fingerprint delta.
+fn merge_generated(parent: &[Term], gen: &mut [Term], output: usize) -> (Vec<Term>, u64) {
+    gen.sort_unstable();
+    let mut out = Vec::with_capacity(parent.len() + gen.len());
+    let mut delta = 0u64;
+    let (mut j, mut k) = (0usize, 0usize);
+    while k < gen.len() {
+        let g = gen[k];
+        let mut run = 1;
+        while k + run < gen.len() && gen[k + run] == g {
+            run += 1;
+        }
+        k += run;
+        if run % 2 == 0 {
+            continue;
+        }
+        delta ^= term_hash(output, g);
+        while j < parent.len() && parent[j] < g {
+            out.push(parent[j]);
+            j += 1;
+        }
+        if j < parent.len() && parent[j] == g {
+            j += 1; // cancels against the parent term
+        } else {
+            out.push(g);
+        }
+    }
+    out.extend_from_slice(&parent[j..]);
+    (out, delta)
+}
+
 /// The PPRM expansions of all `n` outputs of an `n`-input/`n`-output
 /// reversible function, with output `i` paired with input variable `x_i`.
 ///
@@ -11,6 +151,10 @@ use crate::{BitTable, Pprm, Term};
 /// `x_v := x_v ⊕ f` rewrites every output expansion, and synthesis is
 /// complete when the state [`is the identity`](MultiPprm::is_identity)
 /// (`out_i = x_i` for all `i`).
+///
+/// The state caches its [`total_terms`](MultiPprm::total_terms) and its
+/// [`fingerprint`](MultiPprm::fingerprint), so both are O(1) reads; the
+/// substitution kernels maintain the caches incrementally.
 ///
 /// ```
 /// use rmrls_pprm::MultiPprm;
@@ -26,9 +170,33 @@ use crate::{BitTable, Pprm, Term};
 pub struct MultiPprm {
     num_vars: usize,
     outputs: Vec<Pprm>,
+    /// Cached sum of all output term counts. Invariant: always equals
+    /// `outputs.iter().map(Pprm::len).sum()`.
+    total_terms: usize,
+    /// Cached order-independent state fingerprint; see
+    /// [`fingerprint`](MultiPprm::fingerprint).
+    fp: u64,
 }
 
 impl MultiPprm {
+    /// Builds a state from outputs, computing the cached term count and
+    /// fingerprint from scratch.
+    fn assemble(num_vars: usize, outputs: Vec<Pprm>) -> Self {
+        let total_terms = outputs.iter().map(Pprm::len).sum();
+        let mut fp = fingerprint_seed(num_vars);
+        for (i, p) in outputs.iter().enumerate() {
+            for &t in p.terms() {
+                fp ^= term_hash(i, t);
+            }
+        }
+        MultiPprm {
+            num_vars,
+            outputs,
+            total_terms,
+            fp,
+        }
+    }
+
     /// Builds the multi-output PPRM of a reversible function given as a
     /// permutation: `perm[x]` is the output word for input word `x`.
     ///
@@ -49,7 +217,7 @@ impl MultiPprm {
                 Pprm::from_truth_table(&table, num_vars)
             })
             .collect();
-        MultiPprm { num_vars, outputs }
+        MultiPprm::assemble(num_vars, outputs)
     }
 
     /// Builds a state directly from per-output expansions.
@@ -68,15 +236,12 @@ impl MultiPprm {
                 );
             }
         }
-        MultiPprm { num_vars, outputs }
+        MultiPprm::assemble(num_vars, outputs)
     }
 
     /// The identity function on `num_vars` variables (`out_i = x_i`).
     pub fn identity(num_vars: usize) -> Self {
-        MultiPprm {
-            num_vars,
-            outputs: (0..num_vars).map(Pprm::var).collect(),
-        }
+        MultiPprm::assemble(num_vars, (0..num_vars).map(Pprm::var).collect())
     }
 
     /// Number of variables (= inputs = outputs).
@@ -99,9 +264,33 @@ impl MultiPprm {
     }
 
     /// Total number of terms across all outputs (the paper's
-    /// `node.terms`).
+    /// `node.terms`). O(1): the count is cached at construction and
+    /// maintained incrementally by the substitution kernels.
     pub fn total_terms(&self) -> usize {
-        self.outputs.iter().map(Pprm::len).sum()
+        self.total_terms
+    }
+
+    /// An order-independent 64-bit fingerprint of the state, O(1).
+    ///
+    /// Defined as a per-width seed XORed with one [splitmix64-mixed
+    /// hash](mix64) per `(output, term)` membership pair. Because XOR is
+    /// its own inverse, toggling a term's membership toggles its
+    /// contribution, which is exactly the algebra of substitution (terms
+    /// cancel in pairs) — so [`count_substitute`](Self::count_substitute)
+    /// derives a child's fingerprint from its parent's without building
+    /// the child.
+    ///
+    /// Collision bound: equal states always agree (no false negatives).
+    /// Modelling the mixer as a random oracle, two fixed distinct states
+    /// collide with probability 2⁻⁶⁴; unlike a sequential FNV/SipHash
+    /// fold, however, the XOR combination is *linear* over GF(2) in the
+    /// membership vector, so a collision requires some set of
+    /// 2k (k ≥ 2) membership differences whose hashes XOR to zero.
+    /// Consumers that prune on fingerprint equality should keep an
+    /// independent guard (the search keeps the term count; see
+    /// `SynthesisOptions::dedup_states`).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Whether every output has been reduced to its own variable
@@ -118,6 +307,114 @@ impl MultiPprm {
         self.outputs[i].terms() == [Term::var(i)]
     }
 
+    fn assert_substitution(&self, var: usize, factor: Term) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        assert!(
+            (factor.mask() as u64) < (1u64 << self.num_vars),
+            "factor {factor} mentions a variable >= {}",
+            self.num_vars
+        );
+    }
+
+    /// Stages the terms generated by `x_var := x_var ⊕ factor` on one
+    /// output into the scratch buffer.
+    #[inline]
+    fn stage_toffoli(p: &Pprm, var: usize, factor: Term, gen: &mut Vec<Term>) {
+        gen.clear();
+        for &t in p.terms() {
+            if t.contains_var(var) {
+                gen.push(t.without_var(var) * factor);
+            }
+        }
+    }
+
+    /// Stages the terms generated by the Fredkin substitution on one
+    /// output: a term containing exactly one of `(a, b)`, say `a·r`,
+    /// gains `c·a·r ⊕ c·b·r`.
+    #[inline]
+    fn stage_fredkin(p: &Pprm, a: usize, b: usize, control: Term, gen: &mut Vec<Term>) {
+        gen.clear();
+        for &t in p.terms() {
+            if t.contains_var(a) != t.contains_var(b) {
+                let r = t.without_var(a).without_var(b) * control;
+                gen.push(r * Term::var(a));
+                gen.push(r * Term::var(b));
+            }
+        }
+    }
+
+    /// Scores the substitution `x_var := x_var ⊕ factor` without
+    /// materializing the child state: returns the child's total term
+    /// count, the terms eliminated, and the child's
+    /// [`fingerprint`](Self::fingerprint), allocation-free (the scratch
+    /// buffer is reused across calls).
+    ///
+    /// Guaranteed to agree exactly with [`substitute`](Self::substitute)
+    /// on the same `(var, factor)` — the scoring phase of the two-phase
+    /// expansion kernel (see DESIGN.md).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`substitute`](Self::substitute).
+    pub fn count_substitute(
+        &self,
+        var: usize,
+        factor: Term,
+        scratch: &mut SubstScratch,
+    ) -> SubstCount {
+        self.assert_substitution(var, factor);
+        let mut terms = self.total_terms;
+        let mut fp = self.fp;
+        for (i, p) in self.outputs.iter().enumerate() {
+            if !p.mentions_var(var) {
+                continue;
+            }
+            MultiPprm::stage_toffoli(p, var, factor, &mut scratch.generated);
+            let (survivors, matched, delta) = score_generated(p.terms(), &mut scratch.generated, i);
+            terms = terms + survivors - 2 * matched;
+            fp ^= delta;
+        }
+        SubstCount {
+            terms,
+            eliminated: self.total_terms as i64 - terms as i64,
+            fingerprint: fp,
+        }
+    }
+
+    /// Scores the Fredkin substitution without materializing the child;
+    /// the controlled-swap counterpart of
+    /// [`count_substitute`](Self::count_substitute), agreeing exactly
+    /// with [`substitute_fredkin`](Self::substitute_fredkin).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`substitute_fredkin`](Self::substitute_fredkin).
+    pub fn count_substitute_fredkin(
+        &self,
+        a: usize,
+        b: usize,
+        control: Term,
+        scratch: &mut SubstScratch,
+    ) -> SubstCount {
+        self.assert_fredkin(a, b, control);
+        let mut terms = self.total_terms;
+        let mut fp = self.fp;
+        for (i, p) in self.outputs.iter().enumerate() {
+            MultiPprm::stage_fredkin(p, a, b, control, &mut scratch.generated);
+            if scratch.generated.is_empty() {
+                continue;
+            }
+            let (survivors, matched, delta) = score_generated(p.terms(), &mut scratch.generated, i);
+            terms = terms + survivors - 2 * matched;
+            fp ^= delta;
+        }
+        SubstCount {
+            terms,
+            eliminated: self.total_terms as i64 - terms as i64,
+            fingerprint: fp,
+        }
+    }
+
     /// Applies the substitution `x_var := x_var ⊕ factor` to every output
     /// expansion, returning the new state and the number of terms
     /// eliminated (negative if the state grew — possible only for the
@@ -128,29 +425,64 @@ impl MultiPprm {
     /// Panics if `factor` contains `x_var` or mentions a variable out of
     /// range.
     pub fn substitute(&self, var: usize, factor: Term) -> (MultiPprm, i64) {
-        assert!(var < self.num_vars, "variable {var} out of range");
-        assert!(
-            (factor.mask() as u64) < (1u64 << self.num_vars),
-            "factor {factor} mentions a variable >= {}",
-            self.num_vars
-        );
-        let outputs: Vec<Pprm> = self
-            .outputs
-            .iter()
-            .map(|p| {
-                if p.mentions_var(var) {
-                    p.substitute(var, factor)
-                } else {
-                    p.clone()
-                }
-            })
-            .collect();
+        self.substitute_with(var, factor, &mut SubstScratch::new())
+    }
+
+    /// [`substitute`](Self::substitute) with a caller-owned scratch
+    /// buffer — the materialization phase of the two-phase kernel. The
+    /// only allocations are the child's own term vectors (sized exactly);
+    /// all staging goes through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`substitute`](Self::substitute).
+    pub fn substitute_with(
+        &self,
+        var: usize,
+        factor: Term,
+        scratch: &mut SubstScratch,
+    ) -> (MultiPprm, i64) {
+        self.assert_substitution(var, factor);
+        let mut total = self.total_terms;
+        let mut fp = self.fp;
+        let mut outputs = Vec::with_capacity(self.num_vars);
+        for (i, p) in self.outputs.iter().enumerate() {
+            if !p.mentions_var(var) {
+                outputs.push(p.clone());
+                continue;
+            }
+            MultiPprm::stage_toffoli(p, var, factor, &mut scratch.generated);
+            let (new_terms, delta) = merge_generated(p.terms(), &mut scratch.generated, i);
+            total = total - p.len() + new_terms.len();
+            fp ^= delta;
+            outputs.push(Pprm::from_sorted_terms(new_terms));
+        }
+        let elim = self.total_terms as i64 - total as i64;
         let new = MultiPprm {
             num_vars: self.num_vars,
             outputs,
+            total_terms: total,
+            fp,
         };
-        let elim = self.total_terms() as i64 - new.total_terms() as i64;
+        debug_assert_eq!(new.total_terms, new.outputs.iter().map(Pprm::len).sum());
         (new, elim)
+    }
+
+    fn assert_fredkin(&self, a: usize, b: usize, control: Term) {
+        assert!(
+            a < self.num_vars && b < self.num_vars,
+            "variable out of range"
+        );
+        assert_ne!(a, b, "fredkin swaps two distinct variables");
+        assert!(
+            !control.contains_var(a) && !control.contains_var(b),
+            "control {control} must not contain the swapped variables"
+        );
+        assert!(
+            (control.mask() as u64) < (1u64 << self.num_vars),
+            "control {control} mentions a variable >= {}",
+            self.num_vars
+        );
     }
 
     /// Applies the Fredkin substitution — the variable pair `(a, b)` is
@@ -171,48 +503,46 @@ impl MultiPprm {
     /// Panics if `a == b`, either variable is out of range, or the
     /// control contains `a` or `b`.
     pub fn substitute_fredkin(&self, a: usize, b: usize, control: Term) -> (MultiPprm, i64) {
-        assert!(
-            a < self.num_vars && b < self.num_vars,
-            "variable out of range"
-        );
-        assert_ne!(a, b, "fredkin swaps two distinct variables");
-        assert!(
-            !control.contains_var(a) && !control.contains_var(b),
-            "control {control} must not contain the swapped variables"
-        );
-        assert!(
-            (control.mask() as u64) < (1u64 << self.num_vars),
-            "control {control} mentions a variable >= {}",
-            self.num_vars
-        );
-        let outputs: Vec<Pprm> = self
-            .outputs
-            .iter()
-            .map(|p| {
-                let mut generated = Vec::new();
-                for &t in p.terms() {
-                    let has_a = t.contains_var(a);
-                    let has_b = t.contains_var(b);
-                    if has_a != has_b {
-                        let r = t.without_var(a).without_var(b);
-                        generated.push(r * control * Term::var(a));
-                        generated.push(r * control * Term::var(b));
-                    }
-                }
-                if generated.is_empty() {
-                    p.clone()
-                } else {
-                    let mut out = p.clone();
-                    out.xor_assign(&Pprm::from_terms(generated));
-                    out
-                }
-            })
-            .collect();
+        self.substitute_fredkin_with(a, b, control, &mut SubstScratch::new())
+    }
+
+    /// [`substitute_fredkin`](Self::substitute_fredkin) with a
+    /// caller-owned scratch buffer; see
+    /// [`substitute_with`](Self::substitute_with).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`substitute_fredkin`](Self::substitute_fredkin).
+    pub fn substitute_fredkin_with(
+        &self,
+        a: usize,
+        b: usize,
+        control: Term,
+        scratch: &mut SubstScratch,
+    ) -> (MultiPprm, i64) {
+        self.assert_fredkin(a, b, control);
+        let mut total = self.total_terms;
+        let mut fp = self.fp;
+        let mut outputs = Vec::with_capacity(self.num_vars);
+        for (i, p) in self.outputs.iter().enumerate() {
+            MultiPprm::stage_fredkin(p, a, b, control, &mut scratch.generated);
+            if scratch.generated.is_empty() {
+                outputs.push(p.clone());
+                continue;
+            }
+            let (new_terms, delta) = merge_generated(p.terms(), &mut scratch.generated, i);
+            total = total - p.len() + new_terms.len();
+            fp ^= delta;
+            outputs.push(Pprm::from_sorted_terms(new_terms));
+        }
+        let elim = self.total_terms as i64 - total as i64;
         let new = MultiPprm {
             num_vars: self.num_vars,
             outputs,
+            total_terms: total,
+            fp,
         };
-        let elim = self.total_terms() as i64 - new.total_terms() as i64;
+        debug_assert_eq!(new.total_terms, new.outputs.iter().map(Pprm::len).sum());
         (new, elim)
     }
 
@@ -320,6 +650,98 @@ mod tests {
     }
 
     #[test]
+    fn cached_total_terms_tracks_substitutions() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let (m2, elim) = m.substitute(1, Term::of(&[0, 2]));
+        assert_eq!(
+            m2.total_terms(),
+            m2.outputs().iter().map(Pprm::len).sum::<usize>()
+        );
+        assert_eq!(m.total_terms() as i64 - m2.total_terms() as i64, elim);
+    }
+
+    #[test]
+    fn count_substitute_matches_materialization() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let mut scratch = SubstScratch::new();
+        for var in 0..3 {
+            for mask in 0u32..8 {
+                if mask & (1 << var) != 0 {
+                    continue;
+                }
+                let factor = Term::from_mask(mask);
+                let score = m.count_substitute(var, factor, &mut scratch);
+                let (child, elim) = m.substitute(var, factor);
+                assert_eq!(score.terms, child.total_terms(), "var={var} mask={mask}");
+                assert_eq!(score.eliminated, elim, "var={var} mask={mask}");
+                assert_eq!(
+                    score.fingerprint,
+                    child.fingerprint(),
+                    "var={var} mask={mask}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_substitute_fredkin_matches_materialization() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let mut scratch = SubstScratch::new();
+        for control in [Term::ONE, Term::var(2)] {
+            let score = m.count_substitute_fredkin(0, 1, control, &mut scratch);
+            let (child, elim) = m.substitute_fredkin(0, 1, control);
+            assert_eq!(score.terms, child.total_terms());
+            assert_eq!(score.eliminated, elim);
+            assert_eq!(score.fingerprint, child.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminating() {
+        let a = MultiPprm::from_permutation(&FIG1, 3);
+        let b = MultiPprm::from_permutation(&FIG1, 3);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = MultiPprm::identity(3);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // The width is part of the fingerprint, so the identity on 3
+        // variables and on 4 variables differ.
+        assert_ne!(
+            MultiPprm::identity(3).fingerprint(),
+            MultiPprm::identity(4).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_constant_one_in_output_zero() {
+        // Regression guard for the mixer: mix64 must not fix the all-zero
+        // key, or `1` in output 0 would be invisible to the fingerprint.
+        let with = MultiPprm::from_outputs(
+            vec![
+                Pprm::from_terms(vec![Term::ONE, Term::var(0)]),
+                Pprm::var(1),
+            ],
+            2,
+        );
+        let without = MultiPprm::from_outputs(vec![Pprm::var(0), Pprm::var(1)], 2);
+        assert_ne!(with.fingerprint(), without.fingerprint());
+    }
+
+    #[test]
+    fn substitute_with_reuses_scratch() {
+        let m = MultiPprm::from_permutation(&FIG1, 3);
+        let mut scratch = SubstScratch::new();
+        let (a, ea) = m.substitute_with(1, Term::of(&[0, 2]), &mut scratch);
+        let (b, eb) = m.substitute(1, Term::of(&[0, 2]));
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+        // Scratch is stateless between calls: a second, different
+        // substitution still agrees with the allocating path.
+        let (c, _) = a.substitute_with(2, Term::of(&[0, 1]), &mut scratch);
+        let (d, _) = b.substitute(2, Term::of(&[0, 1]));
+        assert_eq!(c, d);
+    }
+
+    #[test]
     fn fredkin_substitution_semantics_match_gate() {
         // F' = F ∘ G for the controlled swap G = FRE(c; a, b).
         let m = MultiPprm::from_permutation(&FIG1, 3);
@@ -392,5 +814,12 @@ mod tests {
     fn out_of_range_factor_panics() {
         let m = MultiPprm::identity(2);
         let _ = m.substitute(0, Term::var(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "mentions a variable")]
+    fn count_substitute_checks_factor_range() {
+        let m = MultiPprm::identity(2);
+        let _ = m.count_substitute(0, Term::var(3), &mut SubstScratch::new());
     }
 }

@@ -2,7 +2,18 @@
 
 use proptest::prelude::*;
 
-use rmrls_pprm::{anf_transform, BitTable, Esop, MultiPprm, Pprm, Term};
+use rmrls_pprm::{anf_transform, BitTable, Esop, MultiPprm, Pprm, SubstScratch, Term};
+
+/// A random 4-variable reversible state: a seeded random permutation
+/// of 0..16 lifted to its multi-output PPRM expansion.
+fn random_state(seed: u64) -> MultiPprm {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut map: Vec<u64> = (0..16).collect();
+    map.shuffle(&mut rng);
+    MultiPprm::from_permutation(&map, 4)
+}
 
 fn bools(n: usize) -> impl Strategy<Value = Vec<bool>> {
     proptest::collection::vec(any::<bool>(), 1 << n)
@@ -101,5 +112,60 @@ proptest! {
     #[test]
     fn term_order_matches_mask_order(a in any::<u32>(), b in any::<u32>()) {
         prop_assert_eq!(Term::from_mask(a).cmp(&Term::from_mask(b)), a.cmp(&b));
+    }
+
+    /// The allocation-free scoring kernel predicts exactly what
+    /// materialization produces: term count, elimination, fingerprint.
+    #[test]
+    fn count_substitute_agrees_with_materialization(
+        seed in any::<u64>(),
+        var in 0usize..4,
+        mask in 0u32..16,
+    ) {
+        let factor = Term::from_mask(mask & !(1 << var));
+        let m = random_state(seed);
+        let mut scratch = SubstScratch::new();
+        let score = m.count_substitute(var, factor, &mut scratch);
+        let (child, elim) = m.substitute(var, factor);
+        prop_assert_eq!(score.terms, child.total_terms());
+        prop_assert_eq!(score.eliminated, elim);
+        prop_assert_eq!(score.fingerprint, child.fingerprint());
+    }
+
+    /// Same agreement for the Fredkin kernel (§VI).
+    #[test]
+    fn count_substitute_fredkin_agrees_with_materialization(
+        seed in any::<u64>(),
+        control in 0u32..16,
+    ) {
+        let c = Term::from_mask(control & !0b0011);
+        let m = random_state(seed);
+        let mut scratch = SubstScratch::new();
+        let score = m.count_substitute_fredkin(0, 1, c, &mut scratch);
+        let (child, elim) = m.substitute_fredkin(0, 1, c);
+        prop_assert_eq!(score.terms, child.total_terms());
+        prop_assert_eq!(score.eliminated, elim);
+        prop_assert_eq!(score.fingerprint, child.fingerprint());
+    }
+
+    /// The scratch-buffer kernel is the same function as the allocating
+    /// entry point, and the child's cached fingerprint/term count match
+    /// a from-scratch rebuild of the same outputs.
+    #[test]
+    fn substitute_with_matches_substitute_and_rebuild(
+        seed in any::<u64>(),
+        var in 0usize..4,
+        mask in 0u32..16,
+    ) {
+        let factor = Term::from_mask(mask & !(1 << var));
+        let m = random_state(seed);
+        let mut scratch = SubstScratch::new();
+        let (a, elim_a) = m.substitute(var, factor);
+        let (b, elim_b) = m.substitute_with(var, factor, &mut scratch);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(elim_a, elim_b);
+        let rebuilt = MultiPprm::from_outputs(a.outputs().to_vec(), a.num_vars());
+        prop_assert_eq!(rebuilt.fingerprint(), a.fingerprint());
+        prop_assert_eq!(rebuilt.total_terms(), a.total_terms());
     }
 }
