@@ -1,0 +1,236 @@
+//! Batch-engine throughput benchmark: specs/sec at 1/2/4/8 workers
+//! over a mixed workload (the bundled example suite plus random
+//! Table-I/II-class permutations), and the canonical-form cache's
+//! hit-rate on a relabeling-heavy workload.
+//!
+//! Every timed run is also a correctness run: per-worker-count results
+//! must be byte-identical to the single-worker reference, every
+//! circuit is equivalence-verified against its specification, and zero
+//! contained panics are tolerated.
+//!
+//! Scaling context matters for reading the numbers: worker threads
+//! beyond the physical core count cannot add throughput, so the report
+//! records `available_cores` alongside the sweep. On a single-core
+//! host the 8-worker figure measures scheduling overhead, not speedup.
+//!
+//! Output: a human-readable table, plus the `BENCH_pr4.json` payload on
+//! request (`RMRLS_BENCH_OUT=path`). `RMRLS_SMOKE=1` shrinks the
+//! workload to a CI-sized smoke run (correctness checks still run).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmrls_engine::canon::conjugate_table;
+use rmrls_engine::manifest::{Admission, BatchJob, SpecData};
+use rmrls_engine::{run_batch, suite_admissions, BatchOptions, ShutdownHandles};
+use rmrls_obs::Json;
+use rmrls_spec::{random_permutation, Permutation};
+
+fn smoke() -> bool {
+    std::env::var("RMRLS_SMOKE")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// The throughput workload: the example suite plus deterministic random
+/// 3- and 4-variable permutations (Table I/II class — all solvable well
+/// inside the default node budget).
+fn throughput_workload(randoms: usize) -> Vec<Admission> {
+    let mut jobs = suite_admissions("examples").expect("bundled suite");
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for i in 0..randoms {
+        let n = 3 + (i % 2);
+        jobs.push(Admission::Job(BatchJob {
+            name: format!("rand{n}v-{i}"),
+            origin: "bench:random".to_string(),
+            spec: SpecData::Perm(random_permutation(n, &mut rng)),
+        }));
+    }
+    jobs
+}
+
+/// The cache workload: `bases` random 3-variable permutations, each
+/// admitted under four wire labelings (one trivial, three not). All
+/// 4 labelings share one canonical form, so a warm cache serves 3 of
+/// every 4 jobs.
+fn relabeling_workload(bases: usize) -> Vec<Admission> {
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    let sigmas: [[u8; 3]; 4] = [[0, 1, 2], [1, 0, 2], [2, 1, 0], [1, 2, 0]];
+    let mut jobs = Vec::new();
+    for b in 0..bases {
+        let p = random_permutation(3, &mut rng);
+        for (s, sigma) in sigmas.iter().enumerate() {
+            let table = conjugate_table(p.as_slice(), sigma);
+            jobs.push(Admission::Job(BatchJob {
+                name: format!("base{b}-relabel{s}"),
+                origin: "bench:relabel".to_string(),
+                spec: SpecData::Perm(Permutation::from_vec(table).expect("conjugate is a perm")),
+            }));
+        }
+    }
+    jobs
+}
+
+fn options(workers: usize, cache: Option<usize>) -> BatchOptions {
+    BatchOptions {
+        workers,
+        cache_size: cache,
+        // First-solution mode: a throughput bench measures jobs moved
+        // through the pool, not circuit optimality — the default
+        // optimal-seeking search would dominate every timing with a
+        // handful of hard specs.
+        synthesis: rmrls_core::SynthesisOptions::new()
+            .with_stop_at_first(true)
+            .with_max_nodes(200_000),
+        ..BatchOptions::default()
+    }
+}
+
+fn main() {
+    let smoke = smoke();
+    let (randoms, bases, reps) = if smoke { (8, 4, 1) } else { (72, 24, 3) };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("# Batch engine: specs/sec by worker count, cache hit-rate");
+    println!(
+        "mode: {}, available cores: {cores}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let jobs = throughput_workload(randoms);
+    println!(
+        "throughput workload: {} jobs (8 example benchmarks + {randoms} random 3/4-var perms)",
+        jobs.len()
+    );
+
+    // Single-worker reference: both the baseline rate and the byte-wise
+    // determinism oracle for every other worker count.
+    let reference = run_batch(&jobs, &options(1, Some(1024)), &ShutdownHandles::new());
+    assert_eq!(reference.counters.panics_contained, 0);
+    assert_eq!(reference.counters.verify_failures, 0);
+    assert_eq!(
+        reference.counters.jobs_completed,
+        jobs.len() as u64,
+        "every throughput job must solve"
+    );
+    let reference_jsonl = reference.results_jsonl();
+
+    println!(
+        "\n| {:>7} | {:>12} | {:>9} |",
+        "workers", "specs/sec", "vs 1w"
+    );
+    let mut sweep = Vec::new();
+    let mut base_rate = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        // Median-of-reps to damp scheduler noise.
+        let mut rates: Vec<f64> = (0..reps)
+            .map(|_| {
+                let run = run_batch(
+                    &jobs,
+                    &options(workers, Some(1024)),
+                    &ShutdownHandles::new(),
+                );
+                assert_eq!(run.counters.panics_contained, 0);
+                assert_eq!(run.counters.verify_failures, 0);
+                assert_eq!(
+                    run.results_jsonl(),
+                    reference_jsonl,
+                    "results must not depend on worker count ({workers})"
+                );
+                run.specs_per_second()
+            })
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        let rate = rates[rates.len() / 2];
+        if workers == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        println!("| {workers:>7} | {rate:>12.1} | {speedup:>8.2}x |");
+        sweep.push(Json::Obj(vec![
+            ("workers".to_string(), Json::uint(workers as u64)),
+            ("specs_per_sec".to_string(), Json::Num(rate)),
+            ("speedup_vs_1".to_string(), Json::Num(speedup)),
+        ]));
+    }
+
+    // Cache section: same jobs, cache off vs on.
+    let cache_jobs = relabeling_workload(bases);
+    println!(
+        "\ncache workload: {} jobs ({bases} bases x 4 labelings)",
+        cache_jobs.len()
+    );
+    let start = Instant::now();
+    let cold = run_batch(&cache_jobs, &options(1, None), &ShutdownHandles::new());
+    let cold_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let warm = run_batch(
+        &cache_jobs,
+        &options(1, Some(1024)),
+        &ShutdownHandles::new(),
+    );
+    let warm_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.results_jsonl(),
+        cold.results_jsonl(),
+        "cache must not change results"
+    );
+    assert_eq!(warm.counters.verify_failures, 0);
+    assert_eq!(
+        warm.counters.verified_ok,
+        cache_jobs.len() as u64,
+        "every job, hit-served or not, is equivalence-verified"
+    );
+    let hit_rate = warm.counters.cache_hit_rate().expect("cache was consulted");
+    println!(
+        "  cache off: {cold_secs:.3}s   cache on: {warm_secs:.3}s   \
+         hits: {} / misses: {} ({:.0}% hit rate)",
+        warm.counters.cache_hits,
+        warm.counters.cache_misses,
+        hit_rate * 100.0
+    );
+    assert!(
+        hit_rate >= 0.5,
+        "relabeling workload must reach >=50% hit rate, got {:.0}%",
+        hit_rate * 100.0
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".to_string(), Json::str("batch_pr4")),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        ("available_cores".to_string(), Json::uint(cores as u64)),
+        (
+            "throughput".to_string(),
+            Json::Obj(vec![
+                ("jobs".to_string(), Json::uint(jobs.len() as u64)),
+                ("reps".to_string(), Json::uint(reps as u64)),
+                ("workers_sweep".to_string(), Json::Arr(sweep)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("jobs".to_string(), Json::uint(cache_jobs.len() as u64)),
+                ("hit_rate".to_string(), Json::Num(hit_rate)),
+                ("hits".to_string(), Json::uint(warm.counters.cache_hits)),
+                ("misses".to_string(), Json::uint(warm.counters.cache_misses)),
+                ("seconds_cache_off".to_string(), Json::Num(cold_secs)),
+                ("seconds_cache_on".to_string(), Json::Num(warm_secs)),
+                (
+                    "verified_ok".to_string(),
+                    Json::uint(warm.counters.verified_ok),
+                ),
+            ]),
+        ),
+    ]);
+
+    if let Ok(path) = std::env::var("RMRLS_BENCH_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, format!("{report}\n")).expect("write RMRLS_BENCH_OUT");
+            println!("\nwrote {path}");
+        }
+    }
+}

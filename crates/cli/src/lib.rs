@@ -4,6 +4,8 @@
 //!
 //! - `rmrls synth` — synthesize a specification (inline permutation,
 //!   named benchmark, or TFC file) with RMRLS;
+//! - `rmrls batch` — run a manifest or bundled suite of specifications
+//!   on the concurrent batch engine;
 //! - `rmrls mmd` — synthesize with the MMD transformation baseline;
 //! - `rmrls info` — inspect a TFC circuit (gates, cost, diagram);
 //! - `rmrls benchmarks` — list the built-in benchmark suite.
@@ -51,6 +53,8 @@ rmrls — Reed-Muller reversible logic synthesizer
 USAGE:
   rmrls synth    [OPTIONS] (--spec \"1,0,7,2,...\" | --benchmark NAME |
                             --tfc FILE | --spec-file FILE)
+  rmrls batch    [OPTIONS] (--manifest FILE | --suite table4|examples|
+                            extended|all)
   rmrls mmd      (--spec \"...\" | --benchmark NAME | --tfc FILE) [--uni]
   rmrls info     --tfc FILE
   rmrls analyze  --tfc FILE
@@ -74,6 +78,17 @@ SYNTH OPTIONS:
   --progress                         print periodic search progress to stderr
   --log-json FILE                    stream search events as JSON lines
                                      (FILE '-' streams to stderr)
+
+BATCH OPTIONS:
+  --jobs N            worker threads (default: available parallelism)
+  --deadline-ms M     per-job wall-clock deadline in milliseconds
+  --cache-size K      canonical-form result cache capacity (default 1024)
+  --no-cache          disable the result cache
+  --canon-limit N     widest spec canonicalized for caching (default 8)
+  --no-verify         skip per-circuit equivalence verification
+  --results FILE      write one JSON record per job (JSON lines)
+  --report FILE       write the aggregate JSON run report
+  --strict            exit nonzero on any error, panic, or verify failure
 ";
 
 /// Where the input specification comes from.
@@ -133,6 +148,15 @@ impl SpecSource {
     }
 }
 
+/// Where a batch run's job list comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchSource {
+    /// Manifest file, one job per line.
+    Manifest(String),
+    /// Bundled suite: `table4`, `examples`, `extended`, or `all`.
+    Suite(String),
+}
+
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub enum Command {
@@ -165,6 +189,27 @@ pub enum Command {
         /// Stream search events as JSON lines to this file (`-` =
         /// stderr).
         log_json: Option<String>,
+    },
+    /// `rmrls batch`.
+    Batch {
+        /// Job list: a manifest file or a bundled suite.
+        source: BatchSource,
+        /// Worker threads (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Per-job wall-clock deadline.
+        deadline: Option<Duration>,
+        /// Result-cache capacity (`None` disables the cache).
+        cache_size: Option<usize>,
+        /// Widest spec canonicalized for caching.
+        canon_limit: usize,
+        /// Verify each circuit against its specification.
+        verify: bool,
+        /// Write per-job JSON-lines records to this file.
+        results: Option<String>,
+        /// Write the aggregate JSON run report to this file.
+        report: Option<String>,
+        /// Exit nonzero on any error, panic, or verification failure.
+        strict: bool,
     },
     /// `rmrls mmd`.
     Mmd {
@@ -256,6 +301,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut report = None;
     let mut progress = false;
     let mut log_json = None;
+    let mut manifest = None;
+    let mut suite = None;
+    let mut jobs = None;
+    let mut deadline_ms = None;
+    let mut cache_size = None;
+    let mut no_cache = false;
+    let mut canon_limit = None;
+    let mut no_verify = false;
+    let mut results = None;
+    let mut strict = false;
 
     let take_value =
         |args: &mut std::iter::Peekable<I::IntoIter>, flag: &str| -> Result<String, CliError> {
@@ -306,6 +361,33 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             "--report" => report = Some(take_value(&mut args, "--report")?),
             "--progress" => progress = true,
             "--log-json" => log_json = Some(take_value(&mut args, "--log-json")?),
+            "--manifest" => manifest = Some(take_value(&mut args, "--manifest")?),
+            "--suite" => suite = Some(take_value(&mut args, "--suite")?),
+            "--jobs" => {
+                let v = take_value(&mut args, "--jobs")?;
+                let n: usize = v.parse().map_err(|_| err("bad --jobs"))?;
+                if n == 0 {
+                    return Err(err("--jobs must be at least 1"));
+                }
+                jobs = Some(n);
+            }
+            "--deadline-ms" => {
+                let v = take_value(&mut args, "--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| err("bad --deadline-ms"))?;
+                deadline_ms = Some(Duration::from_millis(ms));
+            }
+            "--cache-size" => {
+                let v = take_value(&mut args, "--cache-size")?;
+                cache_size = Some(v.parse().map_err(|_| err("bad --cache-size"))?);
+            }
+            "--no-cache" => no_cache = true,
+            "--canon-limit" => {
+                let v = take_value(&mut args, "--canon-limit")?;
+                canon_limit = Some(v.parse().map_err(|_| err("bad --canon-limit"))?);
+            }
+            "--no-verify" => no_verify = true,
+            "--results" => results = Some(take_value(&mut args, "--results")?),
+            "--strict" => strict = true,
             "--fredkin" => {
                 fredkin = match take_value(&mut args, "--fredkin")?.as_str() {
                     "swap" => FredkinMode::SwapOnly,
@@ -317,11 +399,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         }
     }
 
-    let obs_flags_used = report.is_some() || progress || log_json.is_some();
-    if obs_flags_used && cmd != "synth" {
-        return Err(err(
-            "--report, --progress and --log-json apply only to 'synth'",
-        ));
+    if report.is_some() && cmd != "synth" && cmd != "batch" {
+        return Err(err("--report applies only to 'synth' and 'batch'"));
+    }
+    if (progress || log_json.is_some()) && cmd != "synth" {
+        return Err(err("--progress and --log-json apply only to 'synth'"));
     }
 
     match cmd.as_str() {
@@ -351,6 +433,31 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 report,
                 progress,
                 log_json,
+            })
+        }
+        "batch" => {
+            if no_cache && cache_size.is_some() {
+                return Err(err("--no-cache conflicts with --cache-size"));
+            }
+            let source = match (manifest, suite) {
+                (Some(m), None) => BatchSource::Manifest(m),
+                (None, Some(s)) => BatchSource::Suite(s),
+                _ => return Err(err("batch needs exactly one of --manifest, --suite")),
+            };
+            Ok(Command::Batch {
+                source,
+                jobs,
+                deadline: deadline_ms,
+                cache_size: if no_cache {
+                    None
+                } else {
+                    Some(cache_size.unwrap_or(1024))
+                },
+                canon_limit: canon_limit.unwrap_or(8),
+                verify: !no_verify,
+                results,
+                report,
+                strict,
             })
         }
         "mmd" => Ok(Command::Mmd {
@@ -538,6 +645,105 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 std::fs::write(&path, real::write(&doc))
                     .map_err(|e| err(format!("cannot write {path}: {e}")))?;
                 writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+            }
+            Ok(())
+        }
+        Command::Batch {
+            source,
+            jobs,
+            deadline,
+            cache_size,
+            canon_limit,
+            verify,
+            results,
+            report: report_path,
+            strict,
+        } => {
+            let admissions = match &source {
+                BatchSource::Manifest(path) => {
+                    rmrls_engine::load_manifest(path).map_err(CliError)?
+                }
+                BatchSource::Suite(name) => {
+                    rmrls_engine::suite_admissions(name).ok_or_else(|| {
+                        err(format!(
+                            "unknown suite '{name}' (table4, examples, extended, all)"
+                        ))
+                    })?
+                }
+            };
+            let workers = jobs.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+            let options = rmrls_engine::BatchOptions {
+                workers,
+                deadline,
+                cache_size,
+                canon_limit,
+                verify,
+                ..rmrls_engine::BatchOptions::default()
+            };
+            // Ctrl-C once drains (running jobs finish, the rest are
+            // skipped and the partial report is still written); twice
+            // aborts in-flight searches.
+            let shutdown = rmrls_engine::ShutdownHandles::install_sigint();
+            let run = rmrls_engine::run_batch(&admissions, &options, &shutdown);
+
+            let c = &run.counters;
+            writeln!(
+                out,
+                "batch: {} jobs on {} workers in {:.2}s ({:.1} specs/sec)",
+                c.jobs_total,
+                run.workers,
+                run.elapsed.as_secs_f64(),
+                run.specs_per_second()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "  solved: {}   unsolved: {}   errors: {}   \
+                 panics_contained: {}   skipped: {}",
+                c.jobs_completed,
+                c.jobs_unsolved,
+                c.jobs_errored,
+                c.panics_contained,
+                c.jobs_skipped
+            )
+            .map_err(|e| err(e.to_string()))?;
+            if let Some(rate) = c.cache_hit_rate() {
+                writeln!(
+                    out,
+                    "  cache: {} hits / {} misses ({:.0}% hit rate)",
+                    c.cache_hits,
+                    c.cache_misses,
+                    rate * 100.0
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+            if verify {
+                writeln!(
+                    out,
+                    "  verified: {} ok, {} failed",
+                    c.verified_ok, c.verify_failures
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(path) = &results {
+                std::fs::write(path, run.results_jsonl())
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(path) = &report_path {
+                std::fs::write(path, format!("{}\n", run.report_json(&options)))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+            }
+            if strict && (c.panics_contained > 0 || c.verify_failures > 0 || c.jobs_errored > 0) {
+                return Err(err(format!(
+                    "strict batch failed: {} errors, {} panics, {} verification failures",
+                    c.jobs_errored, c.panics_contained, c.verify_failures
+                )));
             }
             Ok(())
         }
@@ -993,6 +1199,170 @@ mod tests {
         for line in &lines {
             rmrls_obs::Json::parse(line).expect("every line is standalone JSON");
         }
+    }
+
+    #[test]
+    fn batch_flags_parse() {
+        match parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--jobs",
+            "4",
+            "--deadline-ms",
+            "250",
+            "--cache-size",
+            "64",
+            "--canon-limit",
+            "6",
+            "--no-verify",
+            "--results",
+            "r.jsonl",
+            "--report",
+            "report.json",
+            "--strict",
+        ])
+        .unwrap()
+        {
+            Command::Batch {
+                source,
+                jobs,
+                deadline,
+                cache_size,
+                canon_limit,
+                verify,
+                results,
+                report,
+                strict,
+            } => {
+                assert_eq!(source, BatchSource::Suite("examples".into()));
+                assert_eq!(jobs, Some(4));
+                assert_eq!(deadline, Some(Duration::from_millis(250)));
+                assert_eq!(cache_size, Some(64));
+                assert_eq!(canon_limit, 6);
+                assert!(!verify);
+                assert_eq!(results.as_deref(), Some("r.jsonl"));
+                assert_eq!(report.as_deref(), Some("report.json"));
+                assert!(strict);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_defaults_and_source_validation() {
+        match parse(&["batch", "--manifest", "jobs.txt"]).unwrap() {
+            Command::Batch {
+                source,
+                jobs,
+                cache_size,
+                canon_limit,
+                verify,
+                strict,
+                ..
+            } => {
+                assert_eq!(source, BatchSource::Manifest("jobs.txt".into()));
+                assert_eq!(jobs, None);
+                assert_eq!(cache_size, Some(1024));
+                assert_eq!(canon_limit, 8);
+                assert!(verify);
+                assert!(!strict);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Exactly one source, and the flag combinations must be sane.
+        assert!(parse(&["batch"]).is_err());
+        assert!(parse(&["batch", "--manifest", "a", "--suite", "table4"]).is_err());
+        assert!(parse(&["batch", "--suite", "table4", "--jobs", "0"]).is_err());
+        assert!(parse(&[
+            "batch",
+            "--suite",
+            "table4",
+            "--no-cache",
+            "--cache-size",
+            "8"
+        ])
+        .is_err());
+        // --no-cache alone disables the cache.
+        match parse(&["batch", "--suite", "table4", "--no-cache"]).unwrap() {
+            Command::Batch { cache_size, .. } => assert_eq!(cache_size, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_batch_suite_writes_results_and_report() {
+        let dir = std::env::temp_dir().join("rmrls-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = dir.join("results.jsonl");
+        let report = dir.join("report.json");
+        let cmd = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--jobs",
+            "2",
+            "--strict",
+            "--results",
+            results.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("examples suite synthesizes clean");
+        assert!(out.contains("panics_contained: 0"), "{out}");
+        assert!(out.contains("verified: 8 ok, 0 failed"), "{out}");
+
+        let jsonl = std::fs::read_to_string(&results).unwrap();
+        assert_eq!(jsonl.lines().count(), 8);
+        for line in jsonl.lines() {
+            let record = rmrls_obs::Json::parse(line).unwrap();
+            assert_eq!(record.get("status").unwrap().as_str(), Some("solved"));
+            assert_eq!(record.get("verified").unwrap().as_bool(), Some(true));
+        }
+        let report = rmrls_obs::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(report.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            report
+                .get("counters")
+                .unwrap()
+                .get("panics_contained")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn strict_batch_fails_on_corrupt_manifest() {
+        let dir = std::env::temp_dir().join("rmrls-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("corrupt.manifest");
+        std::fs::write(&manifest, "perm 1,0,7,2,3,4,5,6\nperm 0,0,1,2\n").unwrap();
+        let args = |strict: bool| {
+            let mut v = vec![
+                "batch".to_string(),
+                "--manifest".to_string(),
+                manifest.to_str().unwrap().to_string(),
+            ];
+            if strict {
+                v.push("--strict".to_string());
+            }
+            v
+        };
+        let mut out = String::new();
+        let lenient = parse_args(args(false)).unwrap();
+        run(lenient, &mut out).expect("errors are records, not failures");
+        assert!(out.contains("errors: 1"), "{out}");
+        let strict = parse_args(args(true)).unwrap();
+        assert!(run(strict, &mut String::new()).is_err());
+    }
+
+    #[test]
+    fn batch_rejects_unknown_suite() {
+        let cmd = parse(&["batch", "--suite", "nope"]).unwrap();
+        assert!(run(cmd, &mut String::new()).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 // bytes on the error path to matter.
 #![allow(clippy::result_large_err)]
 
+mod budget;
 mod embedding_search;
 mod observe;
 mod options;
@@ -43,6 +44,7 @@ mod report;
 mod search;
 mod stats;
 
+pub use budget::{Budget, CancelToken};
 pub use embedding_search::{
     synthesize_embedded, synthesize_embedded_with_observer, EmbeddedSynthesis, EmbeddingAttempt,
     COMPLETION_PORTFOLIO,

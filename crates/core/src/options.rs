@@ -1,7 +1,9 @@
 //! Synthesis configuration: the priority weights of Eq. 4 and the
 //! heuristics of §IV-E.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::budget::{Budget, CancelToken};
 
 /// The weights of the priority function (Eq. 4):
 ///
@@ -148,6 +150,11 @@ pub struct SynthesisOptions {
     /// Wall-clock synthesis budget (the paper's `Timer`); `None` = no
     /// limit.
     pub time_limit: Option<Duration>,
+    /// Absolute deadline and cooperative cancellation, checked in the
+    /// expansion loop alongside `time_limit`. The batch engine threads
+    /// its per-job deadline and shutdown token through here; a plain
+    /// API user leaves it [`Budget::unlimited`].
+    pub budget: Budget,
     /// Maximum circuit size in gates (e.g. 40 for the 4-variable runs,
     /// 60 for the 5-variable runs of §V-B); `None` = unbounded.
     pub max_gates: Option<usize>,
@@ -221,6 +228,7 @@ impl SynthesisOptions {
             astar_weight: 0.5,
             pruning: Pruning::Exhaustive,
             time_limit: None,
+            budget: Budget::unlimited(),
             max_gates: None,
             max_nodes: None,
             max_queue: Some(250_000),
@@ -263,6 +271,20 @@ impl SynthesisOptions {
     /// Sets the wall-clock limit.
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets an absolute deadline (stronger than `with_time_limit`: the
+    /// instant is fixed by the caller, so time spent queued before the
+    /// search starts counts against the budget).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.budget.cancel = Some(token);
         self
     }
 

@@ -12,8 +12,8 @@ use rmrls_obs::{Event, Value};
 use rmrls_pprm::MultiPprm;
 
 use crate::{
-    synthesize, NoSolutionError, Observer, PriorityMode, Pruning, SearchStats, Synthesis,
-    SynthesisOptions,
+    synthesize, CancelToken, NoSolutionError, Observer, PriorityMode, Pruning, SearchStats,
+    Synthesis, SynthesisOptions,
 };
 
 /// A sensible default portfolio derived from the ablation study:
@@ -36,14 +36,20 @@ pub fn default_portfolio(base: &SynthesisOptions) -> Vec<SynthesisOptions> {
 /// and returns the smallest circuit (ties: lowest quantum cost, then
 /// earliest configuration).
 ///
+/// When **every** configuration sets `stop_at_first`, the members race:
+/// the first to find a solution cancels the others through their
+/// [`CancelToken`]s, so losing configurations stop within one budget
+/// poll instead of running to their full node budget. Racing is gated
+/// on `stop_at_first` because it is only quality-safe when the caller
+/// has declared any solution acceptable — cancelling a best-first
+/// member early could otherwise return a larger circuit than it would
+/// have found.
+///
 /// # Errors
 ///
 /// Returns the first configuration's [`NoSolutionError`] if every
-/// configuration fails.
-///
-/// # Panics
-///
-/// Panics if `configs` is empty.
+/// configuration fails, or a default-stats error when `configs` is
+/// empty.
 ///
 /// ```
 /// use rmrls_core::{default_portfolio, synthesize_portfolio, SynthesisOptions};
@@ -95,22 +101,56 @@ pub struct PortfolioRun {
 /// [`Observer`] is single-threaded by design); the parent thread emits
 /// one attribution event per configuration once all of them finish.
 ///
-/// # Panics
-///
-/// Panics if `configs` is empty.
+/// An empty `configs` slice yields an `Err` result with default stats
+/// (historically this panicked; batch callers construct portfolios
+/// dynamically and must not be able to take the process down).
 pub fn synthesize_portfolio_attributed(
     spec: &MultiPprm,
     configs: &[SynthesisOptions],
     obs: &mut Observer,
 ) -> PortfolioRun {
-    assert!(
-        !configs.is_empty(),
-        "portfolio needs at least one configuration"
-    );
+    if configs.is_empty() {
+        return PortfolioRun {
+            result: Err(NoSolutionError {
+                stats: SearchStats::default(),
+            }),
+            winner: None,
+            outcomes: Vec::new(),
+        };
+    }
+
+    // Racing (winner cancels losers) only when every member declared
+    // any solution acceptable — see `synthesize_portfolio` docs.
+    let racing = configs.iter().all(|c| c.stop_at_first);
+    // One token per member; a member with a caller-supplied token gets
+    // a child so the caller's cancellation still reaches it.
+    let tokens: Vec<CancelToken> = configs
+        .iter()
+        .map(|c| match &c.budget.cancel {
+            Some(t) => t.child(),
+            None => CancelToken::new(),
+        })
+        .collect();
+
     let mut results: Vec<Result<Synthesis, NoSolutionError>> = std::thread::scope(|scope| {
+        let tokens = &tokens;
         let handles: Vec<_> = configs
             .iter()
-            .map(|opts| scope.spawn(move || synthesize(spec, opts)))
+            .enumerate()
+            .map(|(index, opts)| {
+                scope.spawn(move || {
+                    let run_opts = opts.clone().with_cancel_token(tokens[index].clone());
+                    let result = synthesize(spec, &run_opts);
+                    if racing && result.is_ok() {
+                        for (other, token) in tokens.iter().enumerate() {
+                            if other != index {
+                                token.cancel();
+                            }
+                        }
+                    }
+                    result
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -238,10 +278,94 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one configuration")]
-    fn empty_portfolio_panics() {
+    fn empty_portfolio_is_an_error_not_a_panic() {
         let spec = MultiPprm::identity(2);
-        let _ = synthesize_portfolio(&spec, &[]);
+        let err = synthesize_portfolio(&spec, &[]).unwrap_err();
+        assert_eq!(err.stats.stop_reason, None);
+        let run = synthesize_portfolio_attributed(&spec, &[], &mut Observer::null());
+        assert!(run.result.is_err());
+        assert_eq!(run.winner, None);
+        assert!(run.outcomes.is_empty());
+    }
+
+    #[test]
+    fn racing_portfolio_cancels_losers() {
+        use crate::{PriorityMode, StopReason};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Seed-21 5-variable permutation: crackable by the default
+        // portfolio under stop_at_first (see
+        // portfolio_handles_five_variables), hopeless for an unbudgeted
+        // CumulativeRate exhaustive search (DESIGN.md: that mode scales
+        // poorly beyond four variables). If winner-cancellation broke,
+        // this test would hang on the unbudgeted member.
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = rmrls_spec::random_permutation(5, &mut rng);
+        let base = SynthesisOptions::new()
+            .with_max_gates(60)
+            .with_max_nodes(60_000)
+            .with_stop_at_first(true);
+        let mut configs = default_portfolio(&base);
+        configs.push(
+            SynthesisOptions::new()
+                .with_priority_mode(PriorityMode::CumulativeRate)
+                .with_initial_dive(false)
+                .with_max_gates(60)
+                .with_stop_at_first(true),
+        );
+        let loser = configs.len() - 1;
+        let run =
+            synthesize_portfolio_attributed(&p.to_multi_pprm(), &configs, &mut Observer::null());
+        let best = run.result.expect("some config cracks it");
+        assert_eq!(best.circuit.to_permutation(), p.as_slice());
+        assert_eq!(
+            run.outcomes[loser].stats.stop_reason,
+            Some(StopReason::Cancelled),
+            "unbudgeted loser must be cancelled by the winner"
+        );
+    }
+
+    #[test]
+    fn non_racing_portfolio_does_not_cancel() {
+        use crate::StopReason;
+        // Without stop_at_first on every member, no racing: each config
+        // runs to its own budget and none reports Cancelled.
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let run = synthesize_portfolio_attributed(
+            &spec,
+            &default_portfolio(&budgeted()),
+            &mut Observer::null(),
+        );
+        assert!(run.result.is_ok());
+        for o in &run.outcomes {
+            assert_ne!(o.stats.stop_reason, Some(StopReason::Cancelled));
+        }
+    }
+
+    #[test]
+    fn caller_token_still_cancels_racing_members() {
+        use crate::{CancelToken, StopReason};
+        // A pre-cancelled caller token reaches every member through the
+        // child link even though the portfolio installs its own tokens.
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let configs = vec![
+            budgeted()
+                .with_stop_at_first(true)
+                .with_initial_dive(false)
+                .with_cancel_token(token.clone()),
+            budgeted()
+                .with_stop_at_first(true)
+                .with_initial_dive(false)
+                .with_cancel_token(token),
+        ];
+        let run = synthesize_portfolio_attributed(&spec, &configs, &mut Observer::null());
+        let err = run.result.unwrap_err();
+        assert_eq!(err.stats.stop_reason, Some(StopReason::Cancelled));
+        for o in &run.outcomes {
+            assert_eq!(o.stats.stop_reason, Some(StopReason::Cancelled));
+        }
     }
 
     #[test]

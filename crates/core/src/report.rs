@@ -60,6 +60,16 @@ pub fn options_to_json(options: &SynthesisOptions) -> Json {
                 .map(|t| Json::Num(t.as_secs_f64()))
                 .unwrap_or(Json::Null),
         ),
+        // Budget bounds are runtime handles (an Instant, a token), so
+        // the report records only whether each was set.
+        (
+            "deadline_set".to_string(),
+            Json::Bool(options.budget.deadline.is_some()),
+        ),
+        (
+            "cancellable".to_string(),
+            Json::Bool(options.budget.cancel.is_some()),
+        ),
         (
             "max_gates".to_string(),
             opt_uint(options.max_gates.map(|g| g as u64)),

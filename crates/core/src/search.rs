@@ -634,11 +634,27 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn over_time(&self) -> bool {
-        self.options
-            .time_limit
-            .map(|limit| self.start.elapsed() >= limit)
-            .unwrap_or(false)
+    /// Polls every stop bound, in precedence order: cooperative
+    /// cancellation, the absolute [`Budget`](crate::Budget) deadline,
+    /// then the relative `time_limit`. One `Instant::now()` read serves
+    /// both clock checks; unlimited runs never touch the clock here.
+    fn budget_stop(&self) -> Option<StopReason> {
+        let budget = &self.options.budget;
+        if budget.cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        if budget.deadline.is_some() || self.options.time_limit.is_some() {
+            let now = Instant::now();
+            if budget.deadline_expired(now) {
+                return Some(StopReason::DeadlineExpired);
+            }
+            if let Some(limit) = self.options.time_limit {
+                if now.duration_since(self.start) >= limit {
+                    return Some(StopReason::TimeLimit);
+                }
+            }
+        }
+        None
     }
 
     fn finish(mut self, num_vars: usize) -> Result<Synthesis, NoSolutionError> {
@@ -801,6 +817,14 @@ pub fn synthesize_with_observer(
         return search.finish(n);
     }
 
+    // A job can arrive already over budget (queued past its deadline,
+    // or cancelled during shutdown): stop before doing any work rather
+    // than waiting for the first in-loop poll at TIME_CHECK_INTERVAL.
+    if let Some(reason) = search.budget_stop() {
+        search.stats.stop_reason = Some(reason);
+        return search.finish(n);
+    }
+
     // Seed bestDepth with a greedy dive (engineering addition, see
     // DESIGN.md): gives the search an immediate upper bound and solves
     // purely monotone (e.g. linear) functions outright.
@@ -906,8 +930,8 @@ pub fn synthesize_with_observer(
                 };
                 search.obs.on_progress(&progress);
             }
-            if search.over_time() {
-                search.stats.stop_reason = Some(StopReason::TimeLimit);
+            if let Some(reason) = search.budget_stop() {
+                search.stats.stop_reason = Some(reason);
                 break;
             }
         }
@@ -1009,7 +1033,17 @@ pub fn synthesize_bidirectional(
     if let Some(t) = options.time_limit {
         half.time_limit = Some(t / 2);
     }
-    let forward = synthesize(&spec.to_multi_pprm(), &half);
+    // A Budget deadline is absolute and shared, but the forward run only
+    // gets the first half of whatever remains, so the backward run is
+    // never starved by a forward run that spends the entire budget.
+    let mut forward_opts = half.clone();
+    if let Some(d) = options.budget.deadline {
+        let now = Instant::now();
+        if d > now {
+            forward_opts.budget.deadline = Some(now + (d - now) / 2);
+        }
+    }
+    let forward = synthesize(&spec.to_multi_pprm(), &forward_opts);
     let backward = synthesize(&spec.inverse().to_multi_pprm(), &half).map(|mut r| {
         r.circuit = r.circuit.inverse();
         r

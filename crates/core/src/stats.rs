@@ -17,6 +17,13 @@ pub enum StopReason {
     NodeBudget,
     /// A solution was found and `stop_at_first` was set.
     FirstSolution,
+    /// The [`Budget`](crate::Budget) deadline passed (absolute-instant
+    /// variant of [`TimeLimit`](StopReason::TimeLimit), used by the
+    /// batch engine so queueing delay counts against the job).
+    DeadlineExpired,
+    /// A [`CancelToken`](crate::CancelToken) requested a cooperative
+    /// stop.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -26,6 +33,8 @@ impl fmt::Display for StopReason {
             StopReason::TimeLimit => "time limit",
             StopReason::NodeBudget => "node budget",
             StopReason::FirstSolution => "first solution",
+            StopReason::DeadlineExpired => "deadline expired",
+            StopReason::Cancelled => "cancelled",
         };
         f.write_str(s)
     }

@@ -1,0 +1,131 @@
+//! LRU-bounded memo cache of synthesized canonical circuits.
+//!
+//! Keys are canonical permutation tables (see [`canon`](crate::canon)),
+//! values are the circuits synthesized for those canonical
+//! representatives. Only successful syntheses are cached — a failure
+//! under one job's deadline says nothing about the next job's budget.
+//!
+//! The engine wraps one `CircuitCache` in a `Mutex` shared by all
+//! workers; every operation is O(capacity) worst case (eviction scans
+//! for the least-recently-used entry), which is irrelevant next to the
+//! cost of a synthesis run the cache exists to avoid.
+
+use std::collections::HashMap;
+
+use rmrls_circuit::Circuit;
+
+/// Cache key: the width and canonical table of a permutation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Number of wires.
+    pub num_vars: usize,
+    /// Canonical permutation table.
+    pub table: Vec<u64>,
+}
+
+/// A bounded least-recently-used map from canonical tables to their
+/// synthesized circuits.
+#[derive(Debug)]
+pub struct CircuitCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (Circuit, u64)>,
+}
+
+impl CircuitCache {
+    /// An empty cache holding at most `capacity` circuits. A zero
+    /// capacity caches nothing (every lookup misses).
+    pub fn new(capacity: usize) -> CircuitCache {
+        CircuitCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached circuits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a canonical table, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Circuit> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(circuit, used)| {
+            *used = tick;
+            circuit.clone()
+        })
+    }
+
+    /// Inserts a canonical circuit, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, circuit: Circuit) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(key, (circuit, self.tick));
+        if self.entries.len() > self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmrls_circuit::Gate;
+
+    fn key(id: u64) -> CacheKey {
+        CacheKey {
+            num_vars: 1,
+            table: vec![id],
+        }
+    }
+
+    fn circuit(n: usize) -> Circuit {
+        Circuit::from_gates(2, vec![Gate::toffoli(&[] as &[usize], n % 2)])
+    }
+
+    #[test]
+    fn hit_returns_the_stored_circuit() {
+        let mut c = CircuitCache::new(4);
+        c.insert(key(1), circuit(0));
+        assert_eq!(c.get(&key(1)).unwrap().gates(), circuit(0).gates());
+        assert!(c.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = CircuitCache::new(2);
+        c.insert(key(1), circuit(1));
+        c.insert(key(2), circuit(2));
+        let _ = c.get(&key(1)); // refresh 1; 2 becomes LRU
+        c.insert(key(3), circuit(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = CircuitCache::new(0);
+        c.insert(key(1), circuit(1));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Canonical representatives under wire relabeling.
+//!
+//! Two specifications that differ only by a renaming of wires have
+//! structurally identical syntheses: if circuit `C` realizes `π`, then
+//! `C` with every gate's wires renamed through `σ` realizes the
+//! conjugate `p_σ ∘ π ∘ p_σ⁻¹`, where `p_σ` is the bit permutation
+//! moving bit `i` to bit `σ[i]`. The batch cache exploits this by
+//! keying every permutation job on the lexicographically smallest
+//! conjugate over all `σ ∈ S_n` — the **canonical representative** —
+//! and mapping a cached canonical circuit back to the requested
+//! labeling with a SWAP-free gate-mask rewrite.
+//!
+//! The minimization enumerates all `n!` wire permutations (Heap's
+//! algorithm) and compares `2^n`-entry tables, so it is gated on a
+//! `canon_limit` (default 8 wires ≈ 10M word operations); wider
+//! permutations fall back to the identity labeling and still cache on
+//! their raw table.
+
+use rmrls_circuit::{Circuit, Gate};
+use rmrls_spec::Permutation;
+
+/// A wire relabeling: wire `i` of the original becomes wire
+/// `sigma[i]` of the canonical form.
+pub type WirePerm = Vec<u8>;
+
+/// Applies the bit permutation `p_σ`: bit `i` of `x` moves to bit
+/// `sigma[i]` of the result.
+pub fn permute_bits(x: u64, sigma: &[u8]) -> u64 {
+    let mut y = 0u64;
+    for (i, &s) in sigma.iter().enumerate() {
+        y |= (x >> i & 1) << s;
+    }
+    y
+}
+
+/// The inverse relabeling: `inverse(σ)[σ[i]] = i`.
+pub fn inverse_wire_perm(sigma: &[u8]) -> WirePerm {
+    let mut inv = vec![0u8; sigma.len()];
+    for (i, &s) in sigma.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+/// Conjugates a permutation table by the wire relabeling `sigma`:
+/// returns the table of `p_σ ∘ π ∘ p_σ⁻¹`.
+pub fn conjugate_table(map: &[u64], sigma: &[u8]) -> Vec<u64> {
+    let mut out = vec![0u64; map.len()];
+    for (x, &y) in map.iter().enumerate() {
+        out[permute_bits(x as u64, sigma) as usize] = permute_bits(y, sigma);
+    }
+    out
+}
+
+/// The canonical representative of `perm` under wire relabeling, and
+/// the relabeling `σ*` that produces it (`canon = p_σ* ∘ π ∘ p_σ*⁻¹`).
+///
+/// When `perm` is wider than `canon_limit` the search is skipped and
+/// the permutation is its own representative under the identity
+/// relabeling — correct, just without cross-labeling cache sharing.
+pub fn canonical_form(perm: &Permutation, canon_limit: usize) -> (Vec<u64>, WirePerm) {
+    let n = perm.num_vars();
+    let identity: WirePerm = (0..n as u8).collect();
+    if n > canon_limit || n <= 1 {
+        return (perm.as_slice().to_vec(), identity);
+    }
+    let mut best_table = perm.as_slice().to_vec();
+    let mut best_sigma = identity.clone();
+    // Heap's algorithm over σ; the identity is the first visited state.
+    let mut sigma = identity;
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                sigma.swap(0, i);
+            } else {
+                sigma.swap(c[i], i);
+            }
+            let table = conjugate_table(perm.as_slice(), &sigma);
+            if table < best_table {
+                best_table = table;
+                best_sigma = sigma.clone();
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    (best_table, best_sigma)
+}
+
+/// Renames every wire of `circuit` through `rho` (wire `i` → wire
+/// `rho[i]`), without inserting any SWAP gates. If `circuit` realizes
+/// `f`, the result realizes `p_ρ ∘ f ∘ p_ρ⁻¹`.
+pub fn relabel_circuit(circuit: &Circuit, rho: &[u8]) -> Circuit {
+    let remap_mask = |mask: u32| -> u32 {
+        let mut out = 0u32;
+        for (i, &r) in rho.iter().enumerate() {
+            out |= (mask >> i & 1) << r;
+        }
+        out
+    };
+    let gates = circuit
+        .gates()
+        .iter()
+        .map(|g| match *g {
+            Gate::Toffoli { controls, target } => {
+                Gate::toffoli_mask(remap_mask(controls), rho[target as usize] as usize)
+            }
+            Gate::Fredkin { controls, targets } => Gate::fredkin_mask(
+                remap_mask(controls),
+                rho[targets.0 as usize] as usize,
+                rho[targets.1 as usize] as usize,
+            ),
+        })
+        .collect();
+    Circuit::from_gates(circuit.width(), gates)
+}
+
+/// Maps a circuit for the canonical representative back to the
+/// original labeling: given `C` realizing `p_σ ∘ π ∘ p_σ⁻¹`, returns a
+/// circuit realizing `π`.
+pub fn uncanonicalize_circuit(canonical: &Circuit, sigma: &[u8]) -> Circuit {
+    relabel_circuit(canonical, &inverse_wire_perm(sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permute_bits_round_trips() {
+        let sigma = [2u8, 0, 1];
+        let inv = inverse_wire_perm(&sigma);
+        for x in 0..8u64 {
+            assert_eq!(permute_bits(permute_bits(x, &sigma), &inv), x);
+        }
+    }
+
+    #[test]
+    fn conjugation_by_identity_is_identity() {
+        let p = Permutation::from_vec(vec![1, 0, 7, 2, 3, 4, 5, 6]).unwrap();
+        let (table, _) = canonical_form(&p, 0); // above limit: no search
+        assert_eq!(table, p.as_slice());
+    }
+
+    #[test]
+    fn canonical_form_is_relabeling_invariant() {
+        // π and every conjugate of π share one canonical table.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let p = rmrls_spec::random_permutation(3, &mut rng);
+            let (canon, _) = canonical_form(&p, 8);
+            for sigma in [[1u8, 0, 2], [2, 1, 0], [1, 2, 0]] {
+                let relabeled =
+                    Permutation::from_vec(conjugate_table(p.as_slice(), &sigma)).unwrap();
+                let (canon2, _) = canonical_form(&relabeled, 8);
+                assert_eq!(canon, canon2, "conjugates must share a canonical form");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_sigma_reproduces_the_table() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = rmrls_spec::random_permutation(4, &mut rng);
+        let (canon, sigma) = canonical_form(&p, 8);
+        assert_eq!(conjugate_table(p.as_slice(), &sigma), canon);
+        // Canonical is lexicographically minimal, so never above the
+        // original table.
+        assert!(canon <= p.as_slice().to_vec());
+    }
+
+    #[test]
+    fn relabeled_circuit_realizes_the_conjugate() {
+        // C = CNOT(a→b) then NOT(c) on 3 wires.
+        let c = Circuit::from_gates(
+            3,
+            vec![Gate::toffoli(&[0], 1), Gate::toffoli(&[] as &[usize], 2)],
+        );
+        let sigma = [2u8, 0, 1];
+        let relabeled = relabel_circuit(&c, &sigma);
+        for x in 0..8u64 {
+            let inv = inverse_wire_perm(&sigma);
+            let expected = permute_bits(c.apply(permute_bits(x, &inv)), &sigma);
+            assert_eq!(relabeled.apply(x), expected, "input {x}");
+        }
+    }
+
+    #[test]
+    fn uncanonicalize_recovers_the_original_function() {
+        // Synthesize the canonical form, map back, verify against π.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..4 {
+            let p = rmrls_spec::random_permutation(3, &mut rng);
+            let (canon, sigma) = canonical_form(&p, 8);
+            let canon_spec = rmrls_pprm::MultiPprm::from_permutation(&canon, 3);
+            let opts = rmrls_core::SynthesisOptions::new().with_max_nodes(50_000);
+            let canon_circuit = rmrls_core::synthesize(&canon_spec, &opts)
+                .expect("3-variable canon synthesizes")
+                .circuit;
+            let circuit = uncanonicalize_circuit(&canon_circuit, &sigma);
+            assert_eq!(
+                circuit.to_permutation(),
+                p.as_slice(),
+                "conjugated circuit must realize the original permutation"
+            );
+        }
+    }
+
+    #[test]
+    fn fredkin_gates_relabel_too() {
+        let c = Circuit::from_gates(3, vec![Gate::fredkin_mask(0b100, 0, 1)]);
+        let sigma = [1u8, 2, 0];
+        let relabeled = relabel_circuit(&c, &sigma);
+        let inv = inverse_wire_perm(&sigma);
+        for x in 0..8u64 {
+            let expected = permute_bits(c.apply(permute_bits(x, &inv)), &sigma);
+            assert_eq!(relabeled.apply(x), expected);
+        }
+    }
+}

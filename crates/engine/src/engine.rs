@@ -1,0 +1,597 @@
+//! The batch engine: a fixed worker pool over a shared job queue.
+//!
+//! Execution model, per job:
+//!
+//! 1. tabulated permutations are **canonicalized** under wire
+//!    relabeling and the search always runs on the canonical
+//!    representative, whether or not the cache is enabled — this is
+//!    what makes batch results byte-identical across worker counts and
+//!    cache on/off (the cache merely memoizes a computation the engine
+//!    would deterministically repeat);
+//! 2. the shared LRU cache is consulted on the canonical table; a hit
+//!    skips the search entirely and the cached circuit is conjugated
+//!    back to the requested labeling;
+//! 3. each job runs under `catch_unwind`, so one poisoned spec becomes
+//!    a `panicked` record instead of taking down the run;
+//! 4. each job's search carries a [`Budget`](rmrls_core::Budget): the
+//!    per-job deadline (measured from job start) plus the engine's
+//!    abort token, so shutdown reaches in-flight searches within one
+//!    budget poll.
+//!
+//! Results are written in job-admission order regardless of completion
+//! order. The per-job JSONL stream contains only deterministic fields;
+//! wall-clock timings and cache statistics live in the aggregate
+//! report, which is allowed to vary run to run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rmrls_circuit::Circuit;
+use rmrls_core::{synthesize, StopReason, SynthesisOptions};
+use rmrls_obs::{Json, SyncCounter};
+use rmrls_pprm::MultiPprm;
+use rmrls_spec::Permutation;
+
+use crate::cache::{CacheKey, CircuitCache};
+use crate::canon::{canonical_form, uncanonicalize_circuit};
+use crate::manifest::{Admission, BatchJob, SpecData};
+use crate::signal::ShutdownHandles;
+
+/// Version of the batch report / results-JSONL schema.
+pub const BATCH_SCHEMA_VERSION: u64 = 1;
+
+/// Widths up to this bound are verified exhaustively; wider symbolic
+/// specs fall back to quasirandom probes (mirrors the policy of
+/// `rmrls_circuit::check_equivalence`).
+const VERIFY_EXHAUSTIVE_LIMIT: usize = 20;
+const VERIFY_PROBES: u64 = 4096;
+
+/// Configuration of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Per-job deadline, measured from the moment the job is dequeued.
+    pub deadline: Option<Duration>,
+    /// Result-cache capacity; `None` disables the cache.
+    pub cache_size: Option<usize>,
+    /// Widest permutation canonicalized by brute force (cost `n!·2^n`).
+    pub canon_limit: usize,
+    /// Verify every produced circuit against its specification.
+    pub verify: bool,
+    /// Base search configuration applied to every job.
+    pub synthesis: SynthesisOptions,
+}
+
+impl Default for BatchOptions {
+    /// One worker, 1024-entry cache, canonicalization up to 8 wires,
+    /// verification on, and a 200k-node search budget so a batch
+    /// without a deadline still terminates.
+    fn default() -> BatchOptions {
+        BatchOptions {
+            workers: 1,
+            deadline: None,
+            cache_size: Some(1024),
+            canon_limit: 8,
+            verify: true,
+            synthesis: SynthesisOptions::new().with_max_nodes(200_000),
+        }
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// A circuit was produced (and possibly verified).
+    Solved {
+        /// The synthesized circuit, in the job's own wire labeling.
+        circuit: Circuit,
+        /// `Some(result)` when verification ran, `None` when disabled.
+        verified: Option<bool>,
+    },
+    /// The search stopped without a solution.
+    Unsolved {
+        /// Display form of the search's stop reason.
+        stop_reason: String,
+    },
+    /// The job could not be loaded or was invalid.
+    Error {
+        /// What was wrong.
+        message: String,
+    },
+    /// The job panicked; the panic was contained to this record.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The batch was drained before this job started.
+    Skipped,
+}
+
+/// One job's result row.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Display name.
+    pub name: String,
+    /// `file:line` / `suite:*` origin.
+    pub origin: String,
+    /// Whether this job was served from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock seconds spent on the job.
+    pub seconds: f64,
+    /// How it ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Serializes the **deterministic** portion of the record (no
+    /// timings, no cache attribution) as one JSONL object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("job".to_string(), Json::str(&self.name)),
+            ("origin".to_string(), Json::str(&self.origin)),
+        ];
+        match &self.outcome {
+            JobOutcome::Solved { circuit, verified } => {
+                let gates: Vec<Json> = circuit
+                    .gates()
+                    .iter()
+                    .map(|g| Json::Str(g.to_string()))
+                    .collect();
+                fields.push(("status".to_string(), Json::str("solved")));
+                fields.push(("width".to_string(), Json::uint(circuit.width() as u64)));
+                fields.push(("gates".to_string(), Json::uint(circuit.gate_count() as u64)));
+                fields.push((
+                    "quantum_cost".to_string(),
+                    Json::uint(circuit.quantum_cost()),
+                ));
+                fields.push((
+                    "verified".to_string(),
+                    verified.map(Json::Bool).unwrap_or(Json::Null),
+                ));
+                fields.push(("circuit".to_string(), Json::Arr(gates)));
+            }
+            JobOutcome::Unsolved { stop_reason } => {
+                fields.push(("status".to_string(), Json::str("unsolved")));
+                fields.push(("stop_reason".to_string(), Json::str(stop_reason)));
+            }
+            JobOutcome::Error { message } => {
+                fields.push(("status".to_string(), Json::str("error")));
+                fields.push(("message".to_string(), Json::str(message)));
+            }
+            JobOutcome::Panicked { message } => {
+                fields.push(("status".to_string(), Json::str("panicked")));
+                fields.push(("message".to_string(), Json::str(message)));
+            }
+            JobOutcome::Skipped => {
+                fields.push(("status".to_string(), Json::str("skipped")));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Aggregate counters of one batch run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Jobs admitted (including per-job manifest errors).
+    pub jobs_total: u64,
+    /// Jobs that produced a circuit.
+    pub jobs_completed: u64,
+    /// Jobs whose search stopped without a solution.
+    pub jobs_unsolved: u64,
+    /// Jobs rejected at admission (malformed manifest entries).
+    pub jobs_errored: u64,
+    /// Panics contained by per-job isolation.
+    pub panics_contained: u64,
+    /// Jobs never started because the batch drained.
+    pub jobs_skipped: u64,
+    /// Canonical-cache hits.
+    pub cache_hits: u64,
+    /// Canonical-cache misses (cache enabled, entry absent).
+    pub cache_misses: u64,
+    /// Searches stopped by their per-job deadline.
+    pub deadline_expired: u64,
+    /// Searches stopped by the abort token.
+    pub cancelled: u64,
+    /// Circuits that passed verification.
+    pub verified_ok: u64,
+    /// Circuits that FAILED verification (always a bug).
+    pub verify_failures: u64,
+}
+
+impl BatchCounters {
+    /// Cache hit-rate in [0, 1]; `None` when the cache saw no traffic.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("jobs_total".to_string(), Json::uint(self.jobs_total)),
+            (
+                "jobs_completed".to_string(),
+                Json::uint(self.jobs_completed),
+            ),
+            ("jobs_unsolved".to_string(), Json::uint(self.jobs_unsolved)),
+            ("jobs_errored".to_string(), Json::uint(self.jobs_errored)),
+            (
+                "panics_contained".to_string(),
+                Json::uint(self.panics_contained),
+            ),
+            ("jobs_skipped".to_string(), Json::uint(self.jobs_skipped)),
+            ("cache_hits".to_string(), Json::uint(self.cache_hits)),
+            ("cache_misses".to_string(), Json::uint(self.cache_misses)),
+            (
+                "deadline_expired".to_string(),
+                Json::uint(self.deadline_expired),
+            ),
+            ("cancelled".to_string(), Json::uint(self.cancelled)),
+            ("verified_ok".to_string(), Json::uint(self.verified_ok)),
+            (
+                "verify_failures".to_string(),
+                Json::uint(self.verify_failures),
+            ),
+        ])
+    }
+}
+
+/// Thread-shared counter set; snapshotted into [`BatchCounters`] once
+/// the pool joins.
+#[derive(Default)]
+struct RunCounters {
+    jobs_completed: SyncCounter,
+    jobs_unsolved: SyncCounter,
+    jobs_errored: SyncCounter,
+    panics_contained: SyncCounter,
+    cache_hits: SyncCounter,
+    cache_misses: SyncCounter,
+    deadline_expired: SyncCounter,
+    cancelled: SyncCounter,
+    verified_ok: SyncCounter,
+    verify_failures: SyncCounter,
+}
+
+/// A completed (possibly partially drained) batch run.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-job records in admission order.
+    pub records: Vec<JobRecord>,
+    /// Aggregate counters.
+    pub counters: BatchCounters,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl BatchRun {
+    /// The per-job results as JSON lines (one object per job, in
+    /// admission order; deterministic for a given manifest and search
+    /// configuration, independent of worker count and cache setting).
+    pub fn results_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Jobs actually processed (everything but skipped).
+    pub fn jobs_processed(&self) -> u64 {
+        self.counters.jobs_total - self.counters.jobs_skipped
+    }
+
+    /// Throughput over the whole run, in specifications per second.
+    pub fn specs_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs_processed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The aggregate run report (counters, throughput, configuration
+    /// echoes — the non-deterministic complement of the JSONL stream).
+    pub fn report_json(&self, opts: &BatchOptions) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::uint(BATCH_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), Json::str("rmrls-batch")),
+            ("workers".to_string(), Json::uint(self.workers as u64)),
+            (
+                "deadline_ms".to_string(),
+                opts.deadline
+                    .map(|d| Json::uint(d.as_millis() as u64))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "cache_size".to_string(),
+                opts.cache_size
+                    .map(|c| Json::uint(c as u64))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "canon_limit".to_string(),
+                Json::uint(opts.canon_limit as u64),
+            ),
+            ("verify".to_string(), Json::Bool(opts.verify)),
+            (
+                "elapsed_seconds".to_string(),
+                Json::Num(self.elapsed.as_secs_f64()),
+            ),
+            (
+                "specs_per_second".to_string(),
+                Json::Num(self.specs_per_second()),
+            ),
+            (
+                "cache_hit_rate".to_string(),
+                self.counters
+                    .cache_hit_rate()
+                    .map(Json::Num)
+                    .unwrap_or(Json::Null),
+            ),
+            ("counters".to_string(), self.counters.to_json()),
+        ])
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker panicking inside the cache poisons the mutex; the data
+    // (an LRU map) stays structurally valid, so recover rather than
+    // letting one contained panic disable caching for the rest of the
+    // run.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs every admitted job on a pool of `opts.workers` threads.
+///
+/// Returns when all jobs are finished or the batch drained via
+/// `shutdown`; never panics on job failures (panics are contained into
+/// per-job records).
+pub fn run_batch(
+    admissions: &[Admission],
+    opts: &BatchOptions,
+    shutdown: &ShutdownHandles,
+) -> BatchRun {
+    let started = Instant::now();
+    let workers = opts.workers.max(1);
+    let cache = opts
+        .cache_size
+        .map(|cap| Mutex::new(CircuitCache::new(cap)));
+    let counters = RunCounters::default();
+    let slots: Vec<Mutex<Option<JobRecord>>> =
+        admissions.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                shutdown.poll_signals();
+                if shutdown.draining() {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::SeqCst);
+                if index >= admissions.len() {
+                    break;
+                }
+                let record = run_one(
+                    &admissions[index],
+                    opts,
+                    shutdown,
+                    cache.as_ref(),
+                    &counters,
+                );
+                *lock(&slots[index]) = Some(record);
+            });
+        }
+    });
+
+    let mut jobs_skipped = 0u64;
+    let records: Vec<JobRecord> = admissions
+        .iter()
+        .zip(slots)
+        .map(|(adm, slot)| {
+            lock(&slot).take().unwrap_or_else(|| {
+                jobs_skipped += 1;
+                JobRecord {
+                    name: adm.name().to_string(),
+                    origin: adm.origin().to_string(),
+                    cache_hit: false,
+                    seconds: 0.0,
+                    outcome: JobOutcome::Skipped,
+                }
+            })
+        })
+        .collect();
+
+    let snapshot = BatchCounters {
+        jobs_total: admissions.len() as u64,
+        jobs_completed: counters.jobs_completed.get(),
+        jobs_unsolved: counters.jobs_unsolved.get(),
+        jobs_errored: counters.jobs_errored.get(),
+        panics_contained: counters.panics_contained.get(),
+        jobs_skipped,
+        cache_hits: counters.cache_hits.get(),
+        cache_misses: counters.cache_misses.get(),
+        deadline_expired: counters.deadline_expired.get(),
+        cancelled: counters.cancelled.get(),
+        verified_ok: counters.verified_ok.get(),
+        verify_failures: counters.verify_failures.get(),
+    };
+    BatchRun {
+        records,
+        counters: snapshot,
+        elapsed: started.elapsed(),
+        workers,
+    }
+}
+
+fn run_one(
+    admission: &Admission,
+    opts: &BatchOptions,
+    shutdown: &ShutdownHandles,
+    cache: Option<&Mutex<CircuitCache>>,
+    counters: &RunCounters,
+) -> JobRecord {
+    let started = Instant::now();
+    let (name, origin) = (admission.name().to_string(), admission.origin().to_string());
+    match admission {
+        Admission::Error { message, .. } => {
+            counters.jobs_errored.inc();
+            JobRecord {
+                name,
+                origin,
+                cache_hit: false,
+                seconds: started.elapsed().as_secs_f64(),
+                outcome: JobOutcome::Error {
+                    message: message.clone(),
+                },
+            }
+        }
+        Admission::Job(job) => {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                execute_job(job, opts, shutdown, cache, counters)
+            }));
+            let (outcome, cache_hit) = match result {
+                Ok(r) => r,
+                Err(payload) => {
+                    counters.panics_contained.inc();
+                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    (JobOutcome::Panicked { message }, false)
+                }
+            };
+            JobRecord {
+                name,
+                origin,
+                cache_hit,
+                seconds: started.elapsed().as_secs_f64(),
+                outcome,
+            }
+        }
+    }
+}
+
+fn execute_job(
+    job: &BatchJob,
+    opts: &BatchOptions,
+    shutdown: &ShutdownHandles,
+    cache: Option<&Mutex<CircuitCache>>,
+    counters: &RunCounters,
+) -> (JobOutcome, bool) {
+    let mut sopts = opts
+        .synthesis
+        .clone()
+        .with_cancel_token(shutdown.abort.clone());
+    if let Some(d) = opts.deadline {
+        sopts = sopts.with_deadline(Instant::now() + d);
+    }
+    match &job.spec {
+        SpecData::Perm(p) => {
+            // Always synthesize the canonical representative — cache on
+            // or off — so results never depend on scheduling (see the
+            // module docs).
+            let (canon_table, sigma) = canonical_form(p, opts.canon_limit);
+            let key = CacheKey {
+                num_vars: p.num_vars(),
+                table: canon_table,
+            };
+            let mut cache_hit = false;
+            let mut canon_circuit = cache.and_then(|m| lock(m).get(&key));
+            if canon_circuit.is_some() {
+                counters.cache_hits.inc();
+                cache_hit = true;
+            } else {
+                if cache.is_some() {
+                    counters.cache_misses.inc();
+                }
+                let spec = MultiPprm::from_permutation(&key.table, key.num_vars);
+                match synthesize(&spec, &sopts) {
+                    Ok(s) => {
+                        if let Some(m) = cache {
+                            lock(m).insert(key, s.circuit.clone());
+                        }
+                        canon_circuit = Some(s.circuit);
+                    }
+                    Err(e) => return (unsolved(e.stats.stop_reason, counters), cache_hit),
+                }
+            }
+            let circuit = uncanonicalize_circuit(&canon_circuit.expect("hit or fresh"), &sigma);
+            let verified = opts.verify.then(|| verify_permutation(&circuit, p));
+            tally_verify(verified, counters);
+            counters.jobs_completed.inc();
+            (JobOutcome::Solved { circuit, verified }, cache_hit)
+        }
+        SpecData::Pprm(m) => match synthesize(m, &sopts) {
+            Ok(s) => {
+                let verified = opts.verify.then(|| verify_pprm(&s.circuit, m));
+                tally_verify(verified, counters);
+                counters.jobs_completed.inc();
+                (
+                    JobOutcome::Solved {
+                        circuit: s.circuit,
+                        verified,
+                    },
+                    false,
+                )
+            }
+            Err(e) => (unsolved(e.stats.stop_reason, counters), false),
+        },
+    }
+}
+
+fn unsolved(reason: Option<StopReason>, counters: &RunCounters) -> JobOutcome {
+    match reason {
+        Some(StopReason::DeadlineExpired) => counters.deadline_expired.inc(),
+        Some(StopReason::Cancelled) => counters.cancelled.inc(),
+        _ => {}
+    }
+    counters.jobs_unsolved.inc();
+    JobOutcome::Unsolved {
+        stop_reason: reason
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "unknown".to_string()),
+    }
+}
+
+fn tally_verify(verified: Option<bool>, counters: &RunCounters) {
+    match verified {
+        Some(true) => counters.verified_ok.inc(),
+        Some(false) => counters.verify_failures.inc(),
+        None => {}
+    }
+}
+
+fn verify_permutation(circuit: &Circuit, p: &Permutation) -> bool {
+    circuit.width() == p.num_vars() && circuit.to_permutation() == p.as_slice()
+}
+
+fn verify_pprm(circuit: &Circuit, m: &MultiPprm) -> bool {
+    let n = m.num_vars();
+    if circuit.width() != n {
+        return false;
+    }
+    if n <= VERIFY_EXHAUSTIVE_LIMIT {
+        (0..1u64 << n).all(|x| circuit.apply(x) == m.eval(x))
+    } else {
+        // Quasirandom probes, same multiplier as check_equivalence.
+        let mask = if n >= 64 { !0u64 } else { (1u64 << n) - 1 };
+        (0..VERIFY_PROBES).all(|k| {
+            let x = k.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask;
+            circuit.apply(x) == m.eval(x)
+        })
+    }
+}

@@ -1,0 +1,48 @@
+//! Concurrent batch synthesis for RMRLS.
+//!
+//! The paper synthesizes one function at a time; the suites it is
+//! measured against (Table IV, the Maslov benchmark sets) are batch
+//! workloads. This crate serves them natively: a manifest of jobs runs
+//! on a fixed worker pool, each job panic-isolated and budgeted, with
+//! per-job JSONL results plus an aggregate report.
+//!
+//! - [`manifest`] — job lists (inline permutations, spec files, TFC
+//!   circuits, bundled benchmark suites) with per-entry error records;
+//! - [`canon`] — canonical representatives under wire relabeling, and
+//!   SWAP-free conjugation of circuits between labelings;
+//! - [`cache`] — the LRU memo cache over canonical tables;
+//! - [`engine`] — the worker pool, job execution, verification, and
+//!   result serialization;
+//! - [`signal`] — two-stage SIGINT shutdown (drain, then abort).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rmrls_engine::{run_batch, suite_admissions, BatchOptions, ShutdownHandles};
+//!
+//! let jobs = suite_admissions("examples").unwrap();
+//! let run = run_batch(&jobs, &BatchOptions::default(), &ShutdownHandles::new());
+//! assert_eq!(run.counters.jobs_completed, 8);
+//! assert_eq!(run.counters.panics_contained, 0);
+//! ```
+
+// The one unavoidable `unsafe` (the SIGINT handler registration) is
+// quarantined in `signal::ffi` behind an explicit allow.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canon;
+pub mod engine;
+pub mod manifest;
+pub mod signal;
+
+pub use cache::{CacheKey, CircuitCache};
+pub use canon::{canonical_form, relabel_circuit, uncanonicalize_circuit};
+pub use engine::{
+    run_batch, BatchCounters, BatchOptions, BatchRun, JobOutcome, JobRecord, BATCH_SCHEMA_VERSION,
+};
+pub use manifest::{
+    load_manifest, parse_manifest, suite_admissions, Admission, BatchJob, SpecData,
+};
+pub use signal::ShutdownHandles;

@@ -1,0 +1,347 @@
+//! Batch manifests: a line-oriented job list for the engine.
+//!
+//! Format — one job (or suite expansion) per line, `#` comments and
+//! blank lines ignored:
+//!
+//! ```text
+//! # kind      argument
+//! perm        1,0,7,2,3,4,5,6      # inline permutation table
+//! permfile    specs/foo.perm       # .perm file (rmrls-spec format)
+//! table       specs/bar.tt         # truth-table file (must be reversible)
+//! tfc         specs/baz.tfc        # TFC circuit, re-synthesized
+//! bench       hwb4                 # bundled benchmark by name
+//! suite       table4               # whole bundled suite (table4 |
+//!                                  # examples | extended | all)
+//! ```
+//!
+//! Relative file paths resolve against the manifest's own directory.
+//!
+//! Loading is **total** over well-formed manifests: a malformed entry
+//! (bad table, unparsable file, unknown benchmark, irreversible truth
+//! table) becomes an [`Admission::Error`] carrying `file:line` context
+//! and flows through the batch as a per-job error record in the JSONL
+//! output. Only an unreadable manifest file itself aborts the load.
+
+use std::path::Path;
+
+use rmrls_pprm::MultiPprm;
+use rmrls_spec::{benchmarks, formats, Permutation};
+
+/// TFC circuits wider than this are rejected rather than tabulated
+/// (matches the `rmrls synth --tfc` cap).
+pub const TFC_WIDTH_LIMIT: usize = 16;
+
+/// A job's specification, resolved and validated.
+#[derive(Clone, Debug)]
+pub enum SpecData {
+    /// A fully tabulated permutation — canonicalizable and cacheable.
+    Perm(Permutation),
+    /// A symbolic multi-output PPRM (wide benchmarks that cannot be
+    /// tabulated) — synthesized directly, bypassing the cache.
+    Pprm(MultiPprm),
+}
+
+impl SpecData {
+    /// Number of wires.
+    pub fn width(&self) -> usize {
+        match self {
+            SpecData::Perm(p) => p.num_vars(),
+            SpecData::Pprm(m) => m.num_vars(),
+        }
+    }
+}
+
+/// One runnable job.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Display name (benchmark name, or `kind` + argument).
+    pub name: String,
+    /// Where the job came from (`manifest.txt:7`, or `suite:table4`).
+    pub origin: String,
+    /// The resolved specification.
+    pub spec: SpecData,
+}
+
+/// A manifest entry after admission: either a runnable job or a
+/// per-job error record that will flow through to the results.
+#[derive(Clone, Debug)]
+pub enum Admission {
+    /// Well-formed entry.
+    Job(BatchJob),
+    /// Malformed entry — reported, never fatal to the batch.
+    Error {
+        /// Display name (best effort — the kind and argument).
+        name: String,
+        /// `file:line` context.
+        origin: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl Admission {
+    /// The entry's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Admission::Job(j) => &j.name,
+            Admission::Error { name, .. } => name,
+        }
+    }
+
+    /// The entry's `file:line` (or `suite:*`) origin.
+    pub fn origin(&self) -> &str {
+        match self {
+            Admission::Job(j) => &j.origin,
+            Admission::Error { origin, .. } => origin,
+        }
+    }
+}
+
+/// Expands a bundled suite name into admissions. Known names:
+/// `table4`, `examples`, `extended`, and `all` (their concatenation).
+pub fn suite_admissions(suite: &str) -> Option<Vec<Admission>> {
+    let benches = match suite {
+        "table4" => benchmarks::table4_suite(),
+        "examples" => benchmarks::example_suite(),
+        "extended" => benchmarks::extended_suite(),
+        "all" => {
+            let mut all = benchmarks::table4_suite();
+            all.extend(benchmarks::example_suite());
+            all.extend(benchmarks::extended_suite());
+            all
+        }
+        _ => return None,
+    };
+    let origin = format!("suite:{suite}");
+    Some(
+        benches
+            .into_iter()
+            .map(|b| {
+                let spec = match b.to_permutation() {
+                    Some(p) => SpecData::Perm(p),
+                    None => SpecData::Pprm(b.to_multi_pprm()),
+                };
+                Admission::Job(BatchJob {
+                    name: b.name.to_string(),
+                    origin: origin.clone(),
+                    spec,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Parses manifest text. `manifest_name` labels origins; `base_dir`
+/// anchors relative file paths (the manifest's directory).
+pub fn parse_manifest(text: &str, manifest_name: &str, base_dir: &Path) -> Vec<Admission> {
+    let mut admissions = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let origin = format!("{manifest_name}:{}", idx + 1);
+        let (kind, arg) = match line.split_once(char::is_whitespace) {
+            Some((k, a)) => (k, a.trim()),
+            None => (line, ""),
+        };
+        if arg.is_empty() {
+            admissions.push(Admission::Error {
+                name: kind.to_string(),
+                origin,
+                message: format!("'{kind}' needs an argument"),
+            });
+            continue;
+        }
+        match kind {
+            "suite" => match suite_admissions(arg) {
+                Some(jobs) => {
+                    // Re-anchor origins at the manifest line so errors in
+                    // the results point at the expansion site.
+                    admissions.extend(jobs.into_iter().map(|a| match a {
+                        Admission::Job(mut j) => {
+                            j.origin = origin.clone();
+                            Admission::Job(j)
+                        }
+                        other => other,
+                    }));
+                }
+                None => admissions.push(Admission::Error {
+                    name: format!("suite {arg}"),
+                    origin,
+                    message: format!("unknown suite '{arg}' (table4|examples|extended|all)"),
+                }),
+            },
+            _ => admissions.push(admit_single(kind, arg, origin, base_dir)),
+        }
+    }
+    admissions
+}
+
+/// Loads and parses a manifest file.
+///
+/// # Errors
+///
+/// Only when the manifest file itself cannot be read; entry-level
+/// problems become [`Admission::Error`] records.
+pub fn load_manifest(path: &str) -> Result<Vec<Admission>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    let base = Path::new(path).parent().unwrap_or(Path::new("."));
+    Ok(parse_manifest(&text, path, base))
+}
+
+fn admit_single(kind: &str, arg: &str, origin: String, base_dir: &Path) -> Admission {
+    let name = format!("{kind} {arg}");
+    let fail = |message: String| Admission::Error {
+        name: name.clone(),
+        origin: origin.clone(),
+        message,
+    };
+    let read = |path: &str| -> Result<String, String> {
+        let resolved = base_dir.join(path);
+        std::fs::read_to_string(&resolved)
+            .map_err(|e| format!("cannot read {}: {e}", resolved.display()))
+    };
+    let job = |spec: SpecData| {
+        Admission::Job(BatchJob {
+            name: name.clone(),
+            origin: origin.clone(),
+            spec,
+        })
+    };
+    match kind {
+        "perm" => match formats::parse_permutation(arg) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(format!("bad permutation: {e}")),
+        },
+        "permfile" => match read(arg).and_then(|text| {
+            formats::parse_permutation(&text).map_err(|e| format!("bad permutation file: {e}"))
+        }) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(e),
+        },
+        "table" => match read(arg).and_then(|text| {
+            let table =
+                formats::parse_truth_table(&text).map_err(|e| format!("bad truth table: {e}"))?;
+            table
+                .to_permutation()
+                .map_err(|e| format!("truth table is not reversible: {e}"))
+        }) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(e),
+        },
+        "tfc" => match read(arg).and_then(|text| {
+            let circuit =
+                rmrls_circuit::tfc::parse(&text).map_err(|e| format!("bad TFC file: {e}"))?;
+            if circuit.width() > TFC_WIDTH_LIMIT {
+                return Err(format!(
+                    "TFC re-synthesis is limited to {TFC_WIDTH_LIMIT} wires (circuit has {})",
+                    circuit.width()
+                ));
+            }
+            Ok(Permutation::from_circuit(&circuit))
+        }) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(e),
+        },
+        "bench" => match benchmarks::find(arg) {
+            Some(b) => {
+                let spec = match b.to_permutation() {
+                    Some(p) => SpecData::Perm(p),
+                    None => SpecData::Pprm(b.to_multi_pprm()),
+                };
+                Admission::Job(BatchJob {
+                    name: b.name.to_string(),
+                    origin,
+                    spec,
+                })
+            }
+            None => fail(format!("unknown benchmark '{arg}'")),
+        },
+        other => fail(format!(
+            "unknown job kind '{other}' (perm|permfile|table|tfc|bench|suite)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Vec<Admission> {
+        parse_manifest(text, "test.manifest", Path::new("."))
+    }
+
+    #[test]
+    fn inline_perm_and_bench_lines_admit() {
+        let a = parse("# demo\nperm 1,0,7,2,3,4,5,6\nbench hwb4\n");
+        assert_eq!(a.len(), 2);
+        assert!(matches!(&a[0], Admission::Job(j) if j.spec.width() == 3));
+        assert!(matches!(&a[1], Admission::Job(j) if j.name == "hwb4"));
+    }
+
+    #[test]
+    fn malformed_entries_become_error_records_not_failures() {
+        let a = parse(
+            "perm 1,1,2,3\n\
+             bench no-such-benchmark\n\
+             table /nonexistent/path.tt\n\
+             frobnicate 12\n\
+             perm\n",
+        );
+        assert_eq!(a.len(), 5);
+        for (i, adm) in a.iter().enumerate() {
+            let Admission::Error {
+                origin, message, ..
+            } = adm
+            else {
+                panic!("entry {i} should be an error: {adm:?}");
+            };
+            assert_eq!(origin, &format!("test.manifest:{}", i + 1));
+            assert!(!message.is_empty());
+        }
+    }
+
+    #[test]
+    fn suite_lines_expand() {
+        let a = parse("suite examples\n");
+        assert_eq!(a.len(), 8, "example suite has ex1..ex8");
+        assert!(a
+            .iter()
+            .all(|adm| matches!(adm, Admission::Job(j) if j.origin == "test.manifest:1")));
+    }
+
+    #[test]
+    fn unknown_suite_is_an_error_record() {
+        let a = parse("suite bogus\n");
+        assert_eq!(a.len(), 1);
+        assert!(matches!(&a[0], Admission::Error { message, .. }
+            if message.contains("unknown suite")));
+    }
+
+    #[test]
+    fn suite_admissions_cover_bundled_sets() {
+        assert_eq!(suite_admissions("table4").unwrap().len(), 29);
+        assert_eq!(suite_admissions("examples").unwrap().len(), 8);
+        assert!(suite_admissions("all").unwrap().len() >= 29 + 8);
+        assert!(suite_admissions("nope").is_none());
+    }
+
+    #[test]
+    fn irreversible_truth_table_is_rejected_per_job() {
+        let dir = std::env::temp_dir().join("rmrls-engine-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Constant-0 single-output table: 1 input, not a bijection.
+        std::fs::write(dir.join("bad.tt"), "1 1\n0 0\n").unwrap();
+        let a = parse_manifest("table bad.tt\n", "m", &dir);
+        assert!(matches!(&a[0], Admission::Error { message, .. }
+            if message.contains("reversible")));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let a = parse("\n# only comments\n   \n# another\n");
+        assert!(a.is_empty());
+    }
+}

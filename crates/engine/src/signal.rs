@@ -1,0 +1,130 @@
+//! Graceful shutdown: SIGINT → drain, second SIGINT → abort.
+//!
+//! The engine's shutdown protocol is two cooperative [`CancelToken`]s:
+//!
+//! - **drain** — stop dequeuing new jobs; in-flight jobs run to
+//!   completion and the partial report is still written;
+//! - **abort** — additionally cancel in-flight searches through their
+//!   budget, so workers return within one budget poll.
+//!
+//! [`ShutdownHandles::install_sigint`] wires the tokens to Ctrl-C: the
+//! first SIGINT drains, the second aborts. The handler itself only
+//! performs a single atomic increment (the full async-signal-safe
+//! discipline); token cancellation happens on worker threads via
+//! [`ShutdownHandles::poll_signals`]. Tests drive the tokens directly
+//! and never need to raise a real signal.
+
+use std::sync::atomic::Ordering;
+
+use rmrls_core::CancelToken;
+
+/// The libc binding lives in its own module so the rest of the crate
+/// can stay `deny(unsafe_code)`. No external crate: the build is
+/// offline, and `std` exposes no signal API.
+#[allow(unsafe_code)]
+mod ffi {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Number of SIGINTs received since installation.
+    pub static SIGINT_COUNT: AtomicU64 = AtomicU64::new(0);
+
+    /// POSIX `SIGINT` (asm-generic value; correct on every Linux arch
+    /// this repo targets, and on the BSDs/macOS).
+    const SIGINT: i32 = 2;
+
+    /// The handler does exactly one atomic increment — the only action
+    /// here that is async-signal-safe.
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // `signal` returns the previous handler; modelled as a
+        // pointer-sized integer because it may be the non-pointer
+        // sentinels SIG_DFL (0) or SIG_ERR (-1).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the counting handler for SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// The pair of shutdown tokens a batch run observes.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownHandles {
+    /// Stop dequeuing; finish in-flight jobs.
+    pub drain: CancelToken,
+    /// Cancel in-flight searches too.
+    pub abort: CancelToken,
+}
+
+impl ShutdownHandles {
+    /// Fresh, untripped handles (signals not installed — cancellation
+    /// only through the tokens; this is what tests use).
+    pub fn new() -> ShutdownHandles {
+        ShutdownHandles {
+            drain: CancelToken::new(),
+            abort: CancelToken::new(),
+        }
+    }
+
+    /// Installs a SIGINT handler and returns handles wired to it:
+    /// after installation, [`poll_signals`](Self::poll_signals) maps
+    /// one received SIGINT to `drain` and two or more to `abort`.
+    ///
+    /// Installation is process-global; later installs replace earlier
+    /// handlers but all handles share the one signal counter.
+    pub fn install_sigint() -> ShutdownHandles {
+        ffi::install();
+        ShutdownHandles::new()
+    }
+
+    /// Propagates received signals into the tokens. Called by workers
+    /// between jobs; cheap enough for every dequeue.
+    pub fn poll_signals(&self) {
+        let n = ffi::SIGINT_COUNT.load(Ordering::Relaxed);
+        if n >= 1 {
+            self.drain.cancel();
+        }
+        if n >= 2 {
+            self.abort.cancel();
+        }
+    }
+
+    /// Whether new jobs should still be dequeued.
+    pub fn draining(&self) -> bool {
+        self.drain.is_cancelled() || self.abort.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_handles_do_not_drain() {
+        let h = ShutdownHandles::new();
+        h.poll_signals();
+        assert!(!h.draining());
+        assert!(!h.abort.is_cancelled());
+    }
+
+    #[test]
+    fn abort_implies_draining() {
+        let h = ShutdownHandles::new();
+        h.abort.cancel();
+        assert!(h.draining());
+    }
+
+    #[test]
+    fn drain_alone_leaves_inflight_running() {
+        let h = ShutdownHandles::new();
+        h.drain.cancel();
+        assert!(h.draining());
+        assert!(!h.abort.is_cancelled());
+    }
+}

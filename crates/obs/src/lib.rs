@@ -13,6 +13,8 @@
 //! - [`sink`] — a pluggable [`EventSink`] trait with null, bounded
 //!   memory-ring, and JSON-lines implementations. Sinks never silently
 //!   truncate: overflow is surfaced through a `dropped_events` count.
+//! - [`sync`] — atomic counters/gauges for the one consumer that *is*
+//!   multi-threaded: the batch engine's worker pool.
 //! - [`span`] — monotonic span timing built on `std::time::Instant`.
 //! - [`json`] — a hand-rolled JSON value type with writer (correct
 //!   string escaping) and parser, used for run reports and round-trip
@@ -25,8 +27,10 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod sync;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{Event, EventSink, JsonLinesSink, MemorySink, NullSink, Value};
 pub use span::SpanTimer;
+pub use sync::{SyncCounter, SyncGauge};

@@ -1,0 +1,113 @@
+//! Thread-safe counters for multi-worker engines.
+//!
+//! The [`metrics`](crate::metrics) registry is deliberately
+//! single-threaded (`Rc`-handle based) because a synthesis *search* is
+//! single-threaded. The batch engine is not: many workers bump the same
+//! counters concurrently, so this module provides the minimal atomic
+//! complement. A [`SyncCounter`] is a monotonically increasing `u64`;
+//! a [`SyncGauge`] tracks a current value plus its high-water mark.
+//! Both are lock-free and safe to share by reference across a
+//! `thread::scope`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter safe to bump from many threads.
+///
+/// ```
+/// use rmrls_obs::sync::SyncCounter;
+///
+/// let jobs = SyncCounter::new();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| jobs.add(10));
+///     }
+/// });
+/// assert_eq!(jobs.get(), 40);
+/// ```
+#[derive(Debug, Default)]
+pub struct SyncCounter(AtomicU64);
+
+impl SyncCounter {
+    /// A counter starting at zero.
+    pub const fn new() -> SyncCounter {
+        SyncCounter(AtomicU64::new(0))
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge with high-water tracking, safe to set from many threads.
+#[derive(Debug, Default)]
+pub struct SyncGauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl SyncGauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> SyncGauge {
+        SyncGauge {
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the current value, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = SyncCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = SyncGauge::new();
+        g.set(5);
+        g.set(17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 17);
+    }
+}

@@ -9,6 +9,8 @@
 //!   templates, rendering;
 //! - [`spec`] — permutations, embeddings, benchmarks, random workloads;
 //! - [`core`] — the RMRLS priority-queue synthesis algorithm;
+//! - [`engine`] — the concurrent batch-synthesis engine (worker pool,
+//!   deadlines, cancellation, canonical-form result cache);
 //! - [`obs`] — zero-dependency metrics, event sinks, and the JSON
 //!   run-report machinery behind `rmrls synth --report`;
 //! - [`baselines`] — MMD transformation-based synthesis, exhaustive
@@ -34,6 +36,7 @@
 pub use rmrls_baselines as baselines;
 pub use rmrls_circuit as circuit;
 pub use rmrls_core as core;
+pub use rmrls_engine as engine;
 pub use rmrls_obs as obs;
 pub use rmrls_pprm as pprm;
 pub use rmrls_spec as spec;

@@ -3,9 +3,13 @@
 
 use proptest::prelude::*;
 
+use std::time::{Duration, Instant};
+
 use rmrls::baselines::{mmd_synthesize, MmdVariant};
 use rmrls::circuit::{simplify, tfc, Circuit, Gate};
-use rmrls::core::{synthesize_permutation, SynthesisOptions};
+use rmrls::core::{synthesize_permutation, CancelToken, StopReason, SynthesisOptions};
+use rmrls::engine::manifest::{Admission, BatchJob, SpecData};
+use rmrls::engine::{run_batch, BatchOptions, ShutdownHandles};
 use rmrls::pprm::{BitTable, MultiPprm, Pprm};
 use rmrls::spec::Permutation;
 
@@ -131,6 +135,62 @@ proptest! {
     #[test]
     fn cost_symmetric_under_inverse(circuit in toffoli_circuit(5, 10)) {
         prop_assert_eq!(circuit.quantum_cost(), circuit.inverse().quantum_cost());
+    }
+
+    /// A search whose deadline already passed either still returns a
+    /// correct circuit (the spec was solvable before the first budget
+    /// check) or fails cleanly with `DeadlineExpired` — never a partial
+    /// circuit.
+    #[test]
+    fn expired_deadline_never_yields_partial_circuit(spec in permutation(4)) {
+        let opts = SynthesisOptions::new()
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        match synthesize_permutation(&spec, &opts) {
+            Ok(r) => prop_assert_eq!(r.circuit.to_permutation(), spec.as_slice()),
+            Err(e) => prop_assert_eq!(e.stats.stop_reason, Some(StopReason::DeadlineExpired)),
+        }
+    }
+
+    /// The same cleanliness invariant under cancellation: a
+    /// pre-cancelled token gives a correct circuit or `Cancelled`,
+    /// never garbage.
+    #[test]
+    fn cancelled_search_never_yields_partial_circuit(spec in permutation(4)) {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = SynthesisOptions::new().with_cancel_token(token);
+        match synthesize_permutation(&spec, &opts) {
+            Ok(r) => prop_assert_eq!(r.circuit.to_permutation(), spec.as_slice()),
+            Err(e) => prop_assert_eq!(e.stats.stop_reason, Some(StopReason::Cancelled)),
+        }
+    }
+
+    /// Batch results are a pure function of the job list: worker count
+    /// and cache settings never change a byte of the output.
+    #[test]
+    fn batch_results_independent_of_schedule(seed in any::<u32>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(u64::from(seed));
+        let jobs: Vec<Admission> = (0..6)
+            .map(|i| Admission::Job(BatchJob {
+                name: format!("job{i}"),
+                origin: "prop".to_string(),
+                spec: SpecData::Perm(rmrls::spec::random_permutation(3, &mut rng)),
+            }))
+            .collect();
+        let run = |workers: usize, cache: Option<usize>| {
+            let opts = BatchOptions { workers, cache_size: cache, ..BatchOptions::default() };
+            run_batch(&jobs, &opts, &ShutdownHandles::new())
+        };
+        let reference = run(1, None);
+        prop_assert_eq!(reference.counters.verify_failures, 0);
+        for (workers, cache) in [(8, None), (1, Some(16)), (8, Some(16))] {
+            prop_assert_eq!(
+                run(workers, cache).results_jsonl(),
+                reference.results_jsonl(),
+                "workers={} cache={:?}", workers, cache
+            );
+        }
     }
 }
 
