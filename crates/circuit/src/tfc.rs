@@ -22,6 +22,19 @@ use std::fmt;
 
 use crate::{Circuit, Gate};
 
+/// Longest accepted input line, in bytes. Benchmarks stay well under
+/// this; a multi-megabyte "line" is a corrupt or hostile file, and
+/// refusing it early keeps parse cost proportional to honest input.
+pub const MAX_LINE_LEN: usize = 4096;
+
+/// Longest accepted signal (wire) name, in bytes.
+pub const MAX_SIGNAL_LEN: usize = 64;
+
+/// Most wires a parsed circuit may declare — [`crate::MAX_WIDTH`],
+/// the gate representation's control-mask limit. Enforcing it here
+/// turns what would be a constructor panic into a parse error.
+pub const MAX_WIRES: usize = crate::MAX_WIDTH;
+
 /// Error parsing a TFC document.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTfcError {
@@ -109,7 +122,9 @@ fn wire_name(w: usize) -> String {
 /// # Errors
 ///
 /// Returns [`ParseTfcError`] on unknown signals, malformed gate lines,
-/// missing `.v`, or gates with repeated signals.
+/// missing `.v`, gates with repeated signals, or input exceeding the
+/// [`MAX_LINE_LEN`]/[`MAX_SIGNAL_LEN`]/[`MAX_WIRES`] caps. Malformed
+/// input of any shape yields an error, never a panic.
 pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
     let mut wires: Vec<String> = Vec::new();
     let mut gates: Vec<Gate> = Vec::new();
@@ -117,6 +132,12 @@ pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
+        if raw.len() > MAX_LINE_LEN {
+            return Err(ParseTfcError::new(
+                lineno,
+                format!("line exceeds {MAX_LINE_LEN} bytes"),
+            ));
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -129,6 +150,26 @@ pub fn parse(text: &str) -> Result<Circuit, ParseTfcError> {
                 .collect();
             if wires.is_empty() {
                 return Err(ParseTfcError::new(lineno, "empty .v wire list"));
+            }
+            if wires.len() > MAX_WIRES {
+                return Err(ParseTfcError::new(
+                    lineno,
+                    format!("{} wires exceeds the limit of {MAX_WIRES}", wires.len()),
+                ));
+            }
+            for (i, w) in wires.iter().enumerate() {
+                if w.len() > MAX_SIGNAL_LEN {
+                    return Err(ParseTfcError::new(
+                        lineno,
+                        format!("signal name exceeds {MAX_SIGNAL_LEN} bytes"),
+                    ));
+                }
+                if wires[..i].contains(w) {
+                    return Err(ParseTfcError::new(
+                        lineno,
+                        format!("duplicate wire name '{w}' in .v"),
+                    ));
+                }
             }
             seen_v = true;
             continue;
@@ -280,6 +321,40 @@ END
         let text = ".v a,b\nBEGIN\nt2 a,a\nEND\n";
         let err = parse(text).unwrap_err();
         assert!(err.to_string().contains("invalid gate"), "{err}");
+    }
+
+    #[test]
+    fn oversized_line_is_error_with_line_number() {
+        let text = format!(".v a,b\nBEGIN\nt2 a,{}\nEND\n", "b".repeat(MAX_LINE_LEN));
+        let err = parse(&text).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn oversized_signal_name_is_error() {
+        let long = "w".repeat(MAX_SIGNAL_LEN + 1);
+        let err = parse(&format!(".v a,{long}\nBEGIN\nEND\n")).unwrap_err();
+        assert!(err.to_string().contains("signal name exceeds"), "{err}");
+    }
+
+    #[test]
+    fn too_many_wires_is_error() {
+        let names: Vec<String> = (0..=MAX_WIRES).map(|i| format!("w{i}")).collect();
+        let err = parse(&format!(".v {}\nBEGIN\nEND\n", names.join(","))).unwrap_err();
+        assert!(err.to_string().contains("exceeds the limit"), "{err}");
+        // Exactly at the cap is fine.
+        parse(&format!(
+            ".v {}\nBEGIN\nEND\n",
+            names[..MAX_WIRES].join(",")
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_wire_declaration_is_error() {
+        let err = parse(".v a,b,a\nBEGIN\nEND\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate wire"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Property tests hardening the TFC parser: whatever bytes arrive —
+//! truncated documents, duplicated lines, garbage interleavings, or
+//! outright random text — parsing returns a typed
+//! [`ParseTfcError`](rmrls_circuit::tfc::ParseTfcError) or a valid
+//! circuit, and never panics.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rmrls_circuit::{tfc, Circuit, Gate};
+
+/// Random well-formed circuits, for mutation-based cases.
+fn random_circuit(rng: &mut proptest::test_runner::TestRng, width: usize, gates: usize) -> Circuit {
+    let gates = (0..gates)
+        .map(|_| {
+            let target = rng.random_range(0..width);
+            let mut controls = Vec::new();
+            for w in 0..width {
+                if w != target && rng.random_range(0..3usize) == 0 {
+                    controls.push(w);
+                }
+            }
+            Gate::toffoli(&controls, target)
+        })
+        .collect();
+    Circuit::from_gates(width, gates)
+}
+
+/// Parsing must terminate with `Ok` or a typed error — the property all
+/// cases below reduce to. Panics propagate and fail the test.
+fn total(text: &str) {
+    let _ = tfc::parse(text);
+}
+
+proptest! {
+    /// Arbitrary byte soup (printable-ish ASCII plus separators).
+    #[test]
+    fn random_text_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text: String = bytes
+            .iter()
+            .map(|&b| (b % 96 + 32) as char)
+            .collect();
+        total(&text);
+        // Sprinkle in newlines and commas to hit line/field splitting.
+        let seeded: String = text
+            .chars()
+            .enumerate()
+            .map(|(i, c)| match i % 7 {
+                0 => '\n',
+                3 => ',',
+                _ => c,
+            })
+            .collect();
+        total(&seeded);
+    }
+
+    /// Every prefix of a valid document parses or fails cleanly.
+    #[test]
+    fn truncations_never_panic(spec in ((1usize..6), (0usize..8))
+        .prop_perturb(|(w, g), mut rng| tfc::write(&random_circuit(&mut rng, w, g))))
+    {
+        for cut in 0..=spec.len() {
+            if spec.is_char_boundary(cut) {
+                total(&spec[..cut]);
+            }
+        }
+    }
+
+    /// Duplicating, dropping, and shuffling whole lines never panics,
+    /// and a line duplicated verbatim either parses (gate lines) or
+    /// errors (duplicate .v) — no third outcome.
+    #[test]
+    fn line_level_mutations_never_panic(case in ((2usize..6), (1usize..6), any::<u64>())
+        .prop_perturb(|(w, g, salt), mut rng| {
+            (tfc::write(&random_circuit(&mut rng, w, g)), salt)
+        }))
+    {
+        let (doc, salt) = case;
+        let lines: Vec<&str> = doc.lines().collect();
+        // Duplicate the salt-chosen line.
+        let dup = salt as usize % lines.len();
+        let mut duplicated: Vec<&str> = lines.clone();
+        duplicated.insert(dup, lines[dup]);
+        total(&duplicated.join("\n"));
+        // Drop it instead.
+        let mut dropped = lines.clone();
+        dropped.remove(dup);
+        total(&dropped.join("\n"));
+        // Reverse the whole document (gates before .v, END first...).
+        let reversed: Vec<&str> = lines.iter().rev().copied().collect();
+        total(&reversed.join("\n"));
+    }
+
+    /// Round-trip survives as long as the caps are respected: write ->
+    /// parse is the identity on random circuits.
+    #[test]
+    fn write_parse_roundtrip(circuit in ((1usize..7), (0usize..10))
+        .prop_perturb(|(w, g), mut rng| random_circuit(&mut rng, w, g)))
+    {
+        let parsed = tfc::parse(&tfc::write(&circuit));
+        prop_assert_eq!(parsed.as_ref(), Ok(&circuit));
+    }
+}
+
+#[test]
+fn pathological_inputs_yield_typed_errors() {
+    // Constructed adversarial cases that historically crash parsers.
+    let cases: &[&str] = &[
+        "",
+        "\n\n\n",
+        ".v",
+        ".v ,,,",
+        ".v a\nt1",
+        ".v a\nt1 \n",
+        ".v a\nBEGIN\nt9999999999999999999999 a\nEND",
+        ".v a\nBEGIN\nt1 a,\nEND",
+        ".v a\nBEGIN\n\u{0}:\u{7f}\nEND",
+        "BEGIN\nEND\n.v a",
+        ".v a,b\n.v b,c\nBEGIN\nt1 a\nEND",
+    ];
+    for text in cases {
+        match tfc::parse(text) {
+            Ok(_) | Err(_) => {} // both fine; the point is no panic
+        }
+    }
+    // And the error type carries usable context.
+    let err = tfc::parse(".v a\nBEGIN\nt1 zz\nEND").unwrap_err();
+    assert_eq!(err.line(), 3);
+    assert!(err.to_string().contains("unknown signal"));
+}

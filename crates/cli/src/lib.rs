@@ -86,7 +86,16 @@ BATCH OPTIONS:
   --no-cache          disable the result cache
   --canon-limit N     widest spec canonicalized for caching (default 8)
   --no-verify         skip per-circuit equivalence verification
-  --results FILE      write one JSON record per job (JSON lines)
+  --fallback          never-fail mode: retry failed searches with relaxed
+                      pruning, then the MMD baseline (tier recorded per
+                      job as solved_by)
+  --results FILE      write per-job results as a crash-safe journal
+                      (header line + one JSON record per job, fsync'd as
+                      jobs finish; readable as JSON lines)
+  --resume FILE       resume from a results journal: completed jobs are
+                      recovered, only the remainder re-runs (requires
+                      the same job list and options; a torn final
+                      record is tolerated)
   --report FILE       write the aggregate JSON run report
   --strict            exit nonzero on any error, panic, or verify failure
 ";
@@ -204,8 +213,12 @@ pub enum Command {
         canon_limit: usize,
         /// Verify each circuit against its specification.
         verify: bool,
-        /// Write per-job JSON-lines records to this file.
+        /// Run the fallback ladder so every well-formed job solves.
+        fallback: bool,
+        /// Write per-job records to this file as a crash-safe journal.
         results: Option<String>,
+        /// Resume from this results journal, skipping completed jobs.
+        resume: Option<String>,
         /// Write the aggregate JSON run report to this file.
         report: Option<String>,
         /// Exit nonzero on any error, panic, or verification failure.
@@ -309,7 +322,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut no_cache = false;
     let mut canon_limit = None;
     let mut no_verify = false;
+    let mut fallback = false;
     let mut results = None;
+    let mut resume = None;
     let mut strict = false;
 
     let take_value =
@@ -386,7 +401,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 canon_limit = Some(v.parse().map_err(|_| err("bad --canon-limit"))?);
             }
             "--no-verify" => no_verify = true,
+            "--fallback" => fallback = true,
             "--results" => results = Some(take_value(&mut args, "--results")?),
+            "--resume" => resume = Some(take_value(&mut args, "--resume")?),
             "--strict" => strict = true,
             "--fredkin" => {
                 fredkin = match take_value(&mut args, "--fredkin")?.as_str() {
@@ -455,7 +472,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 },
                 canon_limit: canon_limit.unwrap_or(8),
                 verify: !no_verify,
+                fallback,
                 results,
+                resume,
                 report,
                 strict,
             })
@@ -502,6 +521,10 @@ fn report(circuit: &Circuit, name: &str, out: &mut impl fmt::Write) -> fmt::Resu
 ///
 /// Returns [`CliError`] on input errors or failed synthesis.
 pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> {
+    // Fault injection (no-op unless built with `--features failpoints`
+    // *and* RMRLS_FAILPOINTS is set) — armed before any work starts so
+    // the CI fault matrix covers the whole run.
+    rmrls_obs::fail::configure_from_env().map_err(err)?;
     match command {
         Command::Help => {
             out.write_str(USAGE).map_err(|e| err(e.to_string()))?;
@@ -589,8 +612,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                     metrics.as_ref(),
                     obs.dropped_events(),
                 );
-                std::fs::write(path, format!("{json}\n"))
-                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                rmrls_engine::write_atomic(path, &format!("{json}\n")).map_err(CliError)?;
                 writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
                 Ok(())
             };
@@ -655,7 +677,9 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             cache_size,
             canon_limit,
             verify,
+            fallback,
             results,
+            resume,
             report: report_path,
             strict,
         } => {
@@ -682,13 +706,83 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 cache_size,
                 canon_limit,
                 verify,
+                fallback,
                 ..rmrls_engine::BatchOptions::default()
             };
+            let header = rmrls_engine::JournalHeader::new(&admissions, &options);
+
+            // --resume: recover completed jobs, refusing a journal that
+            // was written for a different job list or configuration.
+            let resumed = match &resume {
+                Some(path) => {
+                    let data = rmrls_engine::read_journal(path).map_err(CliError)?;
+                    if data.header.manifest_hash != header.manifest_hash {
+                        return Err(err(format!(
+                            "--resume {path}: journal was written for a different job list \
+                             (manifest hash {:016x}, expected {:016x})",
+                            data.header.manifest_hash, header.manifest_hash
+                        )));
+                    }
+                    if data.header.options_fingerprint != header.options_fingerprint {
+                        return Err(err(format!(
+                            "--resume {path}: journal was written under different options \
+                             (fingerprint {:016x}, expected {:016x})",
+                            data.header.options_fingerprint, header.options_fingerprint
+                        )));
+                    }
+                    if data.torn_tail {
+                        writeln!(
+                            out,
+                            "note: {path} ends in a torn record (crash mid-append); \
+                             that job will re-run"
+                        )
+                        .map_err(|e| err(e.to_string()))?;
+                    }
+                    writeln!(
+                        out,
+                        "resuming: {} of {} jobs already complete",
+                        data.completed.len(),
+                        admissions.len()
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                    Some(data.completed)
+                }
+                None => None,
+            };
+
+            // The journal target: --results when given, else continue
+            // journaling into the --resume file itself. Recovered
+            // records are re-seeded first, so the journal is complete
+            // from the moment the resumed run starts.
+            let journal_path = results.clone().or_else(|| resume.clone());
+            let journal = match &journal_path {
+                Some(path) => {
+                    let mut w =
+                        rmrls_engine::JournalWriter::create(path, &header).map_err(CliError)?;
+                    if let Some(done) = &resumed {
+                        let mut indices: Vec<usize> = done.keys().copied().collect();
+                        indices.sort_unstable();
+                        for i in indices {
+                            w.append(&done[&i].json.to_string()).map_err(CliError)?;
+                        }
+                    }
+                    Some(std::sync::Mutex::new(w))
+                }
+                None => None,
+            };
+
             // Ctrl-C once drains (running jobs finish, the rest are
             // skipped and the partial report is still written); twice
             // aborts in-flight searches.
             let shutdown = rmrls_engine::ShutdownHandles::install_sigint();
-            let run = rmrls_engine::run_batch(&admissions, &options, &shutdown);
+            let run = rmrls_engine::run_batch_resumable(
+                &admissions,
+                &options,
+                &shutdown,
+                journal.as_ref(),
+                resumed.as_ref(),
+            );
+            drop(journal);
 
             let c = &run.counters;
             writeln!(
@@ -729,20 +823,46 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 )
                 .map_err(|e| err(e.to_string()))?;
             }
-            if let Some(path) = &results {
-                std::fs::write(path, run.results_jsonl())
-                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            if options.fallback {
+                writeln!(
+                    out,
+                    "  solved_by: {} rmrls, {} relaxed, {} mmd",
+                    c.solved_by_rmrls, c.solved_by_relaxed, c.solved_by_mmd
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+            if c.jobs_resumed > 0 {
+                writeln!(out, "  resumed from journal: {}", c.jobs_resumed)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(path) = &journal_path {
+                // Rewrite the journal in admission order (journal order
+                // was completion order) — atomically, so a crash here
+                // still leaves a complete, resumable file.
+                let mut text = header.to_json().to_string();
+                text.push('\n');
+                for (i, record) in run.records.iter().enumerate() {
+                    text.push_str(&record.to_json_indexed(i).to_string());
+                    text.push('\n');
+                }
+                rmrls_engine::write_atomic(path, &text).map_err(CliError)?;
                 writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
             }
             if let Some(path) = &report_path {
-                std::fs::write(path, format!("{}\n", run.report_json(&options)))
-                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                rmrls_engine::write_atomic(path, &format!("{}\n", run.report_json(&options)))
+                    .map_err(CliError)?;
                 writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
             }
-            if strict && (c.panics_contained > 0 || c.verify_failures > 0 || c.jobs_errored > 0) {
+            if strict
+                && (c.panics_contained > 0
+                    || c.verify_failures > 0
+                    || c.jobs_errored > 0
+                    || c.journal_append_errors > 0)
+            {
                 return Err(err(format!(
-                    "strict batch failed: {} errors, {} panics, {} verification failures",
-                    c.jobs_errored, c.panics_contained, c.verify_failures
+                    "strict batch failed: {} errors, {} panics, {} verification failures, \
+                     {} journal append failures",
+                    c.jobs_errored, c.panics_contained, c.verify_failures, c.journal_append_errors
                 )));
             }
             Ok(())
@@ -1221,6 +1341,9 @@ mod tests {
             "--report",
             "report.json",
             "--strict",
+            "--fallback",
+            "--resume",
+            "old.jsonl",
         ])
         .unwrap()
         {
@@ -1231,9 +1354,11 @@ mod tests {
                 cache_size,
                 canon_limit,
                 verify,
+                fallback,
                 results,
                 report,
                 strict,
+                resume,
             } => {
                 assert_eq!(source, BatchSource::Suite("examples".into()));
                 assert_eq!(jobs, Some(4));
@@ -1241,9 +1366,11 @@ mod tests {
                 assert_eq!(cache_size, Some(64));
                 assert_eq!(canon_limit, 6);
                 assert!(!verify);
+                assert!(fallback);
                 assert_eq!(results.as_deref(), Some("r.jsonl"));
                 assert_eq!(report.as_deref(), Some("report.json"));
                 assert!(strict);
+                assert_eq!(resume.as_deref(), Some("old.jsonl"));
             }
             other => panic!("{other:?}"),
         }
@@ -1258,7 +1385,9 @@ mod tests {
                 cache_size,
                 canon_limit,
                 verify,
+                fallback,
                 strict,
+                resume,
                 ..
             } => {
                 assert_eq!(source, BatchSource::Manifest("jobs.txt".into()));
@@ -1266,7 +1395,9 @@ mod tests {
                 assert_eq!(cache_size, Some(1024));
                 assert_eq!(canon_limit, 8);
                 assert!(verify);
+                assert!(!fallback);
                 assert!(!strict);
+                assert_eq!(resume, None);
             }
             other => panic!("{other:?}"),
         }
@@ -1315,9 +1446,13 @@ mod tests {
         assert!(out.contains("verified: 8 ok, 0 failed"), "{out}");
 
         let jsonl = std::fs::read_to_string(&results).unwrap();
-        assert_eq!(jsonl.lines().count(), 8);
-        for line in jsonl.lines() {
+        // Header line plus one indexed record per job.
+        assert_eq!(jsonl.lines().count(), 1 + 8);
+        let header = rmrls_obs::Json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("journal").unwrap().as_str(), Some("rmrls-batch"));
+        for (i, line) in jsonl.lines().skip(1).enumerate() {
             let record = rmrls_obs::Json::parse(line).unwrap();
+            assert_eq!(record.get("index").unwrap().as_u64(), Some(i as u64));
             assert_eq!(record.get("status").unwrap().as_str(), Some("solved"));
             assert_eq!(record.get("verified").unwrap().as_bool(), Some(true));
         }
@@ -1332,6 +1467,126 @@ mod tests {
                 .as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn batch_resume_skips_completed_jobs_and_matches_reference() {
+        let dir = std::env::temp_dir().join("rmrls-cli-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let run_batch_cmd = |extra: &[&str]| {
+            let mut v = vec![
+                "batch",
+                "--suite",
+                "examples",
+                "--jobs",
+                "1",
+                "--results",
+                journal.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            parse(&v).unwrap()
+        };
+
+        // Reference: an uninterrupted run.
+        let mut out = String::new();
+        run(run_batch_cmd(&[]), &mut out).unwrap();
+        let reference = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = reference.lines().collect();
+        assert_eq!(lines.len(), 1 + 8);
+
+        // Simulate a SIGKILL: keep the header, three intact records,
+        // and half of the fourth record's bytes.
+        let mut torn = lines[..4].join("\n");
+        torn.push('\n');
+        torn.push_str(&lines[4][..lines[4].len() / 2]);
+        std::fs::write(&journal, &torn).unwrap();
+
+        let mut out = String::new();
+        run(
+            run_batch_cmd(&["--resume", journal.to_str().unwrap()]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(
+            out.contains("resuming: 3 of 8 jobs already complete"),
+            "{out}"
+        );
+        assert!(out.contains("torn record"), "{out}");
+        assert!(out.contains("resumed from journal: 3"), "{out}");
+        let resumed = std::fs::read_to_string(&journal).unwrap();
+        // The final rewritten journal is byte-identical modulo the
+        // per-job timing fields, which we strip before comparing.
+        let strip = |text: &str| {
+            text.lines()
+                .map(|l| {
+                    let json = rmrls_obs::Json::parse(l).unwrap();
+                    match json {
+                        rmrls_obs::Json::Obj(fields) => rmrls_obs::Json::Obj(
+                            fields.into_iter().filter(|(k, _)| k != "seconds").collect(),
+                        )
+                        .to_string(),
+                        other => other.to_string(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&resumed), strip(&reference));
+    }
+
+    #[test]
+    fn batch_resume_refuses_mismatched_journals() {
+        let dir = std::env::temp_dir().join("rmrls-cli-resume-refuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let cmd = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--results",
+            journal.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(cmd, &mut String::new()).unwrap();
+
+        // Different job list: same options, other suite.
+        let other_suite = parse(&[
+            "batch",
+            "--suite",
+            "table4",
+            "--resume",
+            journal.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run(other_suite, &mut String::new()).unwrap_err();
+        assert!(err.0.contains("different job list"), "{}", err.0);
+
+        // Same job list, different options fingerprint.
+        let other_opts = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--no-verify",
+            "--resume",
+            journal.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run(other_opts, &mut String::new()).unwrap_err();
+        assert!(err.0.contains("different options"), "{}", err.0);
+
+        // A plain results file from before the journal era (no header).
+        let legacy = dir.join("legacy.jsonl");
+        std::fs::write(&legacy, "{\"index\":0,\"status\":\"solved\"}\n").unwrap();
+        let from_legacy = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--resume",
+            legacy.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(run(from_legacy, &mut String::new()).is_err());
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub fn options_to_json(options: &SynthesisOptions) -> Json {
             Json::Bool(options.budget.cancel.is_some()),
         ),
         (
+            "max_live_terms".to_string(),
+            opt_uint(options.budget.max_live_terms),
+        ),
+        (
+            "max_queue_bytes".to_string(),
+            opt_uint(options.budget.max_queue_bytes),
+        ),
+        (
             "max_gates".to_string(),
             opt_uint(options.max_gates.map(|g| g as u64)),
         ),
@@ -151,6 +159,23 @@ pub fn stats_to_json(stats: &SearchStats) -> Json {
         ("beam_trims".to_string(), Json::uint(stats.beam_trims)),
         ("beam_dropped".to_string(), Json::uint(stats.beam_dropped)),
         ("queue_peak".to_string(), Json::uint(stats.queue_peak)),
+        ("memory_sheds".to_string(), Json::uint(stats.memory_sheds)),
+        (
+            "memory_shed_dropped".to_string(),
+            Json::uint(stats.memory_shed_dropped),
+        ),
+        (
+            "live_terms_peak".to_string(),
+            Json::uint(stats.live_terms_peak),
+        ),
+        (
+            "queue_bytes_peak".to_string(),
+            Json::uint(stats.queue_bytes_peak),
+        ),
+        // Degraded mode: the search shed queue entries to stay inside a
+        // memory budget, so completeness/quality guarantees are best
+        // effort for this run.
+        ("degraded".to_string(), Json::Bool(stats.memory_sheds > 0)),
         ("trace_dropped".to_string(), Json::uint(stats.trace_dropped)),
         (
             "elapsed_seconds".to_string(),

@@ -182,6 +182,13 @@ struct Search<'a> {
     /// `SynthesisOptions::dedup_states` for the residual risk).
     visited: HashMap<u64, (u32, u32)>,
     steps_since_restart: u64,
+    /// Total PPRM terms across queued states, maintained incrementally
+    /// (push adds, pop subtracts, queue rebuilds recount) for the
+    /// memory-budget poll — O(1) per check.
+    live_terms: u64,
+    /// Approximate heap bytes of queued states
+    /// ([`MultiPprm::approx_heap_bytes`]), maintained like `live_terms`.
+    queue_bytes: u64,
     /// Timer for the current restart segment.
     segment_timer: SpanTimer,
     /// `nodes_expanded` at the start of the current segment.
@@ -215,6 +222,8 @@ impl<'a> Search<'a> {
             queue: BinaryHeap::new(),
             visited: HashMap::new(),
             steps_since_restart: 0,
+            live_terms: 0,
+            queue_bytes: 0,
             segment_timer: SpanTimer::start(),
             segment_start_nodes: 0,
             scratch: SubstScratch::new(),
@@ -245,6 +254,45 @@ impl<'a> Search<'a> {
         self.stats.restart_spans.push(span);
         self.segment_start_nodes = self.stats.nodes_expanded;
         span
+    }
+
+    /// Recomputes the memory accounting from the queue contents. Called
+    /// after every bulk queue rebuild (beam trim, memory shed, restart
+    /// reseed) where incremental bookkeeping would be error-prone.
+    fn recount_memory(&mut self) {
+        let (mut terms, mut bytes) = (0u64, 0u64);
+        for e in self.queue.iter() {
+            terms += e.state.total_terms() as u64;
+            bytes += e.state.approx_heap_bytes() as u64;
+        }
+        self.live_terms = terms;
+        self.queue_bytes = bytes;
+        self.stats.live_terms_peak = self.stats.live_terms_peak.max(terms);
+        self.stats.queue_bytes_peak = self.stats.queue_bytes_peak.max(bytes);
+    }
+
+    /// Emergency response to a memory-budget breach: keep the better
+    /// half of the queue (at least one entry, so the search can always
+    /// make progress toward a solution), drop the rest, and recount.
+    /// Mirrors the beam trim of `push_child` but is driven by the
+    /// [`Budget`](crate::Budget) memory caps rather than `max_queue`.
+    fn shed_for_memory(&mut self) {
+        let mut entries: Vec<QueueEntry> = std::mem::take(&mut self.queue).into_vec();
+        entries.sort_by(|a, b| b.cmp(a));
+        let keep = (entries.len() / 2).max(1);
+        let dropped = entries.len().saturating_sub(keep);
+        entries.truncate(keep);
+        self.stats.memory_sheds += 1;
+        self.stats.memory_shed_dropped += dropped as u64;
+        self.queue = BinaryHeap::from(entries);
+        self.recount_memory();
+    }
+
+    /// Whether a configured memory cap is currently exceeded.
+    fn memory_breached(&self) -> bool {
+        self.options
+            .budget
+            .memory_breached(self.live_terms, self.queue_bytes)
     }
 
     /// Depth bound children must stay under to remain useful.
@@ -602,6 +650,10 @@ impl<'a> Search<'a> {
         });
         self.stats.children_pushed += 1;
         self.seq += 1;
+        self.live_terms += state.total_terms() as u64;
+        self.queue_bytes += state.approx_heap_bytes() as u64;
+        self.stats.live_terms_peak = self.stats.live_terms_peak.max(self.live_terms);
+        self.stats.queue_bytes_peak = self.stats.queue_bytes_peak.max(self.queue_bytes);
         self.queue.push(QueueEntry {
             priority,
             seq: self.seq,
@@ -630,6 +682,7 @@ impl<'a> Search<'a> {
                 self.stats.beam_trims += 1;
                 self.stats.beam_dropped += dropped as u64;
                 self.queue = BinaryHeap::from(entries);
+                self.recount_memory();
             }
         }
     }
@@ -639,6 +692,9 @@ impl<'a> Search<'a> {
     /// then the relative `time_limit`. One `Instant::now()` read serves
     /// both clock checks; unlimited runs never touch the clock here.
     fn budget_stop(&self) -> Option<StopReason> {
+        if rmrls_obs::fail::trigger("core/search/budget-poll").is_err() {
+            return Some(StopReason::Cancelled);
+        }
         let budget = &self.options.budget;
         if budget.cancelled() {
             return Some(StopReason::Cancelled);
@@ -899,14 +955,34 @@ pub fn synthesize_with_observer(
                 path: child.path.clone(),
             });
         }
+        search.recount_memory();
     };
     reseed(&mut search, &root_children);
 
     loop {
+        // Memory budget (polled before the clock checks: it needs no
+        // syscall). First breach degrades — shed the worst half of the
+        // frontier and keep searching; any breach after that stops the
+        // run instead of risking an OOM abort.
+        if options.budget.memory_limited() && search.memory_breached() {
+            if search.stats.memory_sheds == 0 {
+                search.shed_for_memory();
+            }
+            if search.memory_breached() {
+                search.stats.stop_reason = Some(StopReason::MemoryExceeded);
+                break;
+            }
+        }
         let Some(entry) = search.queue.pop() else {
             search.stats.stop_reason = Some(StopReason::QueueExhausted);
             break;
         };
+        search.live_terms = search
+            .live_terms
+            .saturating_sub(entry.state.total_terms() as u64);
+        search.queue_bytes = search
+            .queue_bytes
+            .saturating_sub(entry.state.approx_heap_bytes() as u64);
         if entry.depth >= search.depth_cutoff() {
             // Stale entry: pushed before the cutoff tightened.
             search.stats.depth_pruned += 1;
@@ -1472,5 +1548,88 @@ mod tests {
         let err = synthesize(&spec, &opts).unwrap_err();
         let text = err.to_string();
         assert!(text.contains("no solution"), "{text}");
+    }
+
+    #[test]
+    fn tiny_memory_budget_stops_with_memory_exceeded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // A hard 5-variable function with the dive disabled cannot solve
+        // within one live term; the first breach sheds down to a single
+        // entry (still over budget), the second stops the run cleanly.
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = rmrls_spec::random_permutation(5, &mut rng).to_multi_pprm();
+        let opts = SynthesisOptions::new()
+            .with_initial_dive(false)
+            .with_max_live_terms(1);
+        let err = synthesize(&spec, &opts).unwrap_err();
+        assert_eq!(err.stats.stop_reason, Some(StopReason::MemoryExceeded));
+        assert_eq!(err.stats.memory_sheds, 1, "exactly one degraded shed");
+        assert!(err.stats.live_terms_peak > 1, "peak recorded above the cap");
+    }
+
+    #[test]
+    fn tiny_queue_bytes_budget_also_stops() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = rmrls_spec::random_permutation(5, &mut rng).to_multi_pprm();
+        let opts = SynthesisOptions::new()
+            .with_initial_dive(false)
+            .with_max_queue_bytes(1);
+        let err = synthesize(&spec, &opts).unwrap_err();
+        assert_eq!(err.stats.stop_reason, Some(StopReason::MemoryExceeded));
+        assert!(err.stats.queue_bytes_peak > 1);
+    }
+
+    #[test]
+    fn identity_solves_under_any_memory_budget() {
+        // The zero-gate answer never queues anything, so even a 1-term
+        // budget cannot block it (mirrors the expired-deadline rule).
+        let opts = SynthesisOptions::new().with_max_live_terms(1);
+        let result = synthesize(&MultiPprm::identity(3), &opts).unwrap();
+        assert!(result.circuit.is_empty());
+    }
+
+    #[test]
+    fn moderate_memory_budget_degrades_but_still_solves() {
+        // A budget tight enough to force at least one shed while leaving
+        // room to reach a solution afterwards: degraded mode, not
+        // failure. The search is deterministic, so once this cap is
+        // calibrated the trajectory is fixed.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let unlimited =
+            synthesize(&spec, &SynthesisOptions::new().with_initial_dive(false)).expect("solution");
+        assert!(unlimited.stats.memory_sheds == 0);
+        let peak = unlimited.stats.live_terms_peak;
+        assert!(peak > 4, "workload must actually queue states");
+
+        let opts = SynthesisOptions::new()
+            .with_initial_dive(false)
+            .with_max_live_terms(peak * 3 / 4);
+        let result = synthesize(&spec, &opts).expect("degraded run still solves");
+        verify(&spec, &result);
+        assert!(
+            result.stats.memory_sheds > 0,
+            "cap below the unlimited peak must shed: {}",
+            result.stats
+        );
+        assert!(result.stats.memory_shed_dropped > 0);
+        assert_ne!(
+            result.stats.stop_reason,
+            Some(StopReason::MemoryExceeded),
+            "a successful degraded run keeps its normal stop reason"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_peaks_are_consistent() {
+        let spec = fig1();
+        let result =
+            synthesize(&spec, &SynthesisOptions::new().with_initial_dive(false)).expect("solution");
+        // Bytes are always at least term-storage-sized.
+        assert!(result.stats.queue_bytes_peak >= result.stats.live_terms_peak);
+        assert!(result.stats.live_terms_peak > 0);
+        assert_eq!(result.stats.memory_sheds, 0, "no budget, no sheds");
     }
 }

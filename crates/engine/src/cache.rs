@@ -2,8 +2,11 @@
 //!
 //! Keys are canonical permutation tables (see [`canon`](crate::canon)),
 //! values are the circuits synthesized for those canonical
-//! representatives. Only successful syntheses are cached — a failure
-//! under one job's deadline says nothing about the next job's budget.
+//! representatives **plus the ladder tier that produced them**, so a
+//! cache hit reports the same `solved_by` attribution as the original
+//! synthesis (keeping batch results byte-identical across cache
+//! settings). Only successful syntheses are cached — a failure under
+//! one job's deadline says nothing about the next job's budget.
 //!
 //! The engine wraps one `CircuitCache` in a `Mutex` shared by all
 //! workers; every operation is O(capacity) worst case (eviction scans
@@ -13,6 +16,8 @@
 use std::collections::HashMap;
 
 use rmrls_circuit::Circuit;
+
+use crate::engine::SolveTier;
 
 /// Cache key: the width and canonical table of a permutation.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -29,7 +34,7 @@ pub struct CacheKey {
 pub struct CircuitCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<CacheKey, (Circuit, u64)>,
+    entries: HashMap<CacheKey, (Circuit, SolveTier, u64)>,
 }
 
 impl CircuitCache {
@@ -54,28 +59,30 @@ impl CircuitCache {
     }
 
     /// Looks up a canonical table, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Circuit> {
+    /// Returns the circuit together with the ladder tier that
+    /// originally produced it.
+    pub fn get(&mut self, key: &CacheKey) -> Option<(Circuit, SolveTier)> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(key).map(|(circuit, used)| {
+        self.entries.get_mut(key).map(|(circuit, tier, used)| {
             *used = tick;
-            circuit.clone()
+            (circuit.clone(), *tier)
         })
     }
 
-    /// Inserts a canonical circuit, evicting the least-recently-used
-    /// entry if the cache is full.
-    pub fn insert(&mut self, key: CacheKey, circuit: Circuit) {
+    /// Inserts a canonical circuit and its producing tier, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, circuit: Circuit, tier: SolveTier) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        self.entries.insert(key, (circuit, self.tick));
+        self.entries.insert(key, (circuit, tier, self.tick));
         if self.entries.len() > self.capacity {
             if let Some(oldest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(_, (_, _, used))| *used)
                 .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&oldest);
@@ -101,20 +108,24 @@ mod tests {
     }
 
     #[test]
-    fn hit_returns_the_stored_circuit() {
+    fn hit_returns_the_stored_circuit_and_tier() {
         let mut c = CircuitCache::new(4);
-        c.insert(key(1), circuit(0));
-        assert_eq!(c.get(&key(1)).unwrap().gates(), circuit(0).gates());
+        c.insert(key(1), circuit(0), SolveTier::Rmrls);
+        c.insert(key(3), circuit(1), SolveTier::Mmd);
+        let (hit, tier) = c.get(&key(1)).unwrap();
+        assert_eq!(hit.gates(), circuit(0).gates());
+        assert_eq!(tier, SolveTier::Rmrls);
+        assert_eq!(c.get(&key(3)).unwrap().1, SolveTier::Mmd);
         assert!(c.get(&key(2)).is_none());
     }
 
     #[test]
     fn eviction_removes_least_recently_used() {
         let mut c = CircuitCache::new(2);
-        c.insert(key(1), circuit(1));
-        c.insert(key(2), circuit(2));
+        c.insert(key(1), circuit(1), SolveTier::Rmrls);
+        c.insert(key(2), circuit(2), SolveTier::Rmrls);
         let _ = c.get(&key(1)); // refresh 1; 2 becomes LRU
-        c.insert(key(3), circuit(3));
+        c.insert(key(3), circuit(3), SolveTier::RmrlsRelaxed);
         assert_eq!(c.len(), 2);
         assert!(c.get(&key(1)).is_some());
         assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
@@ -124,7 +135,7 @@ mod tests {
     #[test]
     fn zero_capacity_caches_nothing() {
         let mut c = CircuitCache::new(0);
-        c.insert(key(1), circuit(1));
+        c.insert(key(1), circuit(1), SolveTier::Rmrls);
         assert!(c.is_empty());
         assert!(c.get(&key(1)).is_none());
     }

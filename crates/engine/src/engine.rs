@@ -16,26 +16,33 @@
 //! 4. each job's search carries a [`Budget`](rmrls_core::Budget): the
 //!    per-job deadline (measured from job start) plus the engine's
 //!    abort token, so shutdown reaches in-flight searches within one
-//!    budget poll.
+//!    budget poll;
+//! 5. with [`BatchOptions::fallback`] set, a failed search descends a
+//!    **fallback ladder** — relaxed-pruning RMRLS, then the MMD
+//!    baseline, which always terminates — and every solved record
+//!    carries its producing tier as `solved_by`.
 //!
 //! Results are written in job-admission order regardless of completion
 //! order. The per-job JSONL stream contains only deterministic fields;
 //! wall-clock timings and cache statistics live in the aggregate
 //! report, which is allowed to vary run to run.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use rmrls_baselines::{mmd_synthesize, MmdVariant};
 use rmrls_circuit::Circuit;
-use rmrls_core::{synthesize, StopReason, SynthesisOptions};
+use rmrls_core::{synthesize, Pruning, StopReason, SynthesisOptions};
 use rmrls_obs::{Json, SyncCounter};
 use rmrls_pprm::MultiPprm;
 use rmrls_spec::Permutation;
 
 use crate::cache::{CacheKey, CircuitCache};
 use crate::canon::{canonical_form, uncanonicalize_circuit};
+use crate::journal::{CompletedJob, JournalWriter};
 use crate::manifest::{Admission, BatchJob, SpecData};
 use crate::signal::ShutdownHandles;
 
@@ -47,6 +54,40 @@ pub const BATCH_SCHEMA_VERSION: u64 = 1;
 /// `rmrls_circuit::check_equivalence`).
 const VERIFY_EXHAUSTIVE_LIMIT: usize = 20;
 const VERIFY_PROBES: u64 = 4096;
+
+/// Widest spec handed to the MMD fallback tier: MMD materializes the
+/// full `2^n` truth table, so the ladder only descends to it for specs
+/// that fit (this matches the manifest loader's TFC width cap).
+const MMD_FALLBACK_LIMIT: usize = 16;
+
+/// Which rung of the fallback ladder produced a circuit.
+///
+/// The ladder is deterministic per (canonical spec, options): every run
+/// that solves a given job solves it at the same tier, so `solved_by`
+/// is part of the deterministic JSONL stream and identical across
+/// worker counts and cache settings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveTier {
+    /// The configured RMRLS search solved it directly.
+    Rmrls,
+    /// The relaxed retry (greedy pruning, small queue, stop at first
+    /// solution) solved it after the configured search gave up.
+    RmrlsRelaxed,
+    /// The MMD transformation-based baseline solved it; MMD always
+    /// terminates, which is what makes the ladder total.
+    Mmd,
+}
+
+impl SolveTier {
+    /// Stable lowercase name used in JSONL records and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolveTier::Rmrls => "rmrls",
+            SolveTier::RmrlsRelaxed => "rmrls-relaxed",
+            SolveTier::Mmd => "mmd",
+        }
+    }
+}
 
 /// Configuration of one batch run.
 #[derive(Clone, Debug)]
@@ -61,6 +102,12 @@ pub struct BatchOptions {
     pub canon_limit: usize,
     /// Verify every produced circuit against its specification.
     pub verify: bool,
+    /// Run the fallback ladder: when the configured search gives up,
+    /// retry with relaxed pruning, then hand the job to the MMD
+    /// baseline (which always terminates). With this set, every
+    /// well-formed reversible job of fallback-eligible width produces a
+    /// verified circuit.
+    pub fallback: bool,
     /// Base search configuration applied to every job.
     pub synthesis: SynthesisOptions,
 }
@@ -76,6 +123,7 @@ impl Default for BatchOptions {
             cache_size: Some(1024),
             canon_limit: 8,
             verify: true,
+            fallback: false,
             synthesis: SynthesisOptions::new().with_max_nodes(200_000),
         }
     }
@@ -90,6 +138,9 @@ pub enum JobOutcome {
         circuit: Circuit,
         /// `Some(result)` when verification ran, `None` when disabled.
         verified: Option<bool>,
+        /// Which ladder tier produced the circuit (`Rmrls` unless the
+        /// fallback ladder descended).
+        solved_by: SolveTier,
     },
     /// The search stopped without a solution.
     Unsolved {
@@ -108,6 +159,12 @@ pub enum JobOutcome {
     },
     /// The batch was drained before this job started.
     Skipped,
+    /// The job was recovered from a resume journal; `json` is its
+    /// journaled record, verbatim (including the `index` field).
+    Resumed {
+        /// The record as read from the journal.
+        json: Json,
+    },
 }
 
 /// One job's result row.
@@ -128,19 +185,41 @@ pub struct JobRecord {
 impl JobRecord {
     /// Serializes the **deterministic** portion of the record (no
     /// timings, no cache attribution) as one JSONL object.
+    ///
+    /// A [`Resumed`](JobOutcome::Resumed) record returns its journaled
+    /// JSON with the `index` field stripped — byte-identical to what
+    /// the original run's `to_json` produced, so a resumed batch's
+    /// results stream matches an uninterrupted run's.
     pub fn to_json(&self) -> Json {
+        if let JobOutcome::Resumed { json } = &self.outcome {
+            if let Json::Obj(fields) = json {
+                return Json::Obj(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| k != "index")
+                        .cloned()
+                        .collect(),
+                );
+            }
+            return json.clone();
+        }
         let mut fields = vec![
             ("job".to_string(), Json::str(&self.name)),
             ("origin".to_string(), Json::str(&self.origin)),
         ];
         match &self.outcome {
-            JobOutcome::Solved { circuit, verified } => {
+            JobOutcome::Solved {
+                circuit,
+                verified,
+                solved_by,
+            } => {
                 let gates: Vec<Json> = circuit
                     .gates()
                     .iter()
                     .map(|g| Json::Str(g.to_string()))
                     .collect();
                 fields.push(("status".to_string(), Json::str("solved")));
+                fields.push(("solved_by".to_string(), Json::str(solved_by.as_str())));
                 fields.push(("width".to_string(), Json::uint(circuit.width() as u64)));
                 fields.push(("gates".to_string(), Json::uint(circuit.gate_count() as u64)));
                 fields.push((
@@ -168,8 +247,25 @@ impl JobRecord {
             JobOutcome::Skipped => {
                 fields.push(("status".to_string(), Json::str("skipped")));
             }
+            JobOutcome::Resumed { .. } => unreachable!("handled above"),
         }
         Json::Obj(fields)
+    }
+
+    /// Serializes the record as a journal line: [`to_json`] plus a
+    /// leading `index` field tying it to its admission slot. Resumed
+    /// records return their journaled JSON verbatim.
+    pub fn to_json_indexed(&self, index: usize) -> Json {
+        if let JobOutcome::Resumed { json } = &self.outcome {
+            return json.clone();
+        }
+        let Json::Obj(fields) = self.to_json() else {
+            unreachable!("to_json always returns an object");
+        };
+        let mut indexed = Vec::with_capacity(fields.len() + 1);
+        indexed.push(("index".to_string(), Json::uint(index as u64)));
+        indexed.extend(fields);
+        Json::Obj(indexed)
     }
 }
 
@@ -200,6 +296,17 @@ pub struct BatchCounters {
     pub verified_ok: u64,
     /// Circuits that FAILED verification (always a bug).
     pub verify_failures: u64,
+    /// Jobs solved by the configured RMRLS search (tier 1).
+    pub solved_by_rmrls: u64,
+    /// Jobs solved by the relaxed-pruning retry (tier 2).
+    pub solved_by_relaxed: u64,
+    /// Jobs solved by the MMD baseline (tier 3).
+    pub solved_by_mmd: u64,
+    /// Jobs recovered from a resume journal instead of re-running.
+    pub jobs_resumed: u64,
+    /// Journal appends that failed (the batch continues; the journal
+    /// merely under-records, which a later resume re-runs).
+    pub journal_append_errors: u64,
 }
 
 impl BatchCounters {
@@ -235,6 +342,20 @@ impl BatchCounters {
                 "verify_failures".to_string(),
                 Json::uint(self.verify_failures),
             ),
+            (
+                "solved_by_rmrls".to_string(),
+                Json::uint(self.solved_by_rmrls),
+            ),
+            (
+                "solved_by_relaxed".to_string(),
+                Json::uint(self.solved_by_relaxed),
+            ),
+            ("solved_by_mmd".to_string(), Json::uint(self.solved_by_mmd)),
+            ("jobs_resumed".to_string(), Json::uint(self.jobs_resumed)),
+            (
+                "journal_append_errors".to_string(),
+                Json::uint(self.journal_append_errors),
+            ),
         ])
     }
 }
@@ -253,6 +374,11 @@ struct RunCounters {
     cancelled: SyncCounter,
     verified_ok: SyncCounter,
     verify_failures: SyncCounter,
+    solved_by_rmrls: SyncCounter,
+    solved_by_relaxed: SyncCounter,
+    solved_by_mmd: SyncCounter,
+    jobs_resumed: SyncCounter,
+    journal_append_errors: SyncCounter,
 }
 
 /// A completed (possibly partially drained) batch run.
@@ -323,6 +449,7 @@ impl BatchRun {
                 Json::uint(opts.canon_limit as u64),
             ),
             ("verify".to_string(), Json::Bool(opts.verify)),
+            ("fallback".to_string(), Json::Bool(opts.fallback)),
             (
                 "elapsed_seconds".to_string(),
                 Json::Num(self.elapsed.as_secs_f64()),
@@ -361,6 +488,32 @@ pub fn run_batch(
     opts: &BatchOptions,
     shutdown: &ShutdownHandles,
 ) -> BatchRun {
+    run_batch_resumable(admissions, opts, shutdown, None, None)
+}
+
+/// [`run_batch`] plus checkpoint/resume plumbing.
+///
+/// When `journal` is given, every finished record is durably appended
+/// (via [`JournalWriter::append`]) before the batch moves on — the
+/// write-ahead discipline that makes a SIGKILL lose at most one job. A
+/// failed append never fails the batch; it increments
+/// `journal_append_errors` and the affected job simply re-runs on the
+/// next resume.
+///
+/// When `resumed` is given, the records it maps are taken as already
+/// complete: their slots are pre-filled with
+/// [`Resumed`](JobOutcome::Resumed) outcomes, their counters are
+/// tallied from the journaled fields, and workers skip them entirely.
+/// Cache counters intentionally start cold — a resumed run may show
+/// different `cache_hits`/`cache_misses` than an uninterrupted one,
+/// but never different results.
+pub fn run_batch_resumable(
+    admissions: &[Admission],
+    opts: &BatchOptions,
+    shutdown: &ShutdownHandles,
+    journal: Option<&Mutex<JournalWriter>>,
+    resumed: Option<&HashMap<usize, CompletedJob>>,
+) -> BatchRun {
     let started = Instant::now();
     let workers = opts.workers.max(1);
     let cache = opts
@@ -369,28 +522,82 @@ pub fn run_batch(
     let counters = RunCounters::default();
     let slots: Vec<Mutex<Option<JobRecord>>> =
         admissions.iter().map(|_| Mutex::new(None)).collect();
+    if let Some(done) = resumed {
+        for (&index, job) in done {
+            if index >= admissions.len() {
+                continue;
+            }
+            tally_resumed(job, &counters);
+            *lock(&slots[index]) = Some(JobRecord {
+                name: admissions[index].name().to_string(),
+                origin: admissions[index].origin().to_string(),
+                cache_hit: false,
+                seconds: 0.0,
+                outcome: JobOutcome::Resumed {
+                    json: job.json.clone(),
+                },
+            });
+        }
+    }
     let next = AtomicUsize::new(0);
 
+    // Workers only poll for signals between jobs, so with every worker
+    // deep inside a long search nothing would propagate a second
+    // Ctrl-C into the abort token until some job finished. A dedicated
+    // monitor keeps polling while workers are busy; the abort token
+    // then reaches in-flight searches within one budget poll.
+    let workers_done = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        let monitor = scope.spawn(|| {
+            while !workers_done.load(Ordering::Acquire) {
                 shutdown.poll_signals();
-                if shutdown.draining() {
-                    break;
-                }
-                let index = next.fetch_add(1, Ordering::SeqCst);
-                if index >= admissions.len() {
-                    break;
-                }
-                let record = run_one(
-                    &admissions[index],
-                    opts,
-                    shutdown,
-                    cache.as_ref(),
-                    &counters,
-                );
-                *lock(&slots[index]) = Some(record);
-            });
+                std::thread::park_timeout(Duration::from_millis(20));
+            }
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    shutdown.poll_signals();
+                    if shutdown.draining() {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::SeqCst);
+                    if index >= admissions.len() {
+                        break;
+                    }
+                    if resumed.is_some_and(|done| done.contains_key(&index)) {
+                        continue;
+                    }
+                    let record = run_one(
+                        &admissions[index],
+                        opts,
+                        shutdown,
+                        cache.as_ref(),
+                        &counters,
+                    );
+                    if let Some(w) = journal {
+                        let line = record.to_json_indexed(index).to_string();
+                        if lock(w).append(&line).is_err() {
+                            counters.journal_append_errors.inc();
+                        }
+                    }
+                    *lock(&slots[index]) = Some(record);
+                })
+            })
+            .collect();
+        let mut worker_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                worker_panic = Some(payload);
+            }
+        }
+        workers_done.store(true, Ordering::Release);
+        monitor.thread().unpark();
+        if let Some(payload) = worker_panic {
+            // Preserve pre-monitor behavior: an uncontained worker
+            // panic (a bug — jobs run under catch_unwind) still
+            // propagates out of the scope.
+            std::panic::resume_unwind(payload);
         }
     });
 
@@ -425,6 +632,11 @@ pub fn run_batch(
         cancelled: counters.cancelled.get(),
         verified_ok: counters.verified_ok.get(),
         verify_failures: counters.verify_failures.get(),
+        solved_by_rmrls: counters.solved_by_rmrls.get(),
+        solved_by_relaxed: counters.solved_by_relaxed.get(),
+        solved_by_mmd: counters.solved_by_mmd.get(),
+        jobs_resumed: counters.jobs_resumed.get(),
+        journal_append_errors: counters.journal_append_errors.get(),
     };
     BatchRun {
         records,
@@ -485,6 +697,113 @@ fn run_one(
     }
 }
 
+/// The tier-2 configuration: the same budget (deadline, cancel token,
+/// memory caps) with greedy pruning, a small queue, and stop-at-first —
+/// a cheap, fast sweep that often succeeds exactly where the configured
+/// search spent its node budget exploring.
+fn relaxed_options(base: &SynthesisOptions) -> SynthesisOptions {
+    base.clone()
+        .with_pruning(Pruning::Greedy)
+        .with_stop_at_first(true)
+        .with_max_queue(Some(10_000))
+}
+
+/// Runs the synthesis ladder on one (canonical) spec.
+///
+/// Tier 1 is the configured search. With `fallback` set, a failure
+/// descends to tier 2 (relaxed pruning) and finally tier 3, the MMD
+/// baseline — which always terminates, so a well-formed reversible spec
+/// within [`MMD_FALLBACK_LIMIT`] wires cannot stay unsolved.
+/// `perm_for_mmd` materializes the spec as a permutation for tier 3; it
+/// returns `None` for specs too wide (or too broken) to hand to MMD,
+/// and runs only if the ladder actually reaches tier 3.
+///
+/// An aborted batch is the one exception to "never fail": once the
+/// shared cancel token has tripped, descending further would stall
+/// shutdown, so the ladder returns the cancellation instead.
+///
+/// On failure, returns the *last* attempted tier's stop reason.
+fn synthesize_ladder(
+    spec: &MultiPprm,
+    sopts: &SynthesisOptions,
+    fallback: bool,
+    perm_for_mmd: impl FnOnce() -> Option<Permutation>,
+) -> Result<(Circuit, SolveTier), Option<StopReason>> {
+    let tier1 = match synthesize(spec, sopts) {
+        Ok(s) => return Ok((s.circuit, SolveTier::Rmrls)),
+        Err(e) => e.stats.stop_reason,
+    };
+    if !fallback || sopts.budget.cancelled() {
+        return Err(tier1);
+    }
+    let tier2 = match synthesize(spec, &relaxed_options(sopts)) {
+        Ok(s) => return Ok((s.circuit, SolveTier::RmrlsRelaxed)),
+        Err(e) => e.stats.stop_reason.or(tier1),
+    };
+    if sopts.budget.cancelled() {
+        return Err(tier2);
+    }
+    match perm_for_mmd() {
+        Some(p) => Ok((
+            mmd_synthesize(&p, MmdVariant::Bidirectional),
+            SolveTier::Mmd,
+        )),
+        None => Err(tier2),
+    }
+}
+
+/// Folds one journaled record into the run counters, so a resumed
+/// batch's aggregate report accounts for the whole job list, not just
+/// the re-run remainder.
+fn tally_resumed(job: &CompletedJob, counters: &RunCounters) {
+    counters.jobs_resumed.inc();
+    match job.status.as_str() {
+        "solved" => {
+            counters.jobs_completed.inc();
+            match job.verified {
+                Some(true) => counters.verified_ok.inc(),
+                Some(false) => counters.verify_failures.inc(),
+                None => {}
+            }
+            match job.solved_by.as_deref() {
+                Some("rmrls-relaxed") => counters.solved_by_relaxed.inc(),
+                Some("mmd") => counters.solved_by_mmd.inc(),
+                // Pre-fallback journals have no solved_by; attribute to
+                // the only tier that existed.
+                _ => counters.solved_by_rmrls.inc(),
+            }
+        }
+        "unsolved" => {
+            counters.jobs_unsolved.inc();
+            match job.stop_reason.as_deref() {
+                Some("deadline expired") => counters.deadline_expired.inc(),
+                Some("cancelled") => counters.cancelled.inc(),
+                _ => {}
+            }
+        }
+        "error" => counters.jobs_errored.inc(),
+        "panicked" => counters.panics_contained.inc(),
+        _ => {}
+    }
+}
+
+fn tally_tier(tier: SolveTier, counters: &RunCounters) {
+    match tier {
+        SolveTier::Rmrls => counters.solved_by_rmrls.inc(),
+        SolveTier::RmrlsRelaxed => counters.solved_by_relaxed.inc(),
+        SolveTier::Mmd => counters.solved_by_mmd.inc(),
+    }
+}
+
+/// Converts a fired failpoint into a contained `Error` record, so
+/// injected faults flow through the same bookkeeping as real ones.
+fn injected_error(e: rmrls_obs::FailError, counters: &RunCounters) -> JobOutcome {
+    counters.jobs_errored.inc();
+    JobOutcome::Error {
+        message: e.to_string(),
+    }
+}
+
 fn execute_job(
     job: &BatchJob,
     opts: &BatchOptions,
@@ -492,6 +811,10 @@ fn execute_job(
     cache: Option<&Mutex<CircuitCache>>,
     counters: &RunCounters,
 ) -> (JobOutcome, bool) {
+    // Failpoint: a worker falling over as it picks the job up.
+    if let Err(e) = rmrls_obs::fail::trigger("engine/worker/dispatch") {
+        return (injected_error(e, counters), false);
+    }
     let mut sopts = opts
         .synthesis
         .clone()
@@ -510,8 +833,13 @@ fn execute_job(
                 table: canon_table,
             };
             let mut cache_hit = false;
-            let mut canon_circuit = cache.and_then(|m| lock(m).get(&key));
-            if canon_circuit.is_some() {
+            // Failpoint: a lookup failure degrades to a miss — the job
+            // re-synthesizes rather than erroring.
+            let mut canon_solution = match rmrls_obs::fail::trigger("engine/cache/lookup") {
+                Ok(()) => cache.and_then(|m| lock(m).get(&key)),
+                Err(_) => None,
+            };
+            if canon_solution.is_some() {
                 counters.cache_hits.inc();
                 cache_hit = true;
             } else {
@@ -519,37 +847,76 @@ fn execute_job(
                     counters.cache_misses.inc();
                 }
                 let spec = MultiPprm::from_permutation(&key.table, key.num_vars);
-                match synthesize(&spec, &sopts) {
-                    Ok(s) => {
+                let ladder = synthesize_ladder(&spec, &sopts, opts.fallback, || {
+                    (key.num_vars <= MMD_FALLBACK_LIMIT)
+                        .then(|| Permutation::from_vec(key.table.clone()).ok())
+                        .flatten()
+                });
+                match ladder {
+                    Ok((circuit, tier)) => {
+                        // Failpoint: a failed insert only costs future
+                        // hits; this job's result is already in hand.
                         if let Some(m) = cache {
-                            lock(m).insert(key, s.circuit.clone());
+                            if rmrls_obs::fail::trigger("engine/cache/insert").is_ok() {
+                                lock(m).insert(key, circuit.clone(), tier);
+                            }
                         }
-                        canon_circuit = Some(s.circuit);
+                        canon_solution = Some((circuit, tier));
                     }
-                    Err(e) => return (unsolved(e.stats.stop_reason, counters), cache_hit),
+                    Err(reason) => return (unsolved(reason, counters), cache_hit),
                 }
             }
-            let circuit = uncanonicalize_circuit(&canon_circuit.expect("hit or fresh"), &sigma);
+            let (canon_circuit, tier) = canon_solution.expect("hit or fresh");
+            let circuit = uncanonicalize_circuit(&canon_circuit, &sigma);
+            // Failpoint: the verifier itself failing. An unverifiable
+            // result must not be reported as solved.
+            if let Err(e) = rmrls_obs::fail::trigger("engine/worker/pre-verify") {
+                return (injected_error(e, counters), cache_hit);
+            }
             let verified = opts.verify.then(|| verify_permutation(&circuit, p));
             tally_verify(verified, counters);
+            tally_tier(tier, counters);
             counters.jobs_completed.inc();
-            (JobOutcome::Solved { circuit, verified }, cache_hit)
+            (
+                JobOutcome::Solved {
+                    circuit,
+                    verified,
+                    solved_by: tier,
+                },
+                cache_hit,
+            )
         }
-        SpecData::Pprm(m) => match synthesize(m, &sopts) {
-            Ok(s) => {
-                let verified = opts.verify.then(|| verify_pprm(&s.circuit, m));
-                tally_verify(verified, counters);
-                counters.jobs_completed.inc();
-                (
-                    JobOutcome::Solved {
-                        circuit: s.circuit,
-                        verified,
-                    },
-                    false,
-                )
+        SpecData::Pprm(m) => {
+            // Symbolic specs are not canonicalized or cached; the
+            // ladder still applies, with tier 3 gated on the spec
+            // having a materializable (reversible, narrow-enough)
+            // truth table.
+            let ladder = synthesize_ladder(m, &sopts, opts.fallback, || {
+                (m.num_vars() <= MMD_FALLBACK_LIMIT)
+                    .then(|| Permutation::from_vec(m.to_permutation()).ok())
+                    .flatten()
+            });
+            match ladder {
+                Ok((circuit, tier)) => {
+                    if let Err(e) = rmrls_obs::fail::trigger("engine/worker/pre-verify") {
+                        return (injected_error(e, counters), false);
+                    }
+                    let verified = opts.verify.then(|| verify_pprm(&circuit, m));
+                    tally_verify(verified, counters);
+                    tally_tier(tier, counters);
+                    counters.jobs_completed.inc();
+                    (
+                        JobOutcome::Solved {
+                            circuit,
+                            verified,
+                            solved_by: tier,
+                        },
+                        false,
+                    )
+                }
+                Err(reason) => (unsolved(reason, counters), false),
             }
-            Err(e) => (unsolved(e.stats.stop_reason, counters), false),
-        },
+        }
     }
 }
 

@@ -1,0 +1,92 @@
+//! Crash-safe file writes.
+//!
+//! [`write_atomic`] writes via a temp file in the target's directory,
+//! fsyncs it, and renames it over the target — so readers (and a batch
+//! interrupted mid-write) only ever see either the old complete file or
+//! the new complete file, never a truncated mix. The CLI uses it for
+//! `--results`, `--report`, and the final journal rewrite.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// The temp file lives in the same directory as `path` (renames across
+/// filesystems are not atomic) and is named after the target plus the
+/// process id, so concurrent writers of *different* targets never
+/// collide. On any error the temp file is removed and the target is
+/// left untouched.
+///
+/// # Errors
+///
+/// A human-readable message naming the target path and the underlying
+/// I/O failure.
+pub fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+    let target = Path::new(path);
+    let dir = target
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    let stem = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("rmrls");
+    let tmp = dir.join(format!(".{stem}.tmp-{}", std::process::id()));
+    let result = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, target)?;
+        // Persist the rename itself; best effort — not every platform
+        // or filesystem supports syncing a directory handle.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rmrls-fsutil-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("replace.txt");
+        write_atomic(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+    }
+
+    #[test]
+    fn failure_leaves_target_untouched() {
+        let path = scratch("untouched.txt");
+        write_atomic(&path, "keep me\n").unwrap();
+        // Writing *into* a directory that does not exist fails...
+        let bad = scratch("no-such-dir/file.txt");
+        assert!(write_atomic(&bad, "x").is_err());
+        // ...and the original target is still intact.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep me\n");
+    }
+
+    #[test]
+    fn bare_filename_resolves_against_cwd() {
+        // No parent component at all: the temp file must land in ".".
+        let name = format!("rmrls-fsutil-bare-{}.txt", std::process::id());
+        write_atomic(&name, "cwd\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&name).unwrap(), "cwd\n");
+        std::fs::remove_file(&name).unwrap();
+    }
+}

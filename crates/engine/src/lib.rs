@@ -11,8 +11,12 @@
 //! - [`canon`] — canonical representatives under wire relabeling, and
 //!   SWAP-free conjugation of circuits between labelings;
 //! - [`cache`] — the LRU memo cache over canonical tables;
-//! - [`engine`] — the worker pool, job execution, verification, and
-//!   result serialization;
+//! - [`engine`] — the worker pool, job execution, the fallback ladder,
+//!   verification, and result serialization;
+//! - [`journal`] — the fsync'd write-ahead results journal behind
+//!   checkpoint/resume;
+//! - [`fsutil`] — temp-file + atomic-rename writes for results and
+//!   reports;
 //! - [`signal`] — two-stage SIGINT shutdown (drain, then abort).
 //!
 //! # Quickstart
@@ -34,13 +38,21 @@
 pub mod cache;
 pub mod canon;
 pub mod engine;
+pub mod fsutil;
+pub mod journal;
 pub mod manifest;
 pub mod signal;
 
 pub use cache::{CacheKey, CircuitCache};
 pub use canon::{canonical_form, relabel_circuit, uncanonicalize_circuit};
 pub use engine::{
-    run_batch, BatchCounters, BatchOptions, BatchRun, JobOutcome, JobRecord, BATCH_SCHEMA_VERSION,
+    run_batch, run_batch_resumable, BatchCounters, BatchOptions, BatchRun, JobOutcome, JobRecord,
+    SolveTier, BATCH_SCHEMA_VERSION,
+};
+pub use fsutil::write_atomic;
+pub use journal::{
+    manifest_hash, options_fingerprint, read_journal, CompletedJob, JournalHeader, JournalWriter,
+    ResumeData, JOURNAL_SCHEMA_VERSION,
 };
 pub use manifest::{
     load_manifest, parse_manifest, suite_admissions, Admission, BatchJob, SpecData,

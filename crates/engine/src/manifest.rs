@@ -31,6 +31,12 @@ use rmrls_spec::{benchmarks, formats, Permutation};
 /// (matches the `rmrls synth --tfc` cap).
 pub const TFC_WIDTH_LIMIT: usize = 16;
 
+/// Longest accepted manifest line, in bytes. Inline permutation tables
+/// for the widths the engine accepts fit comfortably; anything longer
+/// is a corrupt or hostile file, admitted as a per-line error record
+/// rather than parsed at unbounded cost.
+pub const MANIFEST_MAX_LINE_LEN: usize = 1 << 20;
+
 /// A job's specification, resolved and validated.
 #[derive(Clone, Debug)]
 pub enum SpecData {
@@ -136,11 +142,19 @@ pub fn suite_admissions(suite: &str) -> Option<Vec<Admission>> {
 pub fn parse_manifest(text: &str, manifest_name: &str, base_dir: &Path) -> Vec<Admission> {
     let mut admissions = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
+        let origin = format!("{manifest_name}:{}", idx + 1);
+        if raw.len() > MANIFEST_MAX_LINE_LEN {
+            admissions.push(Admission::Error {
+                name: "oversized line".to_string(),
+                origin,
+                message: format!("line exceeds {MANIFEST_MAX_LINE_LEN} bytes"),
+            });
+            continue;
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let origin = format!("{manifest_name}:{}", idx + 1);
         let (kind, arg) = match line.split_once(char::is_whitespace) {
             Some((k, a)) => (k, a.trim()),
             None => (line, ""),
@@ -343,5 +357,21 @@ mod tests {
     fn comments_and_blanks_are_ignored() {
         let a = parse("\n# only comments\n   \n# another\n");
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn oversized_line_is_an_error_record() {
+        let text = format!("bench hwb4\nperm {}\n", "7,".repeat(MANIFEST_MAX_LINE_LEN));
+        let a = parse(&text);
+        assert_eq!(a.len(), 2);
+        assert!(matches!(&a[0], Admission::Job(_)));
+        let Admission::Error {
+            origin, message, ..
+        } = &a[1]
+        else {
+            panic!("oversized line must be an error record: {:?}", a[1]);
+        };
+        assert_eq!(origin, "test.manifest:2");
+        assert!(message.contains("exceeds"), "{message}");
     }
 }

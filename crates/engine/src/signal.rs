@@ -53,6 +53,21 @@ mod ffi {
     }
 }
 
+/// Pretends one SIGINT arrived, without raising a real signal. Exactly
+/// what the handler does (one atomic increment), so tests exercise the
+/// genuine two-stage protocol. Test-support only — not part of the API.
+#[doc(hidden)]
+pub fn simulate_sigint() {
+    ffi::SIGINT_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Zeroes the process-global SIGINT counter so tests can run in any
+/// order. Test-support only — not part of the API.
+#[doc(hidden)]
+pub fn reset_sigint_count() {
+    ffi::SIGINT_COUNT.store(0, Ordering::Relaxed);
+}
+
 /// The pair of shutdown tokens a batch run observes.
 #[derive(Clone, Debug, Default)]
 pub struct ShutdownHandles {
@@ -84,7 +99,8 @@ impl ShutdownHandles {
     }
 
     /// Propagates received signals into the tokens. Called by workers
-    /// between jobs; cheap enough for every dequeue.
+    /// between jobs and by the engine's monitor thread while every
+    /// worker is busy; cheap enough for every dequeue.
     pub fn poll_signals(&self) {
         let n = ffi::SIGINT_COUNT.load(Ordering::Relaxed);
         if n >= 1 {

@@ -237,6 +237,197 @@ fn abort_cancels_inflight_searches() {
     );
 }
 
+/// Hard 5-variable jobs under a starved node budget: the configured
+/// tier-1 search cannot finish, so fallback behaviour is fully
+/// exercised.
+fn starved_workload(count: usize, seed: u64) -> Vec<Admission> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            Admission::Job(BatchJob {
+                name: format!("starved{i}"),
+                origin: "test".to_string(),
+                spec: SpecData::Perm(rmrls_spec::random_permutation(5, &mut rng)),
+            })
+        })
+        .collect()
+}
+
+fn starved_options(workers: usize, cache: Option<usize>, fallback: bool) -> BatchOptions {
+    BatchOptions {
+        workers,
+        cache_size: cache,
+        fallback,
+        synthesis: SynthesisOptions::new()
+            .with_initial_dive(false)
+            .with_max_nodes(20),
+        ..BatchOptions::default()
+    }
+}
+
+#[test]
+fn fallback_off_leaves_starved_jobs_unsolved() {
+    let jobs = starved_workload(4, 61);
+    let run = run_batch(
+        &jobs,
+        &starved_options(2, None, false),
+        &ShutdownHandles::new(),
+    );
+    assert_eq!(run.counters.jobs_unsolved, 4);
+    assert_eq!(run.counters.jobs_completed, 0);
+}
+
+#[test]
+fn fallback_ladder_leaves_nothing_unsolved() {
+    let jobs = starved_workload(6, 61);
+    let run = run_batch(
+        &jobs,
+        &starved_options(2, None, true),
+        &ShutdownHandles::new(),
+    );
+    assert_eq!(run.counters.jobs_unsolved, 0, "fallback must be total");
+    assert_eq!(run.counters.jobs_completed, 6);
+    assert_eq!(run.counters.verified_ok, 6);
+    assert_eq!(run.counters.verify_failures, 0);
+    let c = &run.counters;
+    assert_eq!(
+        c.solved_by_rmrls + c.solved_by_relaxed + c.solved_by_mmd,
+        6,
+        "every solved job is attributed to exactly one tier"
+    );
+    assert!(
+        c.solved_by_relaxed + c.solved_by_mmd > 0,
+        "the starved tier 1 cannot have solved everything itself"
+    );
+    // solved_by is part of the JSONL stream and report.
+    for line in run.results_jsonl().lines() {
+        let parsed = Json::parse(line).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("solved"));
+        let tier = parsed.get("solved_by").unwrap().as_str().unwrap();
+        assert!(
+            ["rmrls", "rmrls-relaxed", "mmd"].contains(&tier),
+            "unknown tier {tier}"
+        );
+    }
+    let report = run.report_json(&starved_options(2, None, true));
+    let parsed = Json::parse(&report.to_string()).unwrap();
+    assert_eq!(parsed.get("fallback").unwrap().as_bool(), Some(true));
+    let counters = parsed.get("counters").unwrap();
+    assert_eq!(
+        counters.get("solved_by_mmd").unwrap().as_u64(),
+        Some(c.solved_by_mmd)
+    );
+}
+
+#[test]
+fn fallback_results_are_deterministic_across_workers_and_cache() {
+    let jobs = starved_workload(5, 71);
+    let reference = run_batch(
+        &jobs,
+        &starved_options(1, None, true),
+        &ShutdownHandles::new(),
+    );
+    for (workers, cache) in [(1, Some(64)), (4, None), (4, Some(64))] {
+        let run = run_batch(
+            &jobs,
+            &starved_options(workers, cache, true),
+            &ShutdownHandles::new(),
+        );
+        assert_eq!(
+            run.results_jsonl(),
+            reference.results_jsonl(),
+            "tier attribution must not depend on workers={workers} cache={cache:?}"
+        );
+        assert_eq!(
+            run.counters.solved_by_rmrls,
+            reference.counters.solved_by_rmrls
+        );
+        assert_eq!(
+            run.counters.solved_by_relaxed,
+            reference.counters.solved_by_relaxed
+        );
+        assert_eq!(run.counters.solved_by_mmd, reference.counters.solved_by_mmd);
+    }
+}
+
+#[test]
+fn expired_deadline_still_solves_with_fallback() {
+    // The never-fail guarantee for deadline-killed jobs: tiers 1 and 2
+    // expire instantly, tier 3 (MMD) does not poll the clock and always
+    // terminates.
+    let mut rng = StdRng::seed_from_u64(23);
+    let jobs: Vec<Admission> = (0..3)
+        .map(|i| {
+            Admission::Job(BatchJob {
+                name: format!("hard{i}"),
+                origin: "test".to_string(),
+                spec: SpecData::Perm(rmrls_spec::random_permutation(6, &mut rng)),
+            })
+        })
+        .collect();
+    let options = BatchOptions {
+        workers: 2,
+        deadline: Some(Duration::from_millis(1)),
+        cache_size: None,
+        fallback: true,
+        synthesis: SynthesisOptions::new().with_initial_dive(false),
+        ..BatchOptions::default()
+    };
+    let run = run_batch(&jobs, &options, &ShutdownHandles::new());
+    assert_eq!(run.counters.jobs_unsolved, 0);
+    assert_eq!(run.counters.solved_by_mmd, 3, "deadline forces tier 3");
+    assert_eq!(run.counters.verified_ok, 3);
+    assert_eq!(run.counters.verify_failures, 0);
+}
+
+#[test]
+fn symbolic_pprm_specs_descend_the_ladder_too() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let spec = rmrls_spec::random_permutation(5, &mut rng).to_multi_pprm();
+    let jobs = vec![Admission::Job(BatchJob {
+        name: "symbolic".to_string(),
+        origin: "test".to_string(),
+        spec: SpecData::Pprm(spec),
+    })];
+    let run = run_batch(
+        &jobs,
+        &starved_options(1, None, true),
+        &ShutdownHandles::new(),
+    );
+    assert_eq!(run.counters.jobs_completed, 1);
+    assert!(matches!(
+        &run.records[0].outcome,
+        JobOutcome::Solved {
+            verified: Some(true),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn non_reversible_pprm_stays_cleanly_unsolved_under_fallback() {
+    // (x, y) -> (x, x) is not a permutation: the search can never reach
+    // identity and MMD's precondition fails, so the ladder reports
+    // unsolved instead of handing garbage to the baseline.
+    let spec = MultiPprm::from_outputs(vec![rmrls_pprm::Pprm::var(0), rmrls_pprm::Pprm::var(0)], 2);
+    let jobs = vec![Admission::Job(BatchJob {
+        name: "non-reversible".to_string(),
+        origin: "test".to_string(),
+        spec: SpecData::Pprm(spec),
+    })];
+    let run = run_batch(
+        &jobs,
+        &starved_options(1, None, true),
+        &ShutdownHandles::new(),
+    );
+    assert_eq!(run.counters.jobs_unsolved, 1);
+    assert_eq!(run.counters.panics_contained, 0);
+    assert!(matches!(
+        &run.records[0].outcome,
+        JobOutcome::Unsolved { .. }
+    ));
+}
+
 #[test]
 fn per_job_deadline_expires_cleanly() {
     let mut rng = StdRng::seed_from_u64(23);

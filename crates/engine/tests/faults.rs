@@ -1,0 +1,197 @@
+//! Fault-injection integration: every fault class the `failpoints`
+//! facility can inject is driven through a real batch run and must be
+//! contained — a clean exit, correct tallies, no aborts.
+//!
+//! The failpoint registry is process-global, so these tests serialize
+//! on a mutex and run every batch with one worker for deterministic
+//! hit ordering.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use rmrls_engine::{
+    read_journal, run_batch, run_batch_resumable, suite_admissions, BatchOptions, JobOutcome,
+    JournalHeader, JournalWriter, ShutdownHandles,
+};
+use rmrls_obs::fail;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn options() -> BatchOptions {
+    BatchOptions::default()
+}
+
+fn scratch(name: &str) -> String {
+    let dir = std::env::temp_dir().join("rmrls-faults-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn injected_dispatch_error_becomes_an_error_record() {
+    let _g = serial();
+    fail::configure("engine/worker/dispatch=err@2").unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.counters.jobs_errored, 1);
+    assert_eq!(run.counters.jobs_completed, 7);
+    assert_eq!(run.counters.panics_contained, 0);
+    let errored: Vec<_> = run
+        .records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            JobOutcome::Error { message } => Some(message.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(errored.len(), 1);
+    assert!(
+        errored[0].contains("injected fault at engine/worker/dispatch"),
+        "{}",
+        errored[0]
+    );
+}
+
+#[test]
+fn injected_dispatch_panic_is_contained() {
+    let _g = serial();
+    fail::configure("engine/worker/dispatch=panic@3").unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.counters.panics_contained, 1, "panic caught, run alive");
+    assert_eq!(run.counters.jobs_completed, 7);
+    let panicked: Vec<_> = run
+        .records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            JobOutcome::Panicked { message } => Some(message.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(panicked.len(), 1);
+    assert!(
+        panicked[0].contains("engine/worker/dispatch"),
+        "{}",
+        panicked[0]
+    );
+}
+
+#[test]
+fn injected_cache_lookup_failure_degrades_to_a_miss() {
+    let _g = serial();
+    let jobs: Vec<_> = suite_admissions("examples")
+        .unwrap()
+        .into_iter()
+        .take(1)
+        .collect();
+    // Same job twice: without faults the second run of the pair would
+    // hit; with the lookup failpoint armed it must quietly re-solve.
+    let doubled: Vec<_> = jobs.iter().cloned().chain(jobs.iter().cloned()).collect();
+    fail::configure("engine/cache/lookup=err").unwrap();
+    let run = run_batch(&doubled, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.counters.jobs_completed, 2);
+    assert_eq!(run.counters.cache_hits, 0, "lookups failed into misses");
+    assert_eq!(run.counters.verified_ok, 2, "both jobs still verify");
+    assert_eq!(run.counters.jobs_errored, 0);
+}
+
+#[test]
+fn injected_cache_insert_failure_only_costs_future_hits() {
+    let _g = serial();
+    let jobs: Vec<_> = suite_admissions("examples")
+        .unwrap()
+        .into_iter()
+        .take(1)
+        .collect();
+    let doubled: Vec<_> = jobs.iter().cloned().chain(jobs.iter().cloned()).collect();
+    fail::configure("engine/cache/insert=err").unwrap();
+    let run = run_batch(&doubled, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.counters.jobs_completed, 2);
+    assert_eq!(run.counters.cache_hits, 0, "nothing was ever inserted");
+    assert_eq!(run.counters.verified_ok, 2);
+}
+
+#[test]
+fn injected_verifier_failure_is_an_error_not_a_false_solve() {
+    let _g = serial();
+    fail::configure("engine/worker/pre-verify=err@1").unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.counters.jobs_errored, 1);
+    assert_eq!(run.counters.jobs_completed, 7);
+    assert_eq!(run.counters.verify_failures, 0, "no false verdicts");
+    assert_eq!(run.counters.verified_ok, 7);
+}
+
+#[test]
+fn injected_journal_append_failure_is_tallied_not_fatal() {
+    let _g = serial();
+    let jobs = suite_admissions("examples").unwrap();
+    let opts = options();
+    let header = JournalHeader::new(&jobs, &opts);
+    let path = scratch("append-fault.jsonl");
+    let writer = Mutex::new(JournalWriter::create(&path, &header).unwrap());
+    fail::configure("engine/journal/append=err@2").unwrap();
+    let run = run_batch_resumable(&jobs, &opts, &ShutdownHandles::new(), Some(&writer), None);
+    fail::clear();
+    drop(writer);
+    assert_eq!(run.counters.journal_append_errors, 1);
+    assert_eq!(run.counters.jobs_completed, 8, "the batch itself is fine");
+    // The journal is short one record but still well-formed and
+    // resumable: exactly the 7 appended records come back.
+    let data = read_journal(&path).unwrap();
+    assert!(!data.torn_tail);
+    assert_eq!(data.completed.len(), 7);
+}
+
+#[test]
+fn injected_budget_poll_cancellation_stops_the_search_cleanly() {
+    let _g = serial();
+    fail::configure("core/search/budget-poll=err@1").unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::clear();
+    // The poisoned poll cancels exactly one search; every other job is
+    // untouched and the run exits cleanly.
+    assert_eq!(run.counters.panics_contained, 0);
+    assert_eq!(
+        run.counters.jobs_completed + run.counters.jobs_unsolved,
+        8,
+        "every job is accounted for"
+    );
+    assert_eq!(run.counters.jobs_unsolved, run.counters.cancelled);
+    assert!(run.counters.jobs_unsolved <= 1);
+}
+
+#[test]
+fn injected_delay_slows_but_does_not_change_results() {
+    let _g = serial();
+    let jobs = suite_admissions("examples").unwrap();
+    let reference = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::configure("engine/worker/pre-verify=delay:5").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    fail::clear();
+    assert_eq!(run.results_jsonl(), reference.results_jsonl());
+}
+
+#[test]
+fn env_configuration_round_trips() {
+    let _g = serial();
+    // `configure_from_env` with the variable unset clears the registry.
+    std::env::remove_var("RMRLS_FAILPOINTS");
+    fail::configure("engine/worker/dispatch=err").unwrap();
+    fail::configure_from_env().unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    assert_eq!(run.counters.jobs_errored, 0, "env cleared the failpoint");
+}

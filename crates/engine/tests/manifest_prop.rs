@@ -1,0 +1,67 @@
+//! Property tests hardening the manifest loader: arbitrary text —
+//! garbage lines, truncated documents, duplicated and shuffled entries
+//! — always loads into a list of [`Admission`] records (jobs or
+//! per-line errors) and never panics or aborts the batch.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use rmrls_engine::{parse_manifest, Admission};
+
+fn parse(text: &str) -> Vec<Admission> {
+    parse_manifest(text, "prop.manifest", Path::new("."))
+}
+
+/// Every admission carries a non-empty name and a `file:line` origin —
+/// the invariant downstream reporting relies on.
+fn well_formed(admissions: &[Admission]) -> Result<(), TestCaseError> {
+    for a in admissions {
+        prop_assert!(!a.name().is_empty(), "empty name: {a:?}");
+        prop_assert!(
+            a.origin().starts_with("prop.manifest:"),
+            "origin {} lacks file:line",
+            a.origin()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Printable garbage, with injected newlines, loads totally.
+    #[test]
+    fn random_text_loads_totally(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text: String = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i % 9 == 0 { '\n' } else { (b % 96 + 32) as char })
+            .collect();
+        well_formed(&parse(&text))?;
+    }
+
+    /// Truncating a valid manifest at any byte still loads totally.
+    #[test]
+    fn truncations_load_totally(cut in 0usize..200) {
+        let doc = "# jobs\nperm 1,0,7,2,3,4,5,6\nbench hwb4\nsuite examples\nfrobnicate x\nperm 0,0\n";
+        let cut = cut.min(doc.len());
+        if doc.is_char_boundary(cut) {
+            well_formed(&parse(&doc[..cut]))?;
+        }
+    }
+
+    /// Duplicated and reordered lines: still total, and a duplicated
+    /// job line simply admits twice.
+    #[test]
+    fn duplicated_lines_admit_twice(pick in 0usize..4) {
+        let lines = ["perm 1,0,7,2,3,4,5,6", "bench hwb4", "nonsense entry", "table missing.tt"];
+        let mut doc: Vec<&str> = lines.to_vec();
+        doc.insert(pick, lines[pick]);
+        let a = parse(&doc.join("\n"));
+        prop_assert_eq!(a.len(), lines.len() + 1);
+        well_formed(&a)?;
+        // The duplicate pair resolves identically (same name, same kind
+        // of admission) — only the line numbers differ.
+        let dup_is_job = matches!(a[pick], Admission::Job(_));
+        prop_assert_eq!(matches!(a[pick + 1], Admission::Job(_)), dup_is_job);
+        prop_assert_eq!(a[pick].name(), a[pick + 1].name());
+    }
+}

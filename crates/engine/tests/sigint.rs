@@ -1,0 +1,188 @@
+//! Two-stage SIGINT shutdown, driven through real batch runs. The
+//! signal counter is simulated (same atomic increment the handler
+//! performs), so the tests cover the genuine drain/abort protocol
+//! without raising process signals.
+//!
+//! The counter is process-global state, so the tests serialize on a
+//! mutex and reset it on entry and exit.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmrls_core::SynthesisOptions;
+use rmrls_engine::manifest::{Admission, BatchJob, SpecData};
+use rmrls_engine::signal::{reset_sigint_count, simulate_sigint};
+use rmrls_engine::{run_batch, suite_admissions, BatchOptions, JobOutcome, ShutdownHandles};
+use rmrls_spec::random_permutation;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+struct CounterReset;
+impl Drop for CounterReset {
+    fn drop(&mut self) {
+        reset_sigint_count();
+    }
+}
+
+fn serial() -> (std::sync::MutexGuard<'static, ()>, CounterReset) {
+    let g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    reset_sigint_count();
+    (g, CounterReset)
+}
+
+#[test]
+fn one_sigint_drains_remaining_jobs_into_skipped_records() {
+    let (_g, _r) = serial();
+    simulate_sigint();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &BatchOptions::default(), &ShutdownHandles::new());
+    // The signal landed before the first dequeue: every job is skipped,
+    // none processed, and the run still produces a complete record set.
+    assert_eq!(run.counters.jobs_skipped, 8);
+    assert_eq!(run.jobs_processed(), 0);
+    assert_eq!(run.records.len(), 8, "skipped jobs still get records");
+    assert!(run
+        .records
+        .iter()
+        .all(|r| matches!(r.outcome, JobOutcome::Skipped)));
+    // And the JSONL stream says so, line for line.
+    for line in run.results_jsonl().lines() {
+        assert!(line.contains("\"status\":\"skipped\""), "{line}");
+    }
+}
+
+#[test]
+fn second_sigint_escalates_to_abort() {
+    let (_g, _r) = serial();
+    simulate_sigint();
+    simulate_sigint();
+    let shutdown = ShutdownHandles::new();
+    shutdown.poll_signals();
+    assert!(shutdown.draining());
+    assert!(
+        shutdown.abort.is_cancelled(),
+        "two SIGINTs must cancel in-flight searches"
+    );
+}
+
+#[test]
+fn drain_then_second_sigint_cancels_inflight_searches() {
+    let (_g, _r) = serial();
+    // Stage the tokens as a worker would see them mid-run: one SIGINT
+    // already propagated (drain), then the second arrives.
+    let shutdown = ShutdownHandles::new();
+    simulate_sigint();
+    shutdown.poll_signals();
+    assert!(shutdown.draining());
+    assert!(!shutdown.abort.is_cancelled(), "stage one only drains");
+    simulate_sigint();
+    shutdown.poll_signals();
+    assert!(shutdown.abort.is_cancelled(), "stage two aborts");
+}
+
+/// `count` hard jobs: random `vars`-variable permutations searched
+/// exhaustively (no stop-at-first, no dive) so each occupies its worker
+/// for a predictable, substantial stretch under the given node budget.
+fn slow_jobs(count: usize, vars: usize, max_nodes: u64) -> (Vec<Admission>, BatchOptions) {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    let jobs = (0..count)
+        .map(|i| {
+            Admission::Job(BatchJob {
+                name: format!("slow{vars}v-{i}"),
+                origin: "test:sigint".to_string(),
+                spec: SpecData::Perm(random_permutation(vars, &mut rng)),
+            })
+        })
+        .collect();
+    let opts = BatchOptions {
+        workers: 1,
+        verify: false,
+        synthesis: SynthesisOptions::new()
+            .with_stop_at_first(false)
+            .with_initial_dive(false)
+            .with_max_nodes(max_nodes),
+        ..BatchOptions::default()
+    };
+    (jobs, opts)
+}
+
+#[test]
+fn mid_batch_sigint_finishes_inflight_job_and_writes_partial_report() {
+    let (_g, _r) = serial();
+    // Four multi-second jobs on one worker; one SIGINT lands while the
+    // first is in flight. Drain semantics: the in-flight job runs to
+    // completion, the rest become skipped records, and the report/JSONL
+    // stream is still complete.
+    let (jobs, opts) = slow_jobs(4, 5, 30_000);
+    let run = std::thread::scope(|scope| {
+        let batch = scope.spawn(|| run_batch(&jobs, &opts, &ShutdownHandles::new()));
+        std::thread::sleep(Duration::from_millis(250));
+        simulate_sigint();
+        batch.join().expect("batch thread")
+    });
+    assert_eq!(run.records.len(), 4, "every job gets a record");
+    assert_eq!(
+        run.jobs_processed() + run.counters.jobs_skipped,
+        4,
+        "processed and skipped partition the batch"
+    );
+    assert!(
+        run.jobs_processed() >= 1,
+        "the in-flight job ran to completion"
+    );
+    assert!(
+        run.counters.jobs_skipped >= 1,
+        "jobs behind the drain were shed"
+    );
+    // The partial report is well-formed: one line per job, skipped ones
+    // saying so explicitly.
+    let jsonl = run.results_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 4);
+    let skipped = lines
+        .iter()
+        .filter(|l| l.contains("\"status\":\"skipped\""))
+        .count();
+    assert_eq!(skipped as u64, run.counters.jobs_skipped);
+}
+
+#[test]
+fn second_sigint_aborts_an_inflight_search_promptly() {
+    let (_g, _r) = serial();
+    // One job that would search for minutes (6 variables, effectively
+    // unbounded node budget) on one busy worker. Both SIGINTs arrive
+    // while it is in flight — nothing is ever between jobs — so only
+    // the engine's signal monitor can propagate the abort. The batch
+    // must return within a poll interval plus one budget poll, not
+    // after the search exhausts its budget.
+    let (jobs, opts) = slow_jobs(1, 6, 100_000_000);
+    let started = Instant::now();
+    let run = std::thread::scope(|scope| {
+        let batch = scope.spawn(|| run_batch(&jobs, &opts, &ShutdownHandles::new()));
+        std::thread::sleep(Duration::from_millis(200));
+        simulate_sigint();
+        simulate_sigint();
+        batch.join().expect("batch thread")
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "abort must reach the in-flight search promptly, took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(run.counters.cancelled, 1);
+    assert!(matches!(
+        &run.records[0].outcome,
+        JobOutcome::Unsolved { stop_reason } if stop_reason == "cancelled"
+    ));
+}
+
+#[test]
+fn signal_free_runs_are_unaffected_by_polling() {
+    let (_g, _r) = serial();
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &BatchOptions::default(), &ShutdownHandles::new());
+    assert_eq!(run.counters.jobs_skipped, 0);
+    assert_eq!(run.counters.jobs_completed, 8);
+}

@@ -1,0 +1,305 @@
+//! Deterministic fault injection ("failpoints").
+//!
+//! Resilience claims — panics contained, journal errors tallied,
+//! budget cancellation honored — are only as good as the tests that
+//! exercise them, and real faults are hard to provoke on demand. This
+//! module plants named trigger points along the hot paths; a test (or
+//! the `RMRLS_FAILPOINTS` environment variable) arms a point with an
+//! action, and the `n`-th hit fires it.
+//!
+//! The whole facility is compiled away unless the `failpoints` cargo
+//! feature is enabled: with the feature off, [`trigger`] is an inline
+//! `Ok(())` and the configuration functions are no-ops, so production
+//! builds pay nothing.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec     := clause (';' clause)*
+//! clause   := point '=' action ('@' n)?
+//! action   := 'panic' | 'err' | 'delay:' millis
+//! ```
+//!
+//! `@n` arms the *n*-th hit only (1-based); without it every hit fires.
+//! Hit counting is deterministic per point — with a single worker the
+//! same run always faults at the same place.
+//!
+//! ```text
+//! RMRLS_FAILPOINTS='engine/worker/dispatch=panic@2;engine/journal/append=err'
+//! ```
+//!
+//! # Point naming
+//!
+//! Points are named `crate-area/component/operation`, e.g.
+//! `engine/worker/dispatch` or `core/search/budget-poll`. The full
+//! list lives in DESIGN.md §5d.
+
+/// How an armed failpoint misbehaves when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a message naming the point (tests unwind containment).
+    Panic,
+    /// Return a [`FailError`] for the caller to handle as an I/O-style
+    /// failure.
+    Err,
+    /// Sleep for the given number of milliseconds, then succeed
+    /// (tests timeout/deadline paths).
+    Delay(u64),
+}
+
+/// The error a failpoint armed with `err` injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailError {
+    /// The failpoint that fired.
+    pub point: String,
+}
+
+impl std::fmt::Display for FailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.point)
+    }
+}
+
+impl std::error::Error for FailError {}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{FailAction, FailError};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Entry {
+        action: FailAction,
+        /// Fire only on this hit (1-based); `None` fires on every hit.
+        nth: Option<u64>,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Entry>> {
+        // A panic *while armed* is the expected use; don't let the
+        // poisoned lock take every later test down with it.
+        registry().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn parse_clause(clause: &str) -> Result<(String, Entry), String> {
+        let (point, rhs) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause without '=': {clause:?}"))?;
+        let point = point.trim();
+        if point.is_empty() {
+            return Err(format!("failpoint clause without a point name: {clause:?}"));
+        }
+        let (action_str, nth) = match rhs.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad hit index in {clause:?}"))?;
+                if n == 0 {
+                    return Err(format!("hit index is 1-based, got 0 in {clause:?}"));
+                }
+                (a.trim(), Some(n))
+            }
+            None => (rhs.trim(), None),
+        };
+        let action = if action_str == "panic" {
+            FailAction::Panic
+        } else if action_str == "err" {
+            FailAction::Err
+        } else if let Some(ms) = action_str.strip_prefix("delay:") {
+            FailAction::Delay(
+                ms.trim()
+                    .parse()
+                    .map_err(|_| format!("bad delay millis in {clause:?}"))?,
+            )
+        } else {
+            return Err(format!(
+                "unknown action {action_str:?} (want panic, err, or delay:MS)"
+            ));
+        };
+        Ok((
+            point.to_string(),
+            Entry {
+                action,
+                nth,
+                hits: 0,
+            },
+        ))
+    }
+
+    /// Arms the failpoints described by `spec`, replacing any previous
+    /// configuration.
+    pub fn configure(spec: &str) -> Result<(), String> {
+        let mut parsed = HashMap::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (point, entry) = parse_clause(clause)?;
+            parsed.insert(point, entry);
+        }
+        *lock() = parsed;
+        Ok(())
+    }
+
+    /// Arms failpoints from `RMRLS_FAILPOINTS`, if set. A malformed
+    /// spec is an error; an unset/empty variable clears the registry.
+    pub fn configure_from_env() -> Result<(), String> {
+        match std::env::var("RMRLS_FAILPOINTS") {
+            Ok(spec) => configure(&spec),
+            Err(_) => {
+                clear();
+                Ok(())
+            }
+        }
+    }
+
+    /// Disarms every failpoint.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// Evaluates the named failpoint. Called from instrumented sites;
+    /// panics, errors, or delays according to the armed action.
+    pub fn trigger(point: &str) -> Result<(), FailError> {
+        let action = {
+            let mut map = lock();
+            let Some(entry) = map.get_mut(point) else {
+                return Ok(());
+            };
+            entry.hits += 1;
+            match entry.nth {
+                Some(n) if entry.hits != n => return Ok(()),
+                _ => entry.action,
+            }
+            // Lock drops here — a Delay must not block other points.
+        };
+        match action {
+            FailAction::Panic => panic!("failpoint {point}: injected panic"),
+            FailAction::Err => Err(FailError {
+                point: point.to_string(),
+            }),
+            FailAction::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::FailError;
+
+    /// No-op: the `failpoints` feature is disabled.
+    pub fn configure(_spec: &str) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// No-op: the `failpoints` feature is disabled.
+    pub fn configure_from_env() -> Result<(), String> {
+        Ok(())
+    }
+
+    /// No-op: the `failpoints` feature is disabled.
+    pub fn clear() {}
+
+    /// Always succeeds: the `failpoints` feature is disabled.
+    #[inline(always)]
+    pub fn trigger(_point: &str) -> Result<(), FailError> {
+        Ok(())
+    }
+}
+
+pub use imp::{clear, configure, configure_from_env, trigger};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; serialize the tests that arm it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_points_always_pass() {
+        let _g = serial();
+        clear();
+        assert!(trigger("nowhere/at/all").is_ok());
+    }
+
+    #[test]
+    fn err_action_fires_every_hit() {
+        let _g = serial();
+        configure("a/b/c=err").unwrap();
+        assert!(trigger("a/b/c").is_err());
+        assert!(trigger("a/b/c").is_err());
+        assert!(trigger("other/point").is_ok());
+        clear();
+        assert!(trigger("a/b/c").is_ok());
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _g = serial();
+        configure("a/b/c=err@3").unwrap();
+        assert!(trigger("a/b/c").is_ok());
+        assert!(trigger("a/b/c").is_ok());
+        let err = trigger("a/b/c").unwrap_err();
+        assert_eq!(err.point, "a/b/c");
+        assert!(trigger("a/b/c").is_ok(), "only the 3rd hit faults");
+        clear();
+    }
+
+    #[test]
+    fn panic_action_panics_with_point_name() {
+        let _g = serial();
+        configure("boom/site=panic@1").unwrap();
+        let result = std::panic::catch_unwind(|| trigger("boom/site"));
+        clear();
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom/site"), "{msg}");
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_succeeds() {
+        let _g = serial();
+        configure("slow/site=delay:20").unwrap();
+        let start = std::time::Instant::now();
+        assert!(trigger("slow/site").is_ok());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+        clear();
+    }
+
+    #[test]
+    fn multi_clause_specs_and_whitespace() {
+        let _g = serial();
+        configure(" a/b = err @ 2 ; c/d = delay:1 ; ").unwrap();
+        assert!(trigger("a/b").is_ok());
+        assert!(trigger("a/b").is_err());
+        assert!(trigger("c/d").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = serial();
+        assert!(configure("no-equals-sign").is_err());
+        assert!(configure("=err").is_err());
+        assert!(configure("p=explode").is_err());
+        assert!(configure("p=err@0").is_err());
+        assert!(configure("p=err@x").is_err());
+        assert!(configure("p=delay:abc").is_err());
+        clear();
+    }
+}

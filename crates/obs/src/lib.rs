@@ -19,16 +19,20 @@
 //! - [`json`] — a hand-rolled JSON value type with writer (correct
 //!   string escaping) and parser, used for run reports and round-trip
 //!   tests.
+//! - [`fail`] — deterministic fault injection behind the `failpoints`
+//!   cargo feature; compiled to no-ops when the feature is off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fail;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 pub mod sync;
 
+pub use fail::{FailAction, FailError};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{Event, EventSink, JsonLinesSink, MemorySink, NullSink, Value};

@@ -558,6 +558,19 @@ impl MultiPprm {
     pub fn to_permutation(&self) -> Vec<u64> {
         (0..1u64 << self.num_vars).map(|x| self.eval(x)).collect()
     }
+
+    /// Approximate heap footprint of this state in bytes, O(outputs).
+    ///
+    /// Counts the term storage (`len`, not capacity, so the figure is a
+    /// deterministic function of the state's value and identical across
+    /// allocator behaviours) plus the per-output `Pprm`/`Vec` headers.
+    /// Used by memory-budget accounting (`Budget::max_queue_bytes`),
+    /// where a reproducible estimate matters more than allocator-exact
+    /// truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let per_output = std::mem::size_of::<Pprm>();
+        self.outputs.len() * per_output + self.total_terms * std::mem::size_of::<Term>()
+    }
 }
 
 impl fmt::Debug for MultiPprm {
@@ -801,6 +814,19 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn approx_heap_bytes_scales_with_terms() {
+        let small = MultiPprm::identity(3);
+        let big = MultiPprm::from_permutation(&FIG1, 3);
+        assert!(big.total_terms() > small.total_terms());
+        assert!(big.approx_heap_bytes() > small.approx_heap_bytes());
+        // Deterministic: equal states report equal footprints.
+        assert_eq!(
+            MultiPprm::from_permutation(&FIG1, 3).approx_heap_bytes(),
+            big.approx_heap_bytes()
+        );
     }
 
     #[test]
