@@ -8,6 +8,8 @@
 //!   on the concurrent batch engine;
 //! - `rmrls mmd` — synthesize with the MMD transformation baseline;
 //! - `rmrls info` — inspect a TFC circuit (gates, cost, diagram);
+//! - `rmrls trace` — summarize a flight-recorder dump (top phases,
+//!   record-kind counts, anomaly context);
 //! - `rmrls benchmarks` — list the built-in benchmark suite.
 //!
 //! The library layer exists so argument parsing and command execution
@@ -24,9 +26,12 @@ use rmrls_baselines::{mmd_synthesize, MmdVariant};
 use rmrls_circuit::{analyze, real, render, simplify, simplify_with_stats, tfc, Circuit};
 use rmrls_core::{
     run_report, synthesize_bidirectional, synthesize_embedded, synthesize_with_observer,
-    FredkinMode, Observer, Progress, Pruning, SynthesisOptions,
+    FlightRecorder, FredkinMode, Observer, Progress, Pruning, SynthesisOptions,
 };
-use rmrls_obs::{EventSink, JsonLinesSink};
+use rmrls_obs::{
+    chrome_trace_json, prometheus_text, EventSink, JsonLinesSink, RecorderSnapshot, TraceKind,
+    TraceRecord,
+};
 use rmrls_pprm::MultiPprm;
 use rmrls_spec::{benchmarks, Permutation};
 
@@ -62,6 +67,8 @@ USAGE:
   rmrls embed    --table FILE --outputs N   (irreversible truth table:
                  2^k output words, whitespace-separated; embeds with the
                  don't-care portfolio, then synthesizes)
+  rmrls trace    --dump FILE [--chrome-out FILE]   summarize a
+                 flight-recorder dump (phases, anomalies, record counts)
   rmrls benchmarks
 
 SYNTH OPTIONS:
@@ -78,6 +85,15 @@ SYNTH OPTIONS:
   --progress                         print periodic search progress to stderr
   --log-json FILE                    stream search events as JSON lines
                                      (FILE '-' streams to stderr)
+  --profile                          collect a per-phase timing profile
+                                     (scoring / materialize / dedup) into
+                                     the output and --report
+  --trace FILE                       write the flight-recorder dump as
+                                     JSON (read it with 'rmrls trace')
+  --trace-out FILE                   write a Chrome trace-event JSON file
+                                     (load in chrome://tracing)
+  --metrics-out FILE                 write metrics as Prometheus text
+                                     exposition
 
 BATCH OPTIONS:
   --jobs N            worker threads (default: available parallelism)
@@ -97,6 +113,12 @@ BATCH OPTIONS:
                       the same job list and options; a torn final
                       record is tolerated)
   --report FILE       write the aggregate JSON run report
+  --trace DIR         write per-job flight-recorder dumps into DIR as
+                      <index>-<job>.trace.json; jobs with anomalies
+                      (shed, escalation, deadline, panic) also write
+                      <index>-<job>.anomaly.json
+  --profile           aggregate a per-phase timing profile across jobs
+                      into the batch report
   --strict            exit nonzero on any error, panic, or verify failure
 ";
 
@@ -198,6 +220,14 @@ pub enum Command {
         /// Stream search events as JSON lines to this file (`-` =
         /// stderr).
         log_json: Option<String>,
+        /// Collect a per-phase timing profile into output and report.
+        profile: bool,
+        /// Write the flight-recorder dump (JSON) to this file.
+        trace: Option<String>,
+        /// Write a Chrome trace-event JSON export to this file.
+        trace_out: Option<String>,
+        /// Write a Prometheus text exposition of metrics to this file.
+        metrics_out: Option<String>,
     },
     /// `rmrls batch`.
     Batch {
@@ -221,6 +251,10 @@ pub enum Command {
         resume: Option<String>,
         /// Write the aggregate JSON run report to this file.
         report: Option<String>,
+        /// Write per-job flight-recorder dumps into this directory.
+        trace_dir: Option<String>,
+        /// Aggregate a per-phase timing profile into the batch report.
+        profile: bool,
         /// Exit nonzero on any error, panic, or verification failure.
         strict: bool,
     },
@@ -256,6 +290,13 @@ pub enum Command {
         outputs: usize,
         /// Wall-clock budget.
         time_limit: Option<Duration>,
+    },
+    /// `rmrls trace`.
+    Trace {
+        /// Flight-recorder dump file to summarize.
+        dump: String,
+        /// Also write a Chrome trace-event export to this file.
+        chrome_out: Option<String>,
     },
     /// `rmrls benchmarks`.
     Benchmarks,
@@ -326,6 +367,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut results = None;
     let mut resume = None;
     let mut strict = false;
+    let mut profile = false;
+    let mut trace = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut dump = None;
+    let mut chrome_out = None;
 
     let take_value =
         |args: &mut std::iter::Peekable<I::IntoIter>, flag: &str| -> Result<String, CliError> {
@@ -405,6 +452,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             "--results" => results = Some(take_value(&mut args, "--results")?),
             "--resume" => resume = Some(take_value(&mut args, "--resume")?),
             "--strict" => strict = true,
+            "--profile" => profile = true,
+            "--trace" => trace = Some(take_value(&mut args, "--trace")?),
+            "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
+            "--metrics-out" => metrics_out = Some(take_value(&mut args, "--metrics-out")?),
+            "--dump" => dump = Some(take_value(&mut args, "--dump")?),
+            "--chrome-out" => chrome_out = Some(take_value(&mut args, "--chrome-out")?),
             "--fredkin" => {
                 fredkin = match take_value(&mut args, "--fredkin")?.as_str() {
                     "swap" => FredkinMode::SwapOnly,
@@ -422,6 +475,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     if (progress || log_json.is_some()) && cmd != "synth" {
         return Err(err("--progress and --log-json apply only to 'synth'"));
     }
+    if (profile || trace.is_some()) && cmd != "synth" && cmd != "batch" {
+        return Err(err(
+            "--profile and --trace apply only to 'synth' and 'batch'",
+        ));
+    }
+    if (trace_out.is_some() || metrics_out.is_some()) && cmd != "synth" {
+        return Err(err("--trace-out and --metrics-out apply only to 'synth'"));
+    }
+    if (dump.is_some() || chrome_out.is_some()) && cmd != "trace" {
+        return Err(err("--dump and --chrome-out apply only to 'trace'"));
+    }
 
     match cmd.as_str() {
         "synth" => {
@@ -434,6 +498,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 return Err(err(
                     "--progress/--log-json instrument a single search; drop --bidi \
                      (--report works with --bidi)",
+                ));
+            }
+            if bidirectional && (trace.is_some() || trace_out.is_some()) {
+                return Err(err(
+                    "--trace/--trace-out record a single search; drop --bidi",
                 ));
             }
             Ok(Command::Synth {
@@ -450,6 +519,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 report,
                 progress,
                 log_json,
+                profile,
+                trace,
+                trace_out,
+                metrics_out,
             })
         }
         "batch" => {
@@ -476,9 +549,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 results,
                 resume,
                 report,
+                trace_dir: trace,
+                profile,
                 strict,
             })
         }
+        "trace" => Ok(Command::Trace {
+            dump: dump.ok_or_else(|| err("trace needs --dump FILE"))?,
+            chrome_out,
+        }),
         "mmd" => Ok(Command::Mmd {
             source: parse_source(spec, benchmark, tfc_path, spec_file)?,
             unidirectional,
@@ -553,17 +632,26 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             report: report_path,
             progress,
             log_json,
+            profile,
+            trace,
+            trace_out,
+            metrics_out,
         } => {
             let (pprm, name) = source.resolve()?;
             let mut opts = SynthesisOptions::new()
                 .with_pruning(pruning)
-                .with_fredkin_substitutions(fredkin);
+                .with_fredkin_substitutions(fredkin)
+                .with_profile(profile);
             if let Some(t) = time_limit {
                 opts = opts.with_time_limit(t);
             }
             if let Some(g) = max_gates {
                 opts = opts.with_max_gates(g);
             }
+            // One recorder serves both the raw dump and the Chrome
+            // export; absent both flags the search pays nothing.
+            let recorder =
+                (trace.is_some() || trace_out.is_some()).then(FlightRecorder::with_default_budget);
 
             let mut obs = match &log_json {
                 Some(path) if path == "-" => {
@@ -578,8 +666,11 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 }
                 None => Observer::null(),
             };
-            if report_path.is_some() {
+            if report_path.is_some() || metrics_out.is_some() {
                 obs = obs.with_metrics();
+            }
+            if let Some(r) = &recorder {
+                obs = obs.with_recorder(r.clone());
             }
             if progress {
                 obs = obs.with_progress(Box::new(|p: &Progress| {
@@ -617,6 +708,45 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 Ok(())
             };
 
+            // Trace, Chrome, and metrics files are written on failures
+            // too — a run that died of a budget or anomaly is exactly
+            // the one worth inspecting.
+            let write_observability =
+                |obs: &Observer, out: &mut dyn fmt::Write| -> Result<(), CliError> {
+                    if let Some(r) = &recorder {
+                        let snapshot = r.snapshot();
+                        if snapshot.dropped > 0 {
+                            writeln!(
+                                out,
+                                "note: {} trace records evicted (ring budget); the dump \
+                             holds the most recent history",
+                                snapshot.dropped
+                            )
+                            .map_err(|e| err(e.to_string()))?;
+                        }
+                        if let Some(path) = &trace {
+                            rmrls_engine::write_atomic(path, &format!("{}\n", snapshot.to_json()))
+                                .map_err(CliError)?;
+                            writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+                        }
+                        if let Some(path) = &trace_out {
+                            rmrls_engine::write_atomic(
+                                path,
+                                &format!("{}\n", chrome_trace_json(&snapshot)),
+                            )
+                            .map_err(CliError)?;
+                            writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+                        }
+                    }
+                    if let Some(path) = &metrics_out {
+                        let snapshot = obs.metrics_snapshot().unwrap_or_default();
+                        rmrls_engine::write_atomic(path, &prometheus_text(&snapshot))
+                            .map_err(CliError)?;
+                        writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
+                    }
+                    Ok(())
+                };
+
             let outcome = if bidirectional {
                 if pprm.num_vars() > 16 {
                     return Err(err("--bidi needs an explicit truth table (<= 16 wires)"));
@@ -633,6 +763,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                     // Failed runs still get a report (stop reason and
                     // counters are exactly what post-mortems need).
                     write_report(&e.stats, None, &obs, out)?;
+                    write_observability(&obs, out)?;
                     return Err(err(e.to_string()));
                 }
             };
@@ -651,8 +782,22 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 .map_err(|e| err(e.to_string()))?;
             }
             write_report(&result.stats, Some(&circuit), &obs, out)?;
+            write_observability(&obs, out)?;
             report(&circuit, &name, out).map_err(|e| err(e.to_string()))?;
             writeln!(out, "search: {}", result.stats).map_err(|e| err(e.to_string()))?;
+            if !result.stats.profile.is_empty() {
+                let total = result.stats.profile.total_seconds().max(f64::EPSILON);
+                let mut line = String::from("profile:");
+                for p in &result.stats.profile.phases {
+                    line.push_str(&format!(
+                        " {} {:.1}ms ({:.0}%)",
+                        p.name,
+                        p.seconds * 1e3,
+                        p.seconds / total * 100.0
+                    ));
+                }
+                writeln!(out, "{line}").map_err(|e| err(e.to_string()))?;
+            }
             if do_render {
                 out.write_str(&render(&circuit))
                     .map_err(|e| err(e.to_string()))?;
@@ -681,6 +826,8 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             results,
             resume,
             report: report_path,
+            trace_dir,
+            profile,
             strict,
         } => {
             let admissions = match &source {
@@ -700,15 +847,23 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-            let options = rmrls_engine::BatchOptions {
+            if let Some(dir) = &trace_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| err(format!("cannot create --trace dir {dir}: {e}")))?;
+            }
+            let mut options = rmrls_engine::BatchOptions {
                 workers,
                 deadline,
                 cache_size,
                 canon_limit,
                 verify,
                 fallback,
+                trace_dir: trace_dir.clone(),
                 ..rmrls_engine::BatchOptions::default()
             };
+            if profile {
+                options.synthesis = options.synthesis.with_profile(true);
+            }
             let header = rmrls_engine::JournalHeader::new(&admissions, &options);
 
             // --resume: recover completed jobs, refusing a journal that
@@ -835,6 +990,30 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 writeln!(out, "  resumed from journal: {}", c.jobs_resumed)
                     .map_err(|e| err(e.to_string()))?;
             }
+            if let Some(dir) = &trace_dir {
+                // Truncation and write failures are reported, never
+                // silent: a missing or shortened dump is itself a fact
+                // the operator needs.
+                writeln!(
+                    out,
+                    "  traces: {dir} ({} anomaly dumps, {} records evicted, {} write errors)",
+                    c.anomaly_dumps, c.trace_records_dropped, c.trace_write_errors
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+            if !run.profile.is_empty() {
+                let total = run.profile.total_seconds().max(f64::EPSILON);
+                let mut line = String::from("  profile:");
+                for p in &run.profile.phases {
+                    line.push_str(&format!(
+                        " {} {:.1}ms ({:.0}%)",
+                        p.name,
+                        p.seconds * 1e3,
+                        p.seconds / total * 100.0
+                    ));
+                }
+                writeln!(out, "{line}").map_err(|e| err(e.to_string()))?;
+            }
             if let Some(path) = &journal_path {
                 // Rewrite the journal in admission order (journal order
                 // was completion order) — atomically, so a crash here
@@ -864,6 +1043,89 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                      {} journal append failures",
                     c.jobs_errored, c.panics_contained, c.verify_failures, c.journal_append_errors
                 )));
+            }
+            Ok(())
+        }
+        Command::Trace { dump, chrome_out } => {
+            let text = std::fs::read_to_string(&dump)
+                .map_err(|e| err(format!("cannot read {dump}: {e}")))?;
+            let json = rmrls_obs::Json::parse(&text)
+                .map_err(|e| err(format!("cannot parse {dump}: {e}")))?;
+            let snapshot =
+                RecorderSnapshot::from_json(&json).map_err(|e| err(format!("{dump}: {e}")))?;
+            writeln!(out, "trace: {dump}").map_err(|e| err(e.to_string()))?;
+            if let Some(job) = json.get("job").and_then(rmrls_obs::Json::as_str) {
+                writeln!(out, "job: {job}").map_err(|e| err(e.to_string()))?;
+            }
+            if let Some(trigger) = json.get("trigger").and_then(rmrls_obs::Json::as_str) {
+                writeln!(out, "trigger: {trigger}").map_err(|e| err(e.to_string()))?;
+            }
+            let span_micros = snapshot.records.last().map(|r| r.ts_micros).unwrap_or(0);
+            writeln!(
+                out,
+                "records: {} ({} evicted)   anomalies: {}   span: {:.3} ms",
+                snapshot.records.len(),
+                snapshot.dropped,
+                snapshot.anomalies,
+                span_micros as f64 / 1e3
+            )
+            .map_err(|e| err(e.to_string()))?;
+
+            let phases = phase_spans(&snapshot.records);
+            if !phases.is_empty() {
+                writeln!(out, "top phases:").map_err(|e| err(e.to_string()))?;
+                for (name, calls, micros) in &phases {
+                    writeln!(
+                        out,
+                        "  {name:<14} {:>10.3} ms  x{calls}",
+                        *micros as f64 / 1e3
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                }
+            }
+
+            // Record-kind census in first-seen order.
+            let mut kinds: Vec<(&'static str, u64)> = Vec::new();
+            for r in &snapshot.records {
+                let tag = r.kind.tag();
+                match kinds.iter_mut().find(|(t, _)| *t == tag) {
+                    Some(k) => k.1 += 1,
+                    None => kinds.push((tag, 1)),
+                }
+            }
+            if !kinds.is_empty() {
+                let census: Vec<String> = kinds.iter().map(|(t, n)| format!("{t} x{n}")).collect();
+                writeln!(out, "record kinds: {}", census.join("  "))
+                    .map_err(|e| err(e.to_string()))?;
+            }
+
+            // Each anomaly with the records leading up to it — the
+            // trailing context that names the failing site.
+            for (i, r) in snapshot.records.iter().enumerate() {
+                let TraceKind::Anomaly { kind, site } = &r.kind else {
+                    continue;
+                };
+                writeln!(
+                    out,
+                    "anomaly at {:.3} ms: {kind} @ {site}",
+                    r.ts_micros as f64 / 1e3
+                )
+                .map_err(|e| err(e.to_string()))?;
+                for prev in &snapshot.records[i.saturating_sub(3)..i] {
+                    writeln!(
+                        out,
+                        "  before: [{:.3} ms] {}",
+                        prev.ts_micros as f64 / 1e3,
+                        prev.kind.tag()
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                }
+            }
+
+            if let Some(path) = &chrome_out {
+                rmrls_engine::write_atomic(path, &format!("{}\n", chrome_trace_json(&snapshot)))
+                    .map_err(CliError)?;
+                writeln!(out, "wrote {path}").map_err(|e| err(e.to_string()))?;
             }
             Ok(())
         }
@@ -968,6 +1230,37 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             Ok(())
         }
     }
+}
+
+/// Folds phase-enter/exit record pairs into per-phase totals
+/// `(name, spans, total_micros)`, sorted by total descending. Unmatched
+/// enters (a dump cut short by eviction or a panic) are ignored rather
+/// than failing the summary.
+fn phase_spans(records: &[TraceRecord]) -> Vec<(String, u64, u64)> {
+    let mut stack: Vec<(&str, u64)> = Vec::new();
+    let mut totals: Vec<(String, u64, u64)> = Vec::new();
+    for r in records {
+        match &r.kind {
+            TraceKind::PhaseEnter { phase } => stack.push((phase, r.ts_micros)),
+            TraceKind::PhaseExit { phase } => {
+                let Some(pos) = stack.iter().rposition(|(p, _)| p == phase) else {
+                    continue;
+                };
+                let (_, started) = stack.remove(pos);
+                let micros = r.ts_micros.saturating_sub(started);
+                match totals.iter_mut().find(|(n, _, _)| n == phase) {
+                    Some(t) => {
+                        t.1 += 1;
+                        t.2 += micros;
+                    }
+                    None => totals.push((phase.clone(), 1, micros)),
+                }
+            }
+            _ => {}
+        }
+    }
+    totals.sort_by_key(|t| std::cmp::Reverse(t.2));
+    totals
 }
 
 fn load_tfc(path: &str) -> Result<Circuit, CliError> {
@@ -1221,9 +1514,207 @@ mod tests {
 
     #[test]
     fn usage_documents_observability_flags() {
-        for flag in ["--report", "--progress", "--log-json"] {
+        for flag in [
+            "--report",
+            "--progress",
+            "--log-json",
+            "--profile",
+            "--trace",
+            "--trace-out",
+            "--metrics-out",
+            "--dump",
+            "--chrome-out",
+        ] {
             assert!(USAGE.contains(flag), "USAGE must mention {flag}");
         }
+        assert!(USAGE.contains("rmrls trace"), "trace subcommand in USAGE");
+    }
+
+    #[test]
+    fn trace_and_profile_flags_parse() {
+        match parse(&[
+            "synth",
+            "--spec",
+            "0,1",
+            "--profile",
+            "--trace",
+            "dump.json",
+            "--trace-out",
+            "chrome.json",
+            "--metrics-out",
+            "metrics.prom",
+        ])
+        .unwrap()
+        {
+            Command::Synth {
+                profile,
+                trace,
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert!(profile);
+                assert_eq!(trace.as_deref(), Some("dump.json"));
+                assert_eq!(trace_out.as_deref(), Some("chrome.json"));
+                assert_eq!(metrics_out.as_deref(), Some("metrics.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["trace", "--dump", "d.json", "--chrome-out", "c.json"]).unwrap() {
+            Command::Trace { dump, chrome_out } => {
+                assert_eq!(dump, "d.json");
+                assert_eq!(chrome_out.as_deref(), Some("c.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The trace subcommand needs its input file.
+        assert!(parse(&["trace"]).is_err());
+        // Scope validation: flags stay with their commands.
+        assert!(parse(&["mmd", "--spec", "0,1", "--profile"]).is_err());
+        assert!(parse(&["info", "--tfc", "x.tfc", "--trace", "d.json"]).is_err());
+        assert!(parse(&["batch", "--suite", "table4", "--trace-out", "c.json"]).is_err());
+        assert!(parse(&["batch", "--suite", "table4", "--metrics-out", "m"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--dump", "d.json"]).is_err());
+        // --bidi runs two searches; one recorder cannot serve both.
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--trace", "d.json"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--trace-out", "c.json"]).is_err());
+        // ... but the profile rides in the returned stats, so it composes.
+        assert!(parse(&["synth", "--spec", "0,1", "--bidi", "--profile"]).is_ok());
+    }
+
+    #[test]
+    fn synth_writes_trace_chrome_and_metrics_files() {
+        let dir = std::env::temp_dir().join("rmrls-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("dump.json");
+        let chrome = dir.join("chrome.json");
+        let metrics = dir.join("metrics.prom");
+        let report = dir.join("report.json");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "1,0,7,2,3,4,5,6",
+            "--profile",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-out",
+            chrome.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("profile:"), "{out}");
+
+        // The raw dump parses back as a snapshot bracketing the search.
+        let json = rmrls_obs::Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let snapshot = RecorderSnapshot::from_json(&json).unwrap();
+        assert!(snapshot.records.iter().any(|r| matches!(
+            &r.kind,
+            TraceKind::PhaseEnter { phase } if phase == "search"
+        )));
+
+        // The Chrome export is valid trace-event JSON.
+        let chrome_json =
+            rmrls_obs::Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert!(!chrome_json
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        // The Prometheus exposition carries namespaced metrics.
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("rmrls_"), "{prom}");
+
+        // --profile lands a non-null phase table in the report.
+        let report_json =
+            rmrls_obs::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let phases = report_json
+            .get("stats")
+            .unwrap()
+            .get("profile")
+            .unwrap()
+            .as_arr()
+            .expect("profile is an array when --profile is set");
+        assert!(!phases.is_empty());
+    }
+
+    #[test]
+    fn trace_subcommand_summarizes_a_dump() {
+        let dir = std::env::temp_dir().join("rmrls-cli-trace-sub-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("dump.json");
+        let chrome = dir.join("chrome.json");
+        let cmd = parse(&[
+            "synth",
+            "--spec",
+            "1,0,7,2,3,4,5,6",
+            "--trace",
+            dump.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(cmd, &mut String::new()).unwrap();
+
+        let cmd = parse(&[
+            "trace",
+            "--dump",
+            dump.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("top phases:"), "{out}");
+        assert!(out.contains("search"), "{out}");
+        assert!(out.contains("record kinds:"), "{out}");
+        rmrls_obs::Json::parse(&std::fs::read_to_string(&chrome).unwrap())
+            .expect("chrome export from the trace subcommand is valid JSON");
+
+        // Garbage input fails with a parse error, not a panic.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        let cmd = parse(&["trace", "--dump", garbage.to_str().unwrap()]).unwrap();
+        assert!(run(cmd, &mut String::new()).is_err());
+    }
+
+    #[test]
+    fn batch_trace_writes_per_job_dumps_via_cli() {
+        let dir = std::env::temp_dir().join("rmrls-cli-batch-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let traces = dir.join("traces");
+        let cmd = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--jobs",
+            "2",
+            "--profile",
+            "--trace",
+            traces.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("traces:"), "{out}");
+        assert!(out.contains("profile:"), "{out}");
+        let dumps = std::fs::read_dir(&traces)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".trace.json")
+            })
+            .count();
+        assert_eq!(dumps, 8, "one dump per examples-suite job");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1344,6 +1835,9 @@ mod tests {
             "--fallback",
             "--resume",
             "old.jsonl",
+            "--trace",
+            "traces",
+            "--profile",
         ])
         .unwrap()
         {
@@ -1357,6 +1851,8 @@ mod tests {
                 fallback,
                 results,
                 report,
+                trace_dir,
+                profile,
                 strict,
                 resume,
             } => {
@@ -1369,6 +1865,8 @@ mod tests {
                 assert!(fallback);
                 assert_eq!(results.as_deref(), Some("r.jsonl"));
                 assert_eq!(report.as_deref(), Some("report.json"));
+                assert_eq!(trace_dir.as_deref(), Some("traces"));
+                assert!(profile);
                 assert!(strict);
                 assert_eq!(resume.as_deref(), Some("old.jsonl"));
             }

@@ -61,3 +61,8 @@ pub use search::{
     NoSolutionError, Synthesis,
 };
 pub use stats::{RestartSpan, SearchStats, StopReason, TraceEvent};
+
+// Re-exported so callers holding a `SearchStats` or building an
+// `Observer` don't need a direct `rmrls_obs` dependency for the types
+// that appear in this crate's API.
+pub use rmrls_obs::{FlightRecorder, PhaseProfile};

@@ -15,8 +15,14 @@ use std::time::Duration;
 
 use rmrls_circuit::Gate;
 use rmrls_obs::{
-    Counter, Event, EventSink, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, NullSink, Value,
+    Counter, Event, EventSink, FlightRecorder, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    NullSink, TraceKind, Value,
 };
+
+/// One in `EXPAND_SAMPLE_INTERVAL` node expansions is written to the
+/// flight recorder; recording every expansion would churn the ring and
+/// cost a timestamp per node on million-node runs.
+const EXPAND_SAMPLE_INTERVAL: u64 = 64;
 
 /// Bucket bounds for the Eq. 4 priority histogram. Priorities are
 /// negative under the default A* mode (lower = deeper/worse), positive
@@ -98,6 +104,8 @@ pub struct Observer {
     sink_enabled: bool,
     metrics: Option<ObserverMetrics>,
     progress_fn: Option<ProgressFn>,
+    recorder: Option<FlightRecorder>,
+    expand_count: u64,
     active: bool,
 }
 
@@ -113,6 +121,8 @@ impl Observer {
             sink_enabled: false,
             metrics: None,
             progress_fn: None,
+            recorder: None,
+            expand_count: 0,
             active: false,
         }
     }
@@ -125,6 +135,8 @@ impl Observer {
             sink_enabled,
             metrics: None,
             progress_fn: None,
+            recorder: None,
+            expand_count: 0,
             active: sink_enabled,
         }
     }
@@ -142,6 +154,23 @@ impl Observer {
         self.progress_fn = Some(f);
         self.active = true;
         self
+    }
+
+    /// Attaches a flight recorder. The recorder is a cheap `Rc` handle,
+    /// so the caller keeps a clone and snapshots it after (or during)
+    /// the run; the search writes sampled expansions, gauges, and
+    /// anomaly records into it.
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Observer {
+        self.recorder = Some(recorder);
+        self.active = true;
+        self
+    }
+
+    /// The attached flight recorder, if any. The search loop records
+    /// anomalies (memory sheds, deadline expiry, cancellation) through
+    /// this handle.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// Whether any instrumentation is attached. The search loop guards
@@ -170,6 +199,9 @@ impl Observer {
     }
 
     pub(crate) fn on_run_start(&mut self, num_vars: usize, init_terms: usize) {
+        if let Some(r) = &self.recorder {
+            r.phase_enter("search");
+        }
         if self.sink_enabled {
             self.sink.emit(Event::new(
                 "run_start",
@@ -182,6 +214,15 @@ impl Observer {
     }
 
     pub(crate) fn on_expand(&mut self, depth: u32, terms: usize) {
+        if let Some(r) = &self.recorder {
+            if self.expand_count.is_multiple_of(EXPAND_SAMPLE_INTERVAL) {
+                r.record(TraceKind::Expand {
+                    depth,
+                    terms: terms as u64,
+                });
+            }
+            self.expand_count += 1;
+        }
         if self.sink_enabled {
             self.sink.emit(Event::new(
                 "expand",
@@ -247,6 +288,9 @@ impl Observer {
     }
 
     pub(crate) fn on_progress(&mut self, progress: &Progress) {
+        if let Some(r) = &self.recorder {
+            r.gauge("queue_depth", progress.queue_depth as i64);
+        }
         if let Some(m) = &self.metrics {
             m.queue_depth.set(progress.queue_depth as i64);
         }
@@ -285,6 +329,9 @@ impl Observer {
     }
 
     pub(crate) fn on_run_end(&mut self, stop_reason: &str, nodes: u64, gates: Option<u32>) {
+        if let Some(r) = &self.recorder {
+            r.phase_exit("search");
+        }
         if self.sink_enabled {
             self.sink.emit(Event::new(
                 "run_end",
@@ -311,6 +358,7 @@ impl std::fmt::Debug for Observer {
             .field("sink_enabled", &self.sink_enabled)
             .field("metrics", &self.metrics.is_some())
             .field("progress_fn", &self.progress_fn.is_some())
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -366,6 +414,49 @@ mod tests {
         // metrics-free state.
         assert!(obs.is_active());
         assert_eq!(obs.dropped_events(), 0);
+    }
+
+    #[test]
+    fn recorder_observer_samples_expansions_and_brackets_the_run() {
+        let rec = FlightRecorder::with_default_budget();
+        let mut obs = Observer::null().with_recorder(rec.clone());
+        assert!(obs.is_active());
+        assert!(obs.recorder().is_some());
+        obs.on_run_start(3, 9);
+        for _ in 0..(2 * EXPAND_SAMPLE_INTERVAL) {
+            obs.on_expand(1, 9);
+        }
+        obs.on_progress(&Progress {
+            nodes_expanded: 128,
+            queue_depth: 17,
+            best_gates: None,
+            restarts: 0,
+            elapsed: Duration::from_millis(1),
+        });
+        obs.on_run_end("first solution", 128, Some(3));
+
+        let snap = rec.snapshot();
+        let expands = snap
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::Expand { .. }))
+            .count();
+        assert_eq!(
+            expands, 2,
+            "one sample per {EXPAND_SAMPLE_INTERVAL} expansions"
+        );
+        assert!(matches!(
+            &snap.records.first().unwrap().kind,
+            TraceKind::PhaseEnter { phase } if phase == "search"
+        ));
+        assert!(matches!(
+            &snap.records.last().unwrap().kind,
+            TraceKind::PhaseExit { phase } if phase == "search"
+        ));
+        assert!(snap.records.iter().any(|r| matches!(
+            &r.kind,
+            TraceKind::Gauge { name, value: 17 } if name == "queue_depth"
+        )));
     }
 
     #[test]

@@ -216,6 +216,10 @@ pub struct SynthesisOptions {
     /// Record a search trace (Fig. 5/6 reproduction); capped to avoid
     /// unbounded memory.
     pub trace: bool,
+    /// Collect a per-phase timing profile (scoring / materialize /
+    /// dedup) into [`SearchStats::profile`](crate::SearchStats::profile).
+    /// Off by default: the disabled profiler costs one branch per span.
+    pub profile: bool,
 }
 
 impl SynthesisOptions {
@@ -241,6 +245,7 @@ impl SynthesisOptions {
             tie_break_cost: false,
             stop_at_first: false,
             trace: false,
+            profile: false,
         }
     }
 
@@ -372,6 +377,12 @@ impl SynthesisOptions {
     /// Enables search tracing.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enables per-phase profiling.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }

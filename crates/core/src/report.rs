@@ -108,6 +108,7 @@ pub fn options_to_json(options: &SynthesisOptions) -> Json {
             Json::Bool(options.stop_at_first),
         ),
         ("trace".to_string(), Json::Bool(options.trace)),
+        ("profile".to_string(), Json::Bool(options.profile)),
     ])
 }
 
@@ -189,6 +190,17 @@ pub fn stats_to_json(stats: &SearchStats) -> Json {
                 .unwrap_or(Json::Null),
         ),
         ("restart_spans".to_string(), Json::Arr(spans)),
+        // The phase profile is null (not an empty array) when profiling
+        // was off, so consumers can tell "not measured" from "measured
+        // nothing".
+        (
+            "profile".to_string(),
+            if stats.profile.is_empty() {
+                Json::Null
+            } else {
+                stats.profile.to_json()
+            },
+        ),
     ])
 }
 

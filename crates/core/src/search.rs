@@ -19,7 +19,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use rmrls_circuit::{Circuit, Gate};
-use rmrls_obs::SpanTimer;
+use rmrls_obs::{Profiler, SpanTimer, TraceKind};
 use rmrls_pprm::{MultiPprm, SubstCount, SubstScratch, Term};
 use rmrls_spec::Permutation;
 
@@ -202,6 +202,9 @@ struct Search<'a> {
     /// predicted fingerprint differs cannot be the identity — the
     /// fingerprint is a deterministic function of the state).
     identity_fp: u64,
+    /// Per-phase timing (scoring / materialize / dedup), enabled by
+    /// `options.profile`; disabled it costs one branch per span site.
+    profiler: Profiler,
 }
 
 impl<'a> Search<'a> {
@@ -228,6 +231,11 @@ impl<'a> Search<'a> {
             segment_start_nodes: 0,
             scratch: SubstScratch::new(),
             identity_fp,
+            profiler: if options.profile {
+                Profiler::enabled()
+            } else {
+                Profiler::disabled()
+            },
         }
     }
 
@@ -286,6 +294,13 @@ impl<'a> Search<'a> {
         self.stats.memory_shed_dropped += dropped as u64;
         self.queue = BinaryHeap::from(entries);
         self.recount_memory();
+        if let Some(r) = self.obs.recorder() {
+            r.record(TraceKind::MemoryShed {
+                dropped_entries: dropped as u64,
+                live_terms: self.live_terms,
+            });
+            r.anomaly("memory_shed", "core/search/shed");
+        }
     }
 
     /// Whether a configured memory cap is currently exceeded.
@@ -336,7 +351,9 @@ impl<'a> Search<'a> {
             }
             let mut candidates: Vec<Candidate> = Vec::new();
             let mut saw_constant_one = false;
+            let mut solved = false;
 
+            let t_score = self.profiler.start();
             let factors: Vec<Term> = expansion
                 .terms()
                 .iter()
@@ -348,7 +365,8 @@ impl<'a> Search<'a> {
                     saw_constant_one = true;
                 }
                 if self.consider(entry, var, factor, child_depth, false, &mut candidates) {
-                    return true;
+                    solved = true;
+                    break;
                 }
             }
 
@@ -356,13 +374,17 @@ impl<'a> Search<'a> {
             // exception that the term count may grow. Skipped if it would
             // immediately undo the parent's NOT on the same wire (which
             // state dedup would also catch).
-            if self.options.additional_substitutions && !saw_constant_one {
+            if !solved && self.options.additional_substitutions && !saw_constant_one {
                 let undoes_parent = parent_gate == Some(Gate::not(var));
                 if !undoes_parent
                     && self.consider(entry, var, Term::ONE, child_depth, true, &mut candidates)
                 {
-                    return true;
+                    solved = true;
                 }
+            }
+            self.profiler.stop("scoring", t_score);
+            if solved {
+                return true;
             }
 
             if let Some(keep) = self.options.pruning.keep() {
@@ -397,11 +419,18 @@ impl<'a> Search<'a> {
                     }
 
                     let mut candidates: Vec<Candidate> = Vec::new();
+                    let mut solved = false;
+                    let t_score = self.profiler.start();
                     for control in controls {
                         if self.consider_fredkin(entry, a, b, control, child_depth, &mut candidates)
                         {
-                            return true;
+                            solved = true;
+                            break;
                         }
+                    }
+                    self.profiler.stop("scoring", t_score);
+                    if solved {
+                        return true;
                     }
                     if let Some(keep) = self.options.pruning.keep() {
                         candidates.sort_by(|x, y| y.priority.total_cmp(&x.priority));
@@ -421,7 +450,8 @@ impl<'a> Search<'a> {
     /// search.
     fn materialize(&mut self, entry: &QueueEntry, mv: Move) -> (MultiPprm, i64) {
         self.stats.candidates_materialized += 1;
-        match mv {
+        let t = self.profiler.start();
+        let out = match mv {
             Move::Toffoli { var, factor } => {
                 entry.state.substitute_with(var, factor, &mut self.scratch)
             }
@@ -430,7 +460,9 @@ impl<'a> Search<'a> {
                     .state
                     .substitute_fredkin_with(a, b, control, &mut self.scratch)
             }
-        }
+        };
+        self.profiler.stop("materialize", t);
+        out
     }
 
     /// Evaluates one Toffoli substitution. Returns `true` when a solution
@@ -615,8 +647,9 @@ impl<'a> Search<'a> {
             return;
         }
         if self.options.dedup_states {
+            let t_dedup = self.profiler.start();
             let terms32 = terms as u32;
-            match self.visited.get(&fp) {
+            let duplicate = match self.visited.get(&fp) {
                 Some(&(_, seen_terms)) if seen_terms != terms32 => {
                     // Same fingerprint, different term count: provably a
                     // 64-bit hash collision between distinct states. Keep
@@ -624,14 +657,20 @@ impl<'a> Search<'a> {
                     // record the newcomer.
                     self.stats.dedup_collisions += 1;
                     self.visited.insert(fp, (child_depth, terms32));
+                    false
                 }
                 Some(&(seen_depth, _)) if seen_depth <= child_depth => {
                     self.stats.dedup_hits += 1;
-                    return;
+                    true
                 }
                 _ => {
                     self.visited.insert(fp, (child_depth, terms32));
+                    false
                 }
+            };
+            self.profiler.stop("dedup", t_dedup);
+            if duplicate {
+                return;
             }
         }
         let (state, mat_elim) = self.materialize(entry, mv);
@@ -713,9 +752,31 @@ impl<'a> Search<'a> {
         None
     }
 
+    /// Writes the anomaly record for an abnormal stop (deadline expiry,
+    /// cancellation, memory exhaustion) into the flight recorder, if one
+    /// is attached. Normal stops (queue exhausted, first solution, node
+    /// or time budget) are not anomalies.
+    fn record_stop_anomaly(&self, reason: StopReason) {
+        if let Some(r) = self.obs.recorder() {
+            match reason {
+                StopReason::DeadlineExpired => {
+                    r.anomaly("deadline_expired", "core/search/budget-poll");
+                }
+                StopReason::Cancelled => {
+                    r.anomaly("cancelled", "core/search/budget-poll");
+                }
+                StopReason::MemoryExceeded => {
+                    r.anomaly("memory_exceeded", "core/search/memory-budget");
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn finish(mut self, num_vars: usize) -> Result<Synthesis, NoSolutionError> {
         self.stats.elapsed = self.start.elapsed();
         self.end_segment();
+        self.stats.profile = self.profiler.finish(self.stats.elapsed);
         if self.obs.is_active() {
             let reason = self
                 .stats
@@ -877,6 +938,7 @@ pub fn synthesize_with_observer(
     // or cancelled during shutdown): stop before doing any work rather
     // than waiting for the first in-loop poll at TIME_CHECK_INTERVAL.
     if let Some(reason) = search.budget_stop() {
+        search.record_stop_anomaly(reason);
         search.stats.stop_reason = Some(reason);
         return search.finish(n);
     }
@@ -969,6 +1031,7 @@ pub fn synthesize_with_observer(
                 search.shed_for_memory();
             }
             if search.memory_breached() {
+                search.record_stop_anomaly(StopReason::MemoryExceeded);
                 search.stats.stop_reason = Some(StopReason::MemoryExceeded);
                 break;
             }
@@ -1007,6 +1070,7 @@ pub fn synthesize_with_observer(
                 search.obs.on_progress(&progress);
             }
             if let Some(reason) = search.budget_stop() {
+                search.record_stop_anomaly(reason);
                 search.stats.stop_reason = Some(reason);
                 break;
             }
@@ -1619,6 +1683,100 @@ mod tests {
             result.stats.stop_reason,
             Some(StopReason::MemoryExceeded),
             "a successful degraded run keeps its normal stop reason"
+        );
+    }
+
+    #[test]
+    fn profile_table_partitions_the_run() {
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let result =
+            synthesize(&spec, &SynthesisOptions::new().with_profile(true)).expect("solution");
+        let profile = &result.stats.profile;
+        assert!(!profile.is_empty());
+        for phase in ["scoring", "materialize", "dedup", "other"] {
+            assert!(
+                profile.seconds(phase).is_some(),
+                "missing phase {phase}: {profile:?}"
+            );
+        }
+        // The derived "other" phase makes the table cover the wall time;
+        // solution-confirmation materializations inside the scoring span
+        // can push the sum slightly over, never under.
+        let wall = result.stats.elapsed.as_secs_f64();
+        assert!(
+            profile.total_seconds() >= wall * 0.999,
+            "phases sum to {} < wall {wall}",
+            profile.total_seconds()
+        );
+        verify(&spec, &result);
+
+        let plain = synthesize(&spec, &SynthesisOptions::new()).expect("solution");
+        assert!(plain.stats.profile.is_empty(), "profiling is opt-in");
+        assert_eq!(
+            plain.circuit.gate_count(),
+            result.circuit.gate_count(),
+            "profiling must not change the search"
+        );
+    }
+
+    #[test]
+    fn recorder_captures_memory_shed_anomalies() {
+        use rmrls_obs::FlightRecorder;
+        // Calibrated like moderate_memory_budget_degrades_but_still_solves:
+        // a cap below the unlimited peak forces at least one shed.
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let unlimited =
+            synthesize(&spec, &SynthesisOptions::new().with_initial_dive(false)).expect("solution");
+        let peak = unlimited.stats.live_terms_peak;
+
+        let rec = FlightRecorder::with_default_budget();
+        let mut obs = Observer::null().with_recorder(rec.clone());
+        let opts = SynthesisOptions::new()
+            .with_initial_dive(false)
+            .with_max_live_terms(peak * 3 / 4);
+        let result = synthesize_with_observer(&spec, &opts, &mut obs).expect("degraded run solves");
+        assert!(result.stats.memory_sheds > 0);
+
+        assert!(rec.has_anomaly(), "shed must register as an anomaly");
+        let snap = rec.snapshot();
+        assert!(snap
+            .records
+            .iter()
+            .any(|r| matches!(r.kind, TraceKind::MemoryShed { .. })));
+        assert!(snap.records.iter().any(|r| matches!(
+            &r.kind,
+            TraceKind::Anomaly { kind, site }
+                if kind == "memory_shed" && site == "core/search/shed"
+        )));
+        assert!(matches!(
+            &snap.records.first().unwrap().kind,
+            TraceKind::PhaseEnter { phase } if phase == "search"
+        ));
+        assert!(matches!(
+            &snap.records.last().unwrap().kind,
+            TraceKind::PhaseExit { phase } if phase == "search"
+        ));
+    }
+
+    #[test]
+    fn recorder_names_the_budget_poll_on_cancellation() {
+        use rmrls_obs::FlightRecorder;
+        let spec = MultiPprm::from_permutation(&[0, 1, 2, 4, 3, 5, 6, 7], 3);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let rec = FlightRecorder::with_default_budget();
+        let mut obs = Observer::null().with_recorder(rec.clone());
+        let opts = SynthesisOptions::new().with_cancel_token(token);
+        let err = synthesize_with_observer(&spec, &opts, &mut obs).unwrap_err();
+        assert_eq!(err.stats.stop_reason, Some(StopReason::Cancelled));
+        let snap = rec.snapshot();
+        assert!(
+            snap.records.iter().any(|r| matches!(
+                &r.kind,
+                TraceKind::Anomaly { kind, site }
+                    if kind == "cancelled" && site == "core/search/budget-poll"
+            )),
+            "anomaly names the failing site"
         );
     }
 

@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use rmrls_circuit::Gate;
+use rmrls_obs::PhaseProfile;
 
 /// Why the search loop stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -127,6 +128,11 @@ pub struct SearchStats {
     /// per segment, so its length is `restarts + 1` after a completed
     /// search).
     pub restart_spans: Vec<RestartSpan>,
+    /// Per-phase timing table (scoring / materialize / dedup plus a
+    /// derived `other` entry), populated only when
+    /// [`SynthesisOptions::profile`](crate::SynthesisOptions::profile)
+    /// is set; empty otherwise. Its phases sum to `elapsed`.
+    pub profile: PhaseProfile,
 }
 
 impl SearchStats {

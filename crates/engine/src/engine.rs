@@ -35,8 +35,10 @@ use std::time::{Duration, Instant};
 
 use rmrls_baselines::{mmd_synthesize, MmdVariant};
 use rmrls_circuit::Circuit;
-use rmrls_core::{synthesize, Pruning, StopReason, SynthesisOptions};
-use rmrls_obs::{Json, SyncCounter};
+use rmrls_core::{
+    synthesize_with_observer, Observer, Pruning, StopReason, Synthesis, SynthesisOptions,
+};
+use rmrls_obs::{FlightRecorder, Json, PhaseProfile, Profiler, SyncCounter, TraceKind};
 use rmrls_pprm::MultiPprm;
 use rmrls_spec::Permutation;
 
@@ -108,6 +110,14 @@ pub struct BatchOptions {
     /// well-formed reversible job of fallback-eligible width produces a
     /// verified circuit.
     pub fallback: bool,
+    /// Directory for per-job flight-recorder dumps. When set, every job
+    /// runs with a [`FlightRecorder`] attached and writes
+    /// `<index>-<job>.trace.json` here; jobs whose recorder registered
+    /// an anomaly (memory shed, tier escalation, deadline expiry,
+    /// cancellation, panic, injected fault) additionally write
+    /// `<index>-<job>.anomaly.json`. `None` (the default) records
+    /// nothing.
+    pub trace_dir: Option<String>,
     /// Base search configuration applied to every job.
     pub synthesis: SynthesisOptions,
 }
@@ -124,6 +134,7 @@ impl Default for BatchOptions {
             canon_limit: 8,
             verify: true,
             fallback: false,
+            trace_dir: None,
             synthesis: SynthesisOptions::new().with_max_nodes(200_000),
         }
     }
@@ -180,6 +191,12 @@ pub struct JobRecord {
     pub seconds: f64,
     /// How it ended.
     pub outcome: JobOutcome,
+    /// Merged per-phase timings of every search and engine stage this
+    /// job ran (empty unless `synthesis.profile` is set). Timings are
+    /// non-deterministic, so the profile stays out of [`to_json`]
+    /// (JobRecord::to_json) and is aggregated into the batch report
+    /// instead.
+    pub profile: PhaseProfile,
 }
 
 impl JobRecord {
@@ -307,6 +324,15 @@ pub struct BatchCounters {
     /// Journal appends that failed (the batch continues; the journal
     /// merely under-records, which a later resume re-runs).
     pub journal_append_errors: u64,
+    /// Anomaly dumps written to the trace directory.
+    pub anomaly_dumps: u64,
+    /// Flight-recorder records evicted from per-job rings (never
+    /// silently lost: nonzero means the trace files are truncated
+    /// prefixes-of-recent-history).
+    pub trace_records_dropped: u64,
+    /// Trace or anomaly files that failed to write (the batch
+    /// continues; the dump is lost but counted).
+    pub trace_write_errors: u64,
 }
 
 impl BatchCounters {
@@ -356,6 +382,15 @@ impl BatchCounters {
                 "journal_append_errors".to_string(),
                 Json::uint(self.journal_append_errors),
             ),
+            ("anomaly_dumps".to_string(), Json::uint(self.anomaly_dumps)),
+            (
+                "trace_records_dropped".to_string(),
+                Json::uint(self.trace_records_dropped),
+            ),
+            (
+                "trace_write_errors".to_string(),
+                Json::uint(self.trace_write_errors),
+            ),
         ])
     }
 }
@@ -379,6 +414,9 @@ struct RunCounters {
     solved_by_mmd: SyncCounter,
     jobs_resumed: SyncCounter,
     journal_append_errors: SyncCounter,
+    anomaly_dumps: SyncCounter,
+    trace_records_dropped: SyncCounter,
+    trace_write_errors: SyncCounter,
 }
 
 /// A completed (possibly partially drained) batch run.
@@ -392,6 +430,10 @@ pub struct BatchRun {
     pub elapsed: Duration,
     /// Worker threads used.
     pub workers: usize,
+    /// Per-phase timings merged across every job (empty unless
+    /// `synthesis.profile` was set). Lives here — not in the JSONL
+    /// stream — because timings vary run to run.
+    pub profile: PhaseProfile,
 }
 
 impl BatchRun {
@@ -465,6 +507,15 @@ impl BatchRun {
                     .map(Json::Num)
                     .unwrap_or(Json::Null),
             ),
+            // Null (not an empty array) when profiling was off.
+            (
+                "profile".to_string(),
+                if self.profile.is_empty() {
+                    Json::Null
+                } else {
+                    self.profile.to_json()
+                },
+            ),
             ("counters".to_string(), self.counters.to_json()),
         ])
     }
@@ -536,6 +587,7 @@ pub fn run_batch_resumable(
                 outcome: JobOutcome::Resumed {
                     json: job.json.clone(),
                 },
+                profile: PhaseProfile::default(),
             });
         }
     }
@@ -568,18 +620,31 @@ pub fn run_batch_resumable(
                     if resumed.is_some_and(|done| done.contains_key(&index)) {
                         continue;
                     }
+                    // One recorder per job, created inside the worker
+                    // thread (FlightRecorder is same-thread by design).
+                    let recorder = opts
+                        .trace_dir
+                        .as_ref()
+                        .map(|_| FlightRecorder::with_default_budget());
                     let record = run_one(
                         &admissions[index],
                         opts,
                         shutdown,
                         cache.as_ref(),
                         &counters,
+                        recorder.as_ref(),
                     );
                     if let Some(w) = journal {
                         let line = record.to_json_indexed(index).to_string();
                         if lock(w).append(&line).is_err() {
                             counters.journal_append_errors.inc();
+                            if let Some(r) = &recorder {
+                                r.anomaly("journal_append_failed", "engine/journal/append");
+                            }
                         }
+                    }
+                    if let (Some(dir), Some(r)) = (opts.trace_dir.as_deref(), &recorder) {
+                        write_job_traces(dir, index, &record.name, r, &counters);
                     }
                     *lock(&slots[index]) = Some(record);
                 })
@@ -614,10 +679,15 @@ pub fn run_batch_resumable(
                     cache_hit: false,
                     seconds: 0.0,
                     outcome: JobOutcome::Skipped,
+                    profile: PhaseProfile::default(),
                 }
             })
         })
         .collect();
+    let mut profile = PhaseProfile::default();
+    for record in &records {
+        profile.merge(&record.profile);
+    }
 
     let snapshot = BatchCounters {
         jobs_total: admissions.len() as u64,
@@ -637,12 +707,96 @@ pub fn run_batch_resumable(
         solved_by_mmd: counters.solved_by_mmd.get(),
         jobs_resumed: counters.jobs_resumed.get(),
         journal_append_errors: counters.journal_append_errors.get(),
+        anomaly_dumps: counters.anomaly_dumps.get(),
+        trace_records_dropped: counters.trace_records_dropped.get(),
+        trace_write_errors: counters.trace_write_errors.get(),
     };
     BatchRun {
         records,
         counters: snapshot,
         elapsed: started.elapsed(),
         workers,
+        profile,
+    }
+}
+
+/// Trace filenames keep `[A-Za-z0-9._-]` from the job name; every other
+/// character becomes `_` so shell-hostile manifest names stay safe on
+/// disk. Bounded so a pathological name cannot overflow path limits.
+fn sanitize_filename(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    out.truncate(80);
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Prepends identifying fields to a snapshot object so a dump on disk
+/// names its job without relying on the filename.
+fn tagged_snapshot(snapshot_json: Json, extra: Vec<(String, Json)>) -> Json {
+    let Json::Obj(fields) = snapshot_json else {
+        unreachable!("RecorderSnapshot::to_json always returns an object");
+    };
+    let mut all = extra;
+    all.extend(fields);
+    Json::Obj(all)
+}
+
+/// Writes one job's flight-recorder dump — `<index>-<job>.trace.json`,
+/// plus `<index>-<job>.anomaly.json` when the recorder registered an
+/// anomaly — into the trace directory. Write failures never fail the
+/// batch; they increment `trace_write_errors` and move on.
+fn write_job_traces(
+    dir: &str,
+    index: usize,
+    job_name: &str,
+    recorder: &FlightRecorder,
+    counters: &RunCounters,
+) {
+    let snapshot = recorder.snapshot();
+    counters.trace_records_dropped.add(snapshot.dropped);
+    let stem = format!("{dir}/{index:04}-{}", sanitize_filename(job_name));
+    let trace = tagged_snapshot(
+        snapshot.to_json(),
+        vec![("job".to_string(), Json::str(job_name))],
+    );
+    if crate::fsutil::write_atomic(&format!("{stem}.trace.json"), &trace.to_string()).is_err() {
+        counters.trace_write_errors.inc();
+    }
+    if snapshot.anomalies == 0 {
+        return;
+    }
+    // The trailing anomaly record names the trigger; the count survives
+    // ring eviction, the record may not.
+    let trigger = snapshot
+        .records
+        .iter()
+        .rev()
+        .find_map(|rec| match &rec.kind {
+            TraceKind::Anomaly { kind, .. } => Some(kind.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "evicted".to_string());
+    let anomaly = tagged_snapshot(
+        snapshot.to_json(),
+        vec![
+            ("job".to_string(), Json::str(job_name)),
+            ("trigger".to_string(), Json::Str(trigger)),
+        ],
+    );
+    match crate::fsutil::write_atomic(&format!("{stem}.anomaly.json"), &anomaly.to_string()) {
+        Ok(()) => counters.anomaly_dumps.inc(),
+        Err(_) => counters.trace_write_errors.inc(),
     }
 }
 
@@ -652,6 +806,7 @@ fn run_one(
     shutdown: &ShutdownHandles,
     cache: Option<&Mutex<CircuitCache>>,
     counters: &RunCounters,
+    recorder: Option<&FlightRecorder>,
 ) -> JobRecord {
     let started = Instant::now();
     let (name, origin) = (admission.name().to_string(), admission.origin().to_string());
@@ -666,16 +821,28 @@ fn run_one(
                 outcome: JobOutcome::Error {
                     message: message.clone(),
                 },
+                profile: PhaseProfile::default(),
             }
         }
         Admission::Job(job) => {
+            if let Some(r) = recorder {
+                r.phase_enter("job");
+            }
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute_job(job, opts, shutdown, cache, counters)
+                execute_job(job, opts, shutdown, cache, counters, recorder)
             }));
-            let (outcome, cache_hit) = match result {
+            // Exit after catch_unwind returns so the span closes (and
+            // nests correctly) even when the job panicked mid-phase.
+            if let Some(r) = recorder {
+                r.phase_exit("job");
+            }
+            let (outcome, cache_hit, profile) = match result {
                 Ok(r) => r,
                 Err(payload) => {
                     counters.panics_contained.inc();
+                    if let Some(r) = recorder {
+                        r.anomaly("panic", "engine/worker/job");
+                    }
                     let message = if let Some(s) = payload.downcast_ref::<&str>() {
                         (*s).to_string()
                     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -683,7 +850,11 @@ fn run_one(
                     } else {
                         "non-string panic payload".to_string()
                     };
-                    (JobOutcome::Panicked { message }, false)
+                    (
+                        JobOutcome::Panicked { message },
+                        false,
+                        PhaseProfile::default(),
+                    )
                 }
             };
             JobRecord {
@@ -692,6 +863,7 @@ fn run_one(
                 cache_hit,
                 seconds: started.elapsed().as_secs_f64(),
                 outcome,
+                profile,
             }
         }
     }
@@ -706,6 +878,43 @@ fn relaxed_options(base: &SynthesisOptions) -> SynthesisOptions {
         .with_pruning(Pruning::Greedy)
         .with_stop_at_first(true)
         .with_max_queue(Some(10_000))
+}
+
+/// One ladder tier: runs the search with the job's flight recorder
+/// attached (when tracing) and folds the tier's phase timings into the
+/// job profile whether or not it solved.
+fn run_search(
+    spec: &MultiPprm,
+    sopts: &SynthesisOptions,
+    recorder: Option<&FlightRecorder>,
+    profile: &mut PhaseProfile,
+) -> Result<Synthesis, Option<StopReason>> {
+    let mut observer = match recorder {
+        Some(r) => Observer::null().with_recorder(r.clone()),
+        None => Observer::null(),
+    };
+    match synthesize_with_observer(spec, sopts, &mut observer) {
+        Ok(s) => {
+            profile.merge(&s.stats.profile);
+            Ok(s)
+        }
+        Err(e) => {
+            profile.merge(&e.stats.profile);
+            Err(e.stats.stop_reason)
+        }
+    }
+}
+
+/// Records a fallback-ladder descent: a tier-escalation trace record
+/// plus an anomaly, since escalation means a solver tier failed.
+fn escalate(recorder: Option<&FlightRecorder>, from: SolveTier, to: SolveTier) {
+    if let Some(r) = recorder {
+        r.record(TraceKind::TierEscalate {
+            from: from.as_str().to_string(),
+            to: to.as_str().to_string(),
+        });
+        r.anomaly("tier_escalation", "engine/ladder");
+    }
 }
 
 /// Runs the synthesis ladder on one (canonical) spec.
@@ -727,27 +936,33 @@ fn synthesize_ladder(
     spec: &MultiPprm,
     sopts: &SynthesisOptions,
     fallback: bool,
+    recorder: Option<&FlightRecorder>,
+    profile: &mut PhaseProfile,
     perm_for_mmd: impl FnOnce() -> Option<Permutation>,
 ) -> Result<(Circuit, SolveTier), Option<StopReason>> {
-    let tier1 = match synthesize(spec, sopts) {
+    let tier1 = match run_search(spec, sopts, recorder, profile) {
         Ok(s) => return Ok((s.circuit, SolveTier::Rmrls)),
-        Err(e) => e.stats.stop_reason,
+        Err(reason) => reason,
     };
     if !fallback || sopts.budget.cancelled() {
         return Err(tier1);
     }
-    let tier2 = match synthesize(spec, &relaxed_options(sopts)) {
+    escalate(recorder, SolveTier::Rmrls, SolveTier::RmrlsRelaxed);
+    let tier2 = match run_search(spec, &relaxed_options(sopts), recorder, profile) {
         Ok(s) => return Ok((s.circuit, SolveTier::RmrlsRelaxed)),
-        Err(e) => e.stats.stop_reason.or(tier1),
+        Err(reason) => reason.or(tier1),
     };
     if sopts.budget.cancelled() {
         return Err(tier2);
     }
     match perm_for_mmd() {
-        Some(p) => Ok((
-            mmd_synthesize(&p, MmdVariant::Bidirectional),
-            SolveTier::Mmd,
-        )),
+        Some(p) => {
+            escalate(recorder, SolveTier::RmrlsRelaxed, SolveTier::Mmd);
+            Ok((
+                mmd_synthesize(&p, MmdVariant::Bidirectional),
+                SolveTier::Mmd,
+            ))
+        }
         None => Err(tier2),
     }
 }
@@ -796,9 +1011,19 @@ fn tally_tier(tier: SolveTier, counters: &RunCounters) {
 }
 
 /// Converts a fired failpoint into a contained `Error` record, so
-/// injected faults flow through the same bookkeeping as real ones.
-fn injected_error(e: rmrls_obs::FailError, counters: &RunCounters) -> JobOutcome {
+/// injected faults flow through the same bookkeeping as real ones —
+/// including an anomaly naming the site, so the fault matrix can assert
+/// every injected class surfaces in a dump.
+fn injected_error(
+    e: rmrls_obs::FailError,
+    site: &'static str,
+    recorder: Option<&FlightRecorder>,
+    counters: &RunCounters,
+) -> JobOutcome {
     counters.jobs_errored.inc();
+    if let Some(r) = recorder {
+        r.anomaly("injected_fault", site);
+    }
     JobOutcome::Error {
         message: e.to_string(),
     }
@@ -810,10 +1035,26 @@ fn execute_job(
     shutdown: &ShutdownHandles,
     cache: Option<&Mutex<CircuitCache>>,
     counters: &RunCounters,
-) -> (JobOutcome, bool) {
+    recorder: Option<&FlightRecorder>,
+) -> (JobOutcome, bool, PhaseProfile) {
+    // The engine-side profiler times the stages the search cannot see
+    // (canonicalization + cache, verification); the search's own phase
+    // table merges in through the ladder. `finish(ZERO)` contributes no
+    // "other" time, so the job's residual stays attributed to the
+    // search's wall clock, not double-counted here.
+    let mut profiler = if opts.synthesis.profile {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
+    let mut profile = PhaseProfile::default();
     // Failpoint: a worker falling over as it picks the job up.
     if let Err(e) = rmrls_obs::fail::trigger("engine/worker/dispatch") {
-        return (injected_error(e, counters), false);
+        return (
+            injected_error(e, "engine/worker/dispatch", recorder, counters),
+            false,
+            profile,
+        );
     }
     let mut sopts = opts
         .synthesis
@@ -827,6 +1068,7 @@ fn execute_job(
             // Always synthesize the canonical representative — cache on
             // or off — so results never depend on scheduling (see the
             // module docs).
+            let t_cache = profiler.start();
             let (canon_table, sigma) = canonical_form(p, opts.canon_limit);
             let key = CacheKey {
                 num_vars: p.num_vars(),
@@ -839,19 +1081,26 @@ fn execute_job(
                 Ok(()) => cache.and_then(|m| lock(m).get(&key)),
                 Err(_) => None,
             };
+            profiler.stop("cache", t_cache);
             if canon_solution.is_some() {
                 counters.cache_hits.inc();
                 cache_hit = true;
-            } else {
+            } else if cache.is_some() {
+                counters.cache_misses.inc();
+            }
+            if let Some(r) = recorder {
                 if cache.is_some() {
-                    counters.cache_misses.inc();
+                    r.record(TraceKind::CacheLookup { hit: cache_hit });
                 }
+            }
+            if !cache_hit {
                 let spec = MultiPprm::from_permutation(&key.table, key.num_vars);
-                let ladder = synthesize_ladder(&spec, &sopts, opts.fallback, || {
-                    (key.num_vars <= MMD_FALLBACK_LIMIT)
-                        .then(|| Permutation::from_vec(key.table.clone()).ok())
-                        .flatten()
-                });
+                let ladder =
+                    synthesize_ladder(&spec, &sopts, opts.fallback, recorder, &mut profile, || {
+                        (key.num_vars <= MMD_FALLBACK_LIMIT)
+                            .then(|| Permutation::from_vec(key.table.clone()).ok())
+                            .flatten()
+                    });
                 match ladder {
                     Ok((circuit, tier)) => {
                         // Failpoint: a failed insert only costs future
@@ -863,7 +1112,10 @@ fn execute_job(
                         }
                         canon_solution = Some((circuit, tier));
                     }
-                    Err(reason) => return (unsolved(reason, counters), cache_hit),
+                    Err(reason) => {
+                        profile.merge(&profiler.finish(Duration::ZERO));
+                        return (unsolved(reason, counters), cache_hit, profile);
+                    }
                 }
             }
             let (canon_circuit, tier) = canon_solution.expect("hit or fresh");
@@ -871,12 +1123,20 @@ fn execute_job(
             // Failpoint: the verifier itself failing. An unverifiable
             // result must not be reported as solved.
             if let Err(e) = rmrls_obs::fail::trigger("engine/worker/pre-verify") {
-                return (injected_error(e, counters), cache_hit);
+                profile.merge(&profiler.finish(Duration::ZERO));
+                return (
+                    injected_error(e, "engine/worker/pre-verify", recorder, counters),
+                    cache_hit,
+                    profile,
+                );
             }
+            let t_verify = profiler.start();
             let verified = opts.verify.then(|| verify_permutation(&circuit, p));
+            profiler.stop("verify", t_verify);
             tally_verify(verified, counters);
             tally_tier(tier, counters);
             counters.jobs_completed.inc();
+            profile.merge(&profiler.finish(Duration::ZERO));
             (
                 JobOutcome::Solved {
                     circuit,
@@ -884,6 +1144,7 @@ fn execute_job(
                     solved_by: tier,
                 },
                 cache_hit,
+                profile,
             )
         }
         SpecData::Pprm(m) => {
@@ -891,20 +1152,29 @@ fn execute_job(
             // ladder still applies, with tier 3 gated on the spec
             // having a materializable (reversible, narrow-enough)
             // truth table.
-            let ladder = synthesize_ladder(m, &sopts, opts.fallback, || {
-                (m.num_vars() <= MMD_FALLBACK_LIMIT)
-                    .then(|| Permutation::from_vec(m.to_permutation()).ok())
-                    .flatten()
-            });
+            let ladder =
+                synthesize_ladder(m, &sopts, opts.fallback, recorder, &mut profile, || {
+                    (m.num_vars() <= MMD_FALLBACK_LIMIT)
+                        .then(|| Permutation::from_vec(m.to_permutation()).ok())
+                        .flatten()
+                });
             match ladder {
                 Ok((circuit, tier)) => {
                     if let Err(e) = rmrls_obs::fail::trigger("engine/worker/pre-verify") {
-                        return (injected_error(e, counters), false);
+                        profile.merge(&profiler.finish(Duration::ZERO));
+                        return (
+                            injected_error(e, "engine/worker/pre-verify", recorder, counters),
+                            false,
+                            profile,
+                        );
                     }
+                    let t_verify = profiler.start();
                     let verified = opts.verify.then(|| verify_pprm(&circuit, m));
+                    profiler.stop("verify", t_verify);
                     tally_verify(verified, counters);
                     tally_tier(tier, counters);
                     counters.jobs_completed.inc();
+                    profile.merge(&profiler.finish(Duration::ZERO));
                     (
                         JobOutcome::Solved {
                             circuit,
@@ -912,9 +1182,13 @@ fn execute_job(
                             solved_by: tier,
                         },
                         false,
+                        profile,
                     )
                 }
-                Err(reason) => (unsolved(reason, counters), false),
+                Err(reason) => {
+                    profile.merge(&profiler.finish(Duration::ZERO));
+                    (unsolved(reason, counters), false, profile)
+                }
             }
         }
     }

@@ -14,7 +14,7 @@ use rmrls_engine::{
     read_journal, run_batch, run_batch_resumable, suite_admissions, BatchOptions, JobOutcome,
     JournalHeader, JournalWriter, ShutdownHandles,
 };
-use rmrls_obs::fail;
+use rmrls_obs::{fail, Json, RecorderSnapshot, TraceKind};
 
 static GUARD: Mutex<()> = Mutex::new(());
 
@@ -182,6 +182,105 @@ fn injected_delay_slows_but_does_not_change_results() {
     let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
     fail::clear();
     assert_eq!(run.results_jsonl(), reference.results_jsonl());
+}
+
+/// Parses every `.anomaly.json` in `dir` and returns true when any of
+/// them carries an anomaly record matching `kind` at `site`.
+fn any_dump_names(dir: &std::path::Path, kind: &str, site: &str) -> bool {
+    std::fs::read_dir(dir).unwrap().any(|entry| {
+        let path = entry.unwrap().path();
+        if !path.to_str().unwrap().ends_with(".anomaly.json") {
+            return false;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = Json::parse(&text).expect("anomaly dump is valid JSON");
+        let snapshot = RecorderSnapshot::from_json(&json).expect("dump parses");
+        snapshot.records.iter().any(|r| {
+            matches!(&r.kind, TraceKind::Anomaly { kind: k, site: s } if k == kind && s == site)
+        })
+    })
+}
+
+#[test]
+fn every_fault_class_produces_an_anomaly_dump_naming_the_site() {
+    let _g = serial();
+    // (failpoint config, expected anomaly kind, expected failing site).
+    // The panic class is attributed to the containment site — the
+    // worker's catch_unwind — because the panic unwound past the
+    // injection point before anything could record it.
+    let matrix = [
+        (
+            "engine/worker/dispatch=err@2",
+            "injected_fault",
+            "engine/worker/dispatch",
+        ),
+        (
+            "engine/worker/pre-verify=err@1",
+            "injected_fault",
+            "engine/worker/pre-verify",
+        ),
+        (
+            "engine/worker/dispatch=panic@3",
+            "panic",
+            "engine/worker/job",
+        ),
+        (
+            "core/search/budget-poll=err@1",
+            "cancelled",
+            "core/search/budget-poll",
+        ),
+    ];
+    for (config, kind, site) in matrix {
+        let dir = std::env::temp_dir().join(format!("rmrls-fault-dump-{}", kind.replace('/', "_")));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        fail::configure(config).unwrap();
+        let jobs = suite_admissions("examples").unwrap();
+        let opts = BatchOptions {
+            trace_dir: Some(dir.to_str().unwrap().to_string()),
+            ..options()
+        };
+        let run = run_batch(&jobs, &opts, &ShutdownHandles::new());
+        fail::clear();
+        assert!(
+            run.counters.anomaly_dumps >= 1,
+            "{config}: fault left no anomaly dump ({:?})",
+            run.counters
+        );
+        assert_eq!(run.counters.trace_write_errors, 0, "{config}");
+        assert!(
+            any_dump_names(&dir, kind, site),
+            "{config}: no dump records {kind}@{site}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn journal_append_fault_lands_in_the_anomaly_dump() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join("rmrls-fault-dump-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let opts = BatchOptions {
+        trace_dir: Some(dir.to_str().unwrap().to_string()),
+        ..options()
+    };
+    let header = JournalHeader::new(&jobs, &opts);
+    let path = scratch("append-fault-dump.jsonl");
+    let writer = Mutex::new(JournalWriter::create(&path, &header).unwrap());
+    fail::configure("engine/journal/append=err@2").unwrap();
+    let run = run_batch_resumable(&jobs, &opts, &ShutdownHandles::new(), Some(&writer), None);
+    fail::clear();
+    drop(writer);
+    assert_eq!(run.counters.journal_append_errors, 1);
+    assert!(run.counters.anomaly_dumps >= 1);
+    assert!(
+        any_dump_names(&dir, "journal_append_failed", "engine/journal/append"),
+        "append fault must surface in the job's anomaly dump"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,309 @@
+//! Per-phase span profiling.
+//!
+//! A [`Profiler`] accumulates wall time and call counts per named phase
+//! ("scoring", "materialize", "dedup", ...). The cheap path is a single
+//! branch: when the profiler is disabled, [`Profiler::start`] returns
+//! `None` without reading the clock and [`Profiler::stop`] returns
+//! immediately, so the hot loop pays nothing measurable.
+//!
+//! At the end of a run, [`Profiler::finish`] freezes the accumulated
+//! spans into a [`PhaseProfile`] and appends a derived `"other"` phase
+//! covering the wall time no instrumented phase claimed, so the
+//! profile's `total_seconds` equals the run's wall time exactly.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// Accumulates per-phase wall time during a run.
+///
+/// ```
+/// use rmrls_obs::Profiler;
+/// let mut p = Profiler::enabled();
+/// let t = p.start();
+/// // ... scoring work ...
+/// p.stop("scoring", t);
+/// let profile = p.finish(std::time::Duration::from_millis(5));
+/// assert_eq!(profile.phases.last().unwrap().name, "other");
+/// ```
+#[derive(Debug, Default)]
+pub struct Profiler {
+    enabled: bool,
+    /// `(phase, calls, nanos)` in first-seen order.
+    entries: Vec<(&'static str, u64, u64)>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing; `start`/`stop` cost one branch.
+    pub fn disabled() -> Profiler {
+        Profiler {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A profiler that records every span.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begins a span. Returns `None` (without touching the clock) when
+    /// the profiler is disabled; pass the token to [`Profiler::stop`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a span begun by [`Profiler::start`], crediting its wall
+    /// time to `phase`. A `None` token is a no-op.
+    #[inline]
+    pub fn stop(&mut self, phase: &'static str, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            self.add(phase, 1, nanos);
+        }
+    }
+
+    /// Credits `calls` invocations totalling `nanos` to `phase`
+    /// directly (used when a caller batches its own timing).
+    pub fn add(&mut self, phase: &'static str, calls: u64, nanos: u64) {
+        if !self.enabled {
+            return;
+        }
+        for entry in &mut self.entries {
+            if entry.0 == phase {
+                entry.1 += calls;
+                entry.2 += nanos;
+                return;
+            }
+        }
+        self.entries.push((phase, calls, nanos));
+    }
+
+    /// Freezes the accumulated spans against a run's total wall time.
+    ///
+    /// The returned profile carries every recorded phase plus a final
+    /// `"other"` phase holding `wall - sum(phases)` (clamped at zero),
+    /// so `total_seconds()` equals `wall` whenever the instrumented
+    /// phases fit inside it. Returns an empty profile when disabled.
+    pub fn finish(&self, wall: Duration) -> PhaseProfile {
+        if !self.enabled {
+            return PhaseProfile::default();
+        }
+        let mut phases: Vec<PhaseEntry> = self
+            .entries
+            .iter()
+            .map(|&(name, calls, nanos)| PhaseEntry {
+                name: name.to_string(),
+                calls,
+                seconds: nanos as f64 / 1e9,
+            })
+            .collect();
+        let measured: f64 = phases.iter().map(|p| p.seconds).sum();
+        phases.push(PhaseEntry {
+            name: "other".to_string(),
+            calls: 0,
+            seconds: (wall.as_secs_f64() - measured).max(0.0),
+        });
+        PhaseProfile { phases }
+    }
+}
+
+/// One row of a [`PhaseProfile`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseEntry {
+    /// Phase name (`"scoring"`, `"materialize"`, ..., `"other"`).
+    pub name: String,
+    /// Number of spans credited to this phase (0 for `"other"`).
+    pub calls: u64,
+    /// Total wall time in seconds.
+    pub seconds: f64,
+}
+
+/// A frozen per-phase wall-time table for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseProfile {
+    /// Phases in first-seen order; the derived `"other"` phase is last.
+    pub phases: Vec<PhaseEntry>,
+}
+
+impl PhaseProfile {
+    /// Whether profiling was off (no phases recorded).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sum of all phase times, including `"other"`.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Seconds credited to a named phase, if present.
+    pub fn seconds(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.seconds)
+    }
+
+    /// Merges another profile into this one (used by the batch engine's
+    /// cross-job aggregation and bidirectional runs).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.calls += p.calls;
+                    q.seconds += p.seconds;
+                }
+                None => self.phases.push(p.clone()),
+            }
+        }
+    }
+
+    /// Serializes as `[{"phase":..,"calls":..,"seconds":..}, ...]`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("phase".into(), Json::str(&p.name)),
+                        ("calls".into(), Json::uint(p.calls)),
+                        ("seconds".into(), Json::Num(p.seconds)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Parses the [`PhaseProfile::to_json`] shape back.
+    pub fn from_json(json: &Json) -> Option<PhaseProfile> {
+        let arr = json.as_arr()?;
+        let mut phases = Vec::with_capacity(arr.len());
+        for row in arr {
+            phases.push(PhaseEntry {
+                name: row.get("phase")?.as_str()?.to_string(),
+                calls: row.get("calls")?.as_u64()?,
+                seconds: row.get("seconds")?.as_f64()?,
+            });
+        }
+        Some(PhaseProfile { phases })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        let t = p.start();
+        assert!(t.is_none());
+        p.stop("scoring", t);
+        p.add("scoring", 5, 1_000);
+        assert!(p.finish(Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let mut p = Profiler::enabled();
+        p.add("scoring", 3, 30_000);
+        p.add("dedup", 1, 5_000);
+        p.add("scoring", 2, 20_000);
+        let profile = p.finish(Duration::from_micros(100));
+        assert_eq!(profile.phases.len(), 3);
+        assert_eq!(profile.phases[0].name, "scoring");
+        assert_eq!(profile.phases[0].calls, 5);
+        assert!((profile.phases[0].seconds - 50e-6).abs() < 1e-12);
+        assert_eq!(profile.phases[2].name, "other");
+    }
+
+    #[test]
+    fn other_phase_makes_totals_equal_wall_time() {
+        let mut p = Profiler::enabled();
+        p.add("scoring", 10, 40_000_000);
+        p.add("materialize", 4, 10_000_000);
+        let wall = Duration::from_millis(75);
+        let profile = p.finish(wall);
+        assert!((profile.total_seconds() - wall.as_secs_f64()).abs() < 1e-9);
+        assert!((profile.seconds("other").unwrap() - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overshoot_clamps_other_at_zero() {
+        let mut p = Profiler::enabled();
+        p.add("scoring", 1, 2_000_000_000);
+        let profile = p.finish(Duration::from_secs(1));
+        assert_eq!(profile.seconds("other"), Some(0.0));
+    }
+
+    #[test]
+    fn live_start_stop_measures_time() {
+        let mut p = Profiler::enabled();
+        let t = p.start();
+        assert!(t.is_some());
+        std::thread::sleep(Duration::from_millis(1));
+        p.stop("verify", t);
+        let profile = p.finish(Duration::from_secs(1));
+        assert!(profile.seconds("verify").unwrap() >= 1e-3);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let mut p = Profiler::enabled();
+        p.add("scoring", 7, 1_234_567);
+        p.add("dedup", 2, 89_000);
+        let profile = p.finish(Duration::from_millis(10));
+        let json = profile.to_json();
+        let reparsed = Json::parse(&json.to_string()).unwrap();
+        let back = PhaseProfile::from_json(&reparsed).unwrap();
+        assert_eq!(back.phases.len(), profile.phases.len());
+        for (a, b) in back.phases.iter().zip(&profile.phases) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.calls, b.calls);
+            assert!((a.seconds - b.seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_sums_matching_phases() {
+        let mut a = PhaseProfile {
+            phases: vec![PhaseEntry {
+                name: "scoring".into(),
+                calls: 2,
+                seconds: 0.5,
+            }],
+        };
+        let b = PhaseProfile {
+            phases: vec![
+                PhaseEntry {
+                    name: "scoring".into(),
+                    calls: 3,
+                    seconds: 0.25,
+                },
+                PhaseEntry {
+                    name: "dedup".into(),
+                    calls: 1,
+                    seconds: 0.1,
+                },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.phases[0].calls, 5);
+        assert!((a.phases[0].seconds - 0.75).abs() < 1e-12);
+        assert_eq!(a.phases[1].name, "dedup");
+    }
+}
