@@ -1,0 +1,301 @@
+//! Parallel-search scaling: wall-clock speedup of the speculative
+//! worker pool (`SynthesisOptions::threads`) on the four hard
+//! single-job workloads (ex5, 4_49, alu, decod24) across thread counts
+//! 1/2/4/8, under a *node* budget so every run pops the identical
+//! sequence of states regardless of machine speed.
+//!
+//! Correctness is asserted before any number is reported: for every
+//! workload the synthesized circuit, the expansion count, and the stop
+//! reason must be byte-identical at every thread count — the parallel
+//! search is speculation around an unchanged sequential commit order
+//! (DESIGN §5f), so any divergence is a bug, not noise.
+//!
+//! Single-thread regression: `threads = 1` short-circuits to the serial
+//! loop before any parallel structure is allocated (`pop_next` returns
+//! straight off the heap when no engine is attached), so the serial
+//! path is the pre-change instruction stream plus dead `Option` checks.
+//! The bench still measures it twice — once before and once after the
+//! parallel sweep — and reports the spread between the two passes as
+//! the noise floor the speedup figures are quoted against; a future
+//! change that accidentally drags parallel work onto the serial path
+//! shows up here as an inflated serial time (and therefore a fake
+//! speedup). The 3% spread bound is enforced under the same condition
+//! as the speedup contract (≥4 cores, non-smoke): on a 1-core host
+//! every background process steals directly from the measured core
+//! and wall-clock spreads are dominated by neighbors, not by rmrls.
+//!
+//! The speedup contract (≥2.5x at 4 threads) is only *enforced* when
+//! the host actually has ≥4 cores: `available_cores` is recorded in the
+//! JSON payload, and on a 1-core host the multi-thread figures measure
+//! oversubscription overhead, not speedup (same policy as the batch
+//! bench, DESIGN §5c).
+//!
+//! Output: a human-readable table, plus the `BENCH_pr7.json` payload on
+//! request (`RMRLS_BENCH_OUT=path`). `RMRLS_SMOKE=1` shrinks the node
+//! budget to a CI-sized smoke run (correctness checks still run).
+
+use std::time::Instant;
+
+use rmrls_core::{synthesize, Pruning, StopReason, SynthesisOptions};
+use rmrls_obs::Json;
+use rmrls_spec::benchmarks;
+
+const WORKLOADS: [&str; 4] = ["ex5", "4_49", "alu", "decod24"];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SPEEDUP_TARGET: f64 = 2.5;
+const SPEEDUP_TARGET_THREADS: usize = 4;
+const SERIAL_SPREAD_BOUND: f64 = 0.03;
+
+fn smoke() -> bool {
+    std::env::var("RMRLS_SMOKE")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// Everything a run must reproduce exactly at every thread count.
+#[derive(PartialEq, Debug)]
+struct Outcome {
+    circuit: Option<String>,
+    gates: Option<usize>,
+    nodes_expanded: u64,
+    children_pushed: u64,
+    stop_reason: Option<StopReason>,
+}
+
+/// One timed synthesis; returns the deterministic outcome, the elapsed
+/// seconds, and the speculation-hit count (scheduling-dependent, only
+/// used to confirm the pool actually engaged).
+fn run(spec: &rmrls_pprm::MultiPprm, options: &SynthesisOptions) -> (Outcome, f64, u64) {
+    let start = Instant::now();
+    let (outcome, hits) = match synthesize(spec, options) {
+        Ok(result) => (
+            Outcome {
+                circuit: Some(result.circuit.to_string()),
+                gates: Some(result.circuit.gate_count()),
+                nodes_expanded: result.stats.nodes_expanded,
+                children_pushed: result.stats.children_pushed,
+                stop_reason: result.stats.stop_reason,
+            },
+            result.stats.spec_hits,
+        ),
+        Err(err) => (
+            Outcome {
+                circuit: None,
+                gates: None,
+                nodes_expanded: err.stats.nodes_expanded,
+                children_pushed: err.stats.children_pushed,
+                stop_reason: err.stats.stop_reason,
+            },
+            err.stats.spec_hits,
+        ),
+    };
+    (outcome, start.elapsed().as_secs_f64(), hits)
+}
+
+/// Minimum elapsed over `reps` runs (asserting every rep reproduces the
+/// reference outcome).
+fn timed(
+    spec: &rmrls_pprm::MultiPprm,
+    options: &SynthesisOptions,
+    reps: usize,
+    reference: Option<&Outcome>,
+    name: &str,
+) -> (Outcome, f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut kept: Option<(Outcome, u64)> = None;
+    for _ in 0..reps {
+        let (outcome, secs, hits) = run(spec, options);
+        if let Some(reference) = reference {
+            assert_eq!(
+                &outcome, reference,
+                "{name}: outcome diverged at {} threads",
+                options.threads
+            );
+        }
+        if secs < best {
+            best = secs;
+        }
+        kept = Some((outcome, hits));
+    }
+    let (outcome, hits) = kept.expect("reps >= 1");
+    (outcome, best, hits)
+}
+
+fn main() {
+    let smoke = smoke();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let enforce = !smoke && cores >= SPEEDUP_TARGET_THREADS;
+    let (max_nodes, serial_reps, par_reps) = if smoke {
+        (2_000u64, 1usize, 1usize)
+    } else {
+        (120_000, 3, 1)
+    };
+    println!(
+        "parallel scaling: {} workloads x threads {THREADS:?}, node budget {max_nodes}, \
+         available cores: {cores}{}",
+        WORKLOADS.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let base = SynthesisOptions::new()
+        .with_pruning(Pruning::TopK(4))
+        .with_max_gates(150)
+        .with_max_nodes(max_nodes);
+
+    let mut total_hits = 0u64;
+    let mut rows: Vec<Json> = Vec::new();
+    let mut speedup_at_target: Vec<(String, f64)> = Vec::new();
+
+    for name in WORKLOADS {
+        let spec = benchmarks::find(name)
+            .unwrap_or_else(|| panic!("benchmark {name} missing"))
+            .to_multi_pprm();
+
+        // Serial pass A establishes the reference outcome.
+        let serial = base.clone().with_threads(1);
+        let (reference, serial_a, _) = timed(&spec, &serial, serial_reps, None, name);
+
+        let mut thread_times: Vec<(usize, f64)> = Vec::new();
+        for threads in THREADS.into_iter().skip(1) {
+            let options = base.clone().with_threads(threads);
+            let (_, secs, hits) = timed(&spec, &options, par_reps, Some(&reference), name);
+            total_hits += hits;
+            thread_times.push((threads, secs));
+        }
+
+        // Serial pass B: the A/B spread is the noise floor, and a
+        // serial path that silently grew parallel work inflates it.
+        let (_, serial_b, _) = timed(&spec, &serial, serial_reps, Some(&reference), name);
+        let serial_secs = serial_a.min(serial_b);
+        let spread = (serial_a - serial_b).abs() / serial_secs;
+
+        println!(
+            "\n{name}: {} nodes, {}, serial {serial_secs:.3}s (A/B spread {:+.1}%)",
+            reference.nodes_expanded,
+            match reference.gates {
+                Some(g) => format!("solved in {g} gates"),
+                None => "unsolved within budget".to_string(),
+            },
+            spread * 100.0
+        );
+        println!("| threads | seconds | speedup |");
+        println!("|---------|---------|---------|");
+        println!("| {:>7} | {serial_secs:>7.3} | {:>6.2}x |", 1, 1.0);
+        let mut finished_rows = vec![Json::Obj(vec![
+            ("threads".to_string(), Json::uint(1)),
+            ("seconds".to_string(), Json::Num(serial_secs)),
+            ("speedup_vs_serial".to_string(), Json::Num(1.0)),
+        ])];
+        for (threads, secs) in thread_times {
+            let speedup = serial_secs / secs;
+            println!("| {threads:>7} | {secs:>7.3} | {speedup:>6.2}x |");
+            if threads == SPEEDUP_TARGET_THREADS {
+                speedup_at_target.push((name.to_string(), speedup));
+            }
+            finished_rows.push(Json::Obj(vec![
+                ("threads".to_string(), Json::uint(threads as u64)),
+                ("seconds".to_string(), Json::Num(secs)),
+                ("speedup_vs_serial".to_string(), Json::Num(speedup)),
+            ]));
+        }
+
+        if enforce {
+            assert!(
+                spread < SERIAL_SPREAD_BOUND,
+                "{name}: serial A/B passes differ by {:+.1}% (bound {:.0}%)",
+                spread * 100.0,
+                SERIAL_SPREAD_BOUND * 100.0
+            );
+        }
+
+        rows.push(Json::Obj(vec![
+            ("name".to_string(), Json::str(name)),
+            (
+                "solved".to_string(),
+                Json::Bool(reference.circuit.is_some()),
+            ),
+            (
+                "gates".to_string(),
+                match reference.gates {
+                    Some(g) => Json::uint(g as u64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "nodes_expanded".to_string(),
+                Json::uint(reference.nodes_expanded),
+            ),
+            (
+                "children_pushed".to_string(),
+                Json::uint(reference.children_pushed),
+            ),
+            ("seconds_serial".to_string(), Json::Num(serial_secs)),
+            (
+                "serial_nodes_per_sec".to_string(),
+                Json::Num(reference.nodes_expanded as f64 / serial_secs),
+            ),
+            ("serial_ab_spread_fraction".to_string(), Json::Num(spread)),
+            ("threads".to_string(), Json::Arr(finished_rows)),
+        ]));
+    }
+
+    // The pool must have actually served speculated expansions — a
+    // scheduler that never completes a speculation in time would still
+    // produce identical circuits (live expansion covers every miss) but
+    // would make the speedup table meaningless.
+    assert!(
+        total_hits > 0,
+        "no speculative expansion was consumed anywhere in the sweep"
+    );
+
+    let enforce_speedup = enforce;
+    println!(
+        "\nspeedup contract (>={SPEEDUP_TARGET}x at {SPEEDUP_TARGET_THREADS} threads): {}",
+        if enforce_speedup {
+            "enforced"
+        } else if smoke {
+            "skipped (smoke run)"
+        } else {
+            "skipped (host has too few cores; figures above measure oversubscription)"
+        }
+    );
+    if enforce_speedup {
+        for (name, speedup) in &speedup_at_target {
+            assert!(
+                *speedup >= SPEEDUP_TARGET,
+                "{name}: {speedup:.2}x at {SPEEDUP_TARGET_THREADS} threads is below the \
+                 {SPEEDUP_TARGET}x contract"
+            );
+        }
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".to_string(), Json::str("parallel_scaling_pr7")),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        ("available_cores".to_string(), Json::uint(cores as u64)),
+        ("max_nodes".to_string(), Json::uint(max_nodes)),
+        ("speedup_target".to_string(), Json::Num(SPEEDUP_TARGET)),
+        (
+            "speedup_target_threads".to_string(),
+            Json::uint(SPEEDUP_TARGET_THREADS as u64),
+        ),
+        (
+            "speedup_contract_enforced".to_string(),
+            Json::Bool(enforce_speedup),
+        ),
+        (
+            "serial_spread_bound".to_string(),
+            Json::Num(SERIAL_SPREAD_BOUND),
+        ),
+        ("workloads".to_string(), Json::Arr(rows)),
+    ]);
+
+    if let Ok(path) = std::env::var("RMRLS_BENCH_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, format!("{report}\n")).expect("write RMRLS_BENCH_OUT");
+            println!("wrote {path}");
+        }
+    }
+}

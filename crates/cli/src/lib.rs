@@ -73,6 +73,10 @@ USAGE:
 
 SYNTH OPTIONS:
   --pruning greedy|exhaustive|topN   substitution pruning (default exhaustive)
+  --threads N                        search threads inside the job
+                                     (default: available parallelism;
+                                     1 = serial; output is byte-identical
+                                     for any value)
   --time-limit SECONDS               wall-clock budget
   --max-gates N                      circuit size cap
   --bidi                             synthesize f and f^-1, keep the smaller
@@ -97,6 +101,10 @@ SYNTH OPTIONS:
 
 BATCH OPTIONS:
   --jobs N            worker threads (default: available parallelism)
+  --threads N         search threads inside each job (default 1; results
+                      are byte-identical for any value, but workers ×
+                      threads is checked against the core count and
+                      oversubscription draws a warning)
   --deadline-ms M     per-job wall-clock deadline in milliseconds
   --cache-size K      canonical-form result cache capacity (default 1024)
   --no-cache          disable the result cache
@@ -197,6 +205,8 @@ pub enum Command {
         source: SpecSource,
         /// Pruning strategy.
         pruning: Pruning,
+        /// Intra-job search threads (`None` = available parallelism).
+        threads: Option<usize>,
         /// Wall-clock budget.
         time_limit: Option<Duration>,
         /// Gate cap.
@@ -235,6 +245,9 @@ pub enum Command {
         source: BatchSource,
         /// Worker threads (`None` = available parallelism).
         jobs: Option<usize>,
+        /// Intra-job search threads (`None` = the batch default of 1;
+        /// batch parallelism comes from `jobs` unless asked otherwise).
+        threads: Option<usize>,
         /// Per-job wall-clock deadline.
         deadline: Option<Duration>,
         /// Result-cache capacity (`None` disables the cache).
@@ -358,6 +371,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut manifest = None;
     let mut suite = None;
     let mut jobs = None;
+    let mut threads = None;
     let mut deadline_ms = None;
     let mut cache_size = None;
     let mut no_cache = false;
@@ -433,6 +447,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 }
                 jobs = Some(n);
             }
+            "--threads" => {
+                let v = take_value(&mut args, "--threads")?;
+                let n: usize = v.parse().map_err(|_| err("bad --threads"))?;
+                if n == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+                threads = Some(n);
+            }
             "--deadline-ms" => {
                 let v = take_value(&mut args, "--deadline-ms")?;
                 let ms: u64 = v.parse().map_err(|_| err("bad --deadline-ms"))?;
@@ -486,6 +508,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     if (dump.is_some() || chrome_out.is_some()) && cmd != "trace" {
         return Err(err("--dump and --chrome-out apply only to 'trace'"));
     }
+    if threads.is_some() && cmd != "synth" && cmd != "batch" {
+        return Err(err("--threads applies only to 'synth' and 'batch'"));
+    }
 
     match cmd.as_str() {
         "synth" => {
@@ -508,6 +533,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             Ok(Command::Synth {
                 source: parse_source(spec, benchmark, tfc_path, spec_file)?,
                 pruning,
+                threads,
                 time_limit,
                 max_gates,
                 bidirectional,
@@ -537,6 +563,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             Ok(Command::Batch {
                 source,
                 jobs,
+                threads,
                 deadline: deadline_ms,
                 cache_size: if no_cache {
                     None
@@ -621,6 +648,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
         Command::Synth {
             source,
             pruning,
+            threads,
             time_limit,
             max_gates,
             bidirectional,
@@ -642,6 +670,9 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 .with_pruning(pruning)
                 .with_fredkin_substitutions(fredkin)
                 .with_profile(profile);
+            if let Some(n) = threads {
+                opts = opts.with_threads(n);
+            }
             if let Some(t) = time_limit {
                 opts = opts.with_time_limit(t);
             }
@@ -818,6 +849,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
         Command::Batch {
             source,
             jobs,
+            threads,
             deadline,
             cache_size,
             canon_limit,
@@ -863,6 +895,25 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             };
             if profile {
                 options.synthesis = options.synthesis.with_profile(true);
+            }
+            if let Some(n) = threads {
+                options.synthesis = options.synthesis.clone().with_threads(n);
+            }
+            // workers × per-job search threads is the real concurrency;
+            // oversubscribing cores costs throughput without changing
+            // results (the parallel search is deterministic), so it is
+            // a warning, not an error.
+            let per_job_threads = options.synthesis.resolved_threads();
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if workers * per_job_threads > cores {
+                writeln!(
+                    out,
+                    "warning: {workers} workers x {per_job_threads} search threads \
+                     oversubscribes {cores} available cores"
+                )
+                .map_err(|e| err(e.to_string()))?;
             }
             let header = rmrls_engine::JournalHeader::new(&admissions, &options);
 
@@ -1319,6 +1370,21 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_is_scoped() {
+        match parse(&["synth", "--spec", "0,1", "--threads", "4"]).unwrap() {
+            Command::Synth { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["synth", "--spec", "0,1"]).unwrap() {
+            Command::Synth { threads, .. } => assert_eq!(threads, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["synth", "--spec", "0,1", "--threads", "0"]).is_err());
+        assert!(parse(&["mmd", "--spec", "0,1", "--threads", "2"]).is_err());
+        assert!(parse(&["trace", "--dump", "d.json", "--threads", "2"]).is_err());
+    }
+
+    #[test]
     fn unknown_flag_rejected() {
         assert!(parse(&["synth", "--spec", "0,1", "--frobnicate"]).is_err());
     }
@@ -1338,6 +1404,61 @@ mod tests {
         let mut out = String::new();
         run(cmd, &mut out).expect("ex1 should synthesize");
         assert!(out.contains("gates:"), "{out}");
+    }
+
+    #[test]
+    fn run_synth_output_identical_across_threads() {
+        let mut serial = String::new();
+        run(
+            parse(&["synth", "--benchmark", "ex2", "--threads", "1"]).unwrap(),
+            &mut serial,
+        )
+        .expect("serial synth");
+        let mut parallel = String::new();
+        run(
+            parse(&["synth", "--benchmark", "ex2", "--threads", "4"]).unwrap(),
+            &mut parallel,
+        )
+        .expect("parallel synth");
+        // The "search:" stats line embeds the wall-clock time, which
+        // differs between any two runs; everything else (the circuit,
+        // its rendering, the counts) must be byte-identical.
+        let deterministic = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("search:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            deterministic(&serial),
+            deterministic(&parallel),
+            "output must not depend on --threads"
+        );
+    }
+
+    #[test]
+    fn run_batch_warns_on_thread_oversubscription() {
+        // workers x threads guaranteed to exceed this machine's cores.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = (cores * 2).to_string();
+        let cmd = parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--jobs",
+            "2",
+            "--threads",
+            &threads,
+        ])
+        .unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).expect("batch runs despite oversubscription");
+        assert!(
+            out.contains("warning") && out.contains("oversubscribes"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1838,12 +1959,15 @@ mod tests {
             "--trace",
             "traces",
             "--profile",
+            "--threads",
+            "2",
         ])
         .unwrap()
         {
             Command::Batch {
                 source,
                 jobs,
+                threads,
                 deadline,
                 cache_size,
                 canon_limit,
@@ -1858,6 +1982,7 @@ mod tests {
             } => {
                 assert_eq!(source, BatchSource::Suite("examples".into()));
                 assert_eq!(jobs, Some(4));
+                assert_eq!(threads, Some(2));
                 assert_eq!(deadline, Some(Duration::from_millis(250)));
                 assert_eq!(cache_size, Some(64));
                 assert_eq!(canon_limit, 6);
@@ -1880,6 +2005,7 @@ mod tests {
             Command::Batch {
                 source,
                 jobs,
+                threads,
                 cache_size,
                 canon_limit,
                 verify,
@@ -1890,6 +2016,7 @@ mod tests {
             } => {
                 assert_eq!(source, BatchSource::Manifest("jobs.txt".into()));
                 assert_eq!(jobs, None);
+                assert_eq!(threads, None);
                 assert_eq!(cache_size, Some(1024));
                 assert_eq!(canon_limit, 8);
                 assert!(verify);
@@ -1903,6 +2030,7 @@ mod tests {
         assert!(parse(&["batch"]).is_err());
         assert!(parse(&["batch", "--manifest", "a", "--suite", "table4"]).is_err());
         assert!(parse(&["batch", "--suite", "table4", "--jobs", "0"]).is_err());
+        assert!(parse(&["batch", "--suite", "table4", "--threads", "0"]).is_err());
         assert!(parse(&[
             "batch",
             "--suite",

@@ -39,6 +39,7 @@ mod budget;
 mod embedding_search;
 mod observe;
 mod options;
+mod parallel;
 mod portfolio;
 mod report;
 mod search;

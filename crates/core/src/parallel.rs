@@ -1,0 +1,650 @@
+//! Speculative worker pool for the intra-job parallel search.
+//!
+//! # Architecture: speculation + sequential commit
+//!
+//! A naive parallel best-first search (every thread popping from a
+//! shared queue) cannot keep the output byte-identical across thread
+//! counts: two threads racing the visited table on equal-depth
+//! duplicate states with different gate-path prefixes would let the OS
+//! scheduler pick the surviving circuit prefix. This module therefore
+//! parallelizes the *work per node* instead of the *order of nodes*:
+//!
+//! - The **commit thread** (the caller of `synthesize`) runs the exact
+//!   serial algorithm — same pops, same pruning, same dedup, same
+//!   restarts — and is the only thread that mutates search state.
+//! - **Workers** receive the best frontier entries ahead of time (the
+//!   speculation window of [`crate::search`]), and for each node
+//!   compute the full enumeration of candidate scores — the dominant
+//!   cost of an expansion — plus, for candidates likely to survive
+//!   pruning, the materialized child states.
+//! - When the commit thread pops a node whose result is ready, it
+//!   **replays** its serial expansion from the precomputed scores
+//!   instead of re-running the counting kernels.
+//!
+//! Correctness never depends on the workers: a score is a pure function
+//! of `(state, move)`, both sides enumerate moves with the shared
+//! [`crate::search::enumerate_move_groups`], and pre-materialized
+//! children are keyed by enumeration index, so replay is
+//! input-for-input identical to live expansion. Worker-side filters
+//! (the stale depth-cutoff read, the shared seen-fingerprint hint
+//! table) only decide *how much* to pre-build, never what the commit
+//! thread admits. A lost, failed, or late result degrades to a live
+//! expansion on the commit thread.
+//!
+//! Everything here is `std`-only: `std::thread` for the pool,
+//! `Mutex<VecDeque>` deques with work stealing for distribution, a
+//! fixed-size open-addressed table of `AtomicU64` CAS slots for the
+//! shared fingerprint hints.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use rmrls_circuit::Gate;
+use rmrls_pprm::{MultiPprm, SubstCount, SubstScratch};
+
+use crate::search::{apply_move, candidate_priority, enumerate_move_groups, score_move};
+use crate::SynthesisOptions;
+
+/// Number of `AtomicU64` slots in the shared seen-fingerprint table
+/// (512 KiB). The table is a hint cache, not the authoritative visited
+/// set: a full table just means fewer skipped pre-materializations.
+const SEEN_SLOTS: usize = 1 << 16;
+/// Linear probes before giving up on a seen-table insert/lookup.
+const SEEN_PROBES: usize = 8;
+
+/// Everything a worker needs to speculatively expand one node.
+pub(crate) struct WorkItem {
+    /// The entry's queue sequence number — the replay key. Unique per
+    /// pushed entry and bound to one immutable state, so a result can
+    /// never be applied to the wrong node.
+    pub(crate) seq: u64,
+    pub(crate) depth: u32,
+    /// Last gate on the node's path (the type-3 enumeration consults
+    /// it); the path itself stays on the commit thread.
+    pub(crate) parent_gate: Option<Gate>,
+    pub(crate) state: Arc<MultiPprm>,
+}
+
+/// One scored move, in exact enumeration order.
+#[derive(Clone, Copy)]
+pub(crate) struct SpecScore {
+    pub(crate) score: SubstCount,
+    /// `Some(flag)` when the score matched the identity signature and
+    /// the worker materialized the child to confirm (`flag` =
+    /// `is_identity()`); `None` otherwise.
+    pub(crate) identity: Option<bool>,
+}
+
+/// A completed speculative expansion, consumed move-by-move by the
+/// commit thread's replay.
+pub(crate) struct SpecReplay {
+    scores: Vec<SpecScore>,
+    /// Pre-materialized children keyed by enumeration index.
+    premat: HashMap<usize, MultiPprm>,
+    cursor: usize,
+}
+
+impl SpecReplay {
+    /// The next precomputed score, in enumeration order. `None` only if
+    /// the replay ran dry (enumeration mismatch — impossible while both
+    /// sides share the enumerator; the caller falls back to live
+    /// scoring).
+    pub(crate) fn next_score(&mut self) -> Option<SpecScore> {
+        let s = self.scores.get(self.cursor).copied();
+        debug_assert!(s.is_some(), "speculative replay ran dry");
+        self.cursor += 1;
+        s
+    }
+
+    /// Takes the pre-materialized child for an enumeration index.
+    pub(crate) fn take_premat(&mut self, idx: usize) -> Option<MultiPprm> {
+        self.premat.remove(&idx)
+    }
+}
+
+/// Lifecycle of one submitted work item.
+enum Slot {
+    /// In a deque or being processed.
+    Queued,
+    /// Result ready.
+    Done(SpecReplay),
+    /// The worker failpoint erred — expand live instead.
+    Failed,
+    /// The commit thread dropped the node before the result arrived;
+    /// the worker discards the result on completion.
+    Discarded,
+}
+
+/// Monotonic totals of worker-side activity, folded into
+/// [`crate::SearchStats`] when the search finishes.
+pub(crate) struct ParTotals {
+    pub(crate) steals: u64,
+    pub(crate) contention_retries: u64,
+    pub(crate) seen_hits: u64,
+    pub(crate) scored: u64,
+    pub(crate) materialized: u64,
+}
+
+/// Fixed-capacity open-addressed fingerprint set over atomic CAS slots
+/// — the "sharded visited table" hint the workers consult before
+/// pre-materializing a child. Only the commit thread inserts (mirroring
+/// its authoritative `visited` map), so a hit can only be a fingerprint
+/// the serial dedup would also see; a miss (including a full-table
+/// give-up) merely means the worker builds a child the commit thread
+/// may then reject.
+struct SeenTable {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+    contention_retries: AtomicU64,
+}
+
+impl SeenTable {
+    fn new() -> SeenTable {
+        let slots = (0..SEEN_SLOTS).map(|_| AtomicU64::new(0)).collect();
+        SeenTable {
+            slots,
+            mask: SEEN_SLOTS - 1,
+            contention_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts a fingerprint (fingerprint 0 is never stored; missing it
+    /// is harmless for a hint table).
+    fn insert(&self, fp: u64) {
+        if fp == 0 {
+            return;
+        }
+        for i in 0..SEEN_PROBES {
+            let slot = &self.slots[(fp as usize).wrapping_add(i) & self.mask];
+            let cur = slot.load(Ordering::Relaxed);
+            if cur == fp {
+                return;
+            }
+            if cur == 0 {
+                match slot.compare_exchange(0, fp, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => return,
+                    Err(actual) => {
+                        self.contention_retries.fetch_add(1, Ordering::Relaxed);
+                        if actual == fp {
+                            return;
+                        }
+                        // Another fingerprint claimed the slot; keep
+                        // probing.
+                    }
+                }
+            }
+        }
+    }
+
+    fn contains(&self, fp: u64) -> bool {
+        if fp == 0 {
+            return false;
+        }
+        for i in 0..SEEN_PROBES {
+            let cur = self.slots[(fp as usize).wrapping_add(i) & self.mask].load(Ordering::Relaxed);
+            if cur == fp {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Read-only context shared with every worker.
+struct WorkerCtx {
+    options: SynthesisOptions,
+    init_terms: usize,
+    identity_fp: u64,
+}
+
+/// State shared between the commit thread and the workers.
+struct Shared {
+    ctx: WorkerCtx,
+    /// One work deque per worker; the owner pops its front, idle
+    /// workers steal from other deques' backs.
+    deques: Vec<Mutex<VecDeque<WorkItem>>>,
+    /// Version counter bumped on every submit/shutdown, guarded by its
+    /// own mutex so a worker can sleep without missing a wakeup: it
+    /// records the version, rescans the deques, and only waits if the
+    /// version is unchanged.
+    signal: Mutex<u64>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Submitted-item lifecycle, keyed by queue `seq`.
+    slots: Mutex<HashMap<u64, Slot>>,
+    done_cv: Condvar,
+    /// Depth cutoff hint (monotone non-increasing, written by the
+    /// commit thread). A stale read over-materializes, never corrupts.
+    cutoff: AtomicU32,
+    seen: SeenTable,
+    /// First worker panic message; the commit thread re-raises it.
+    panic_msg: Mutex<Option<String>>,
+    panicked: AtomicBool,
+    steals: AtomicU64,
+    seen_hits: AtomicU64,
+    scored: AtomicU64,
+    materialized: AtomicU64,
+}
+
+impl Shared {
+    /// Blocks until a work item is available (own deque first, then
+    /// stealing) or shutdown. `None` means shut down.
+    fn find_work(&self, me: usize) -> Option<WorkItem> {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let version = *self.signal.lock().expect("signal lock");
+            if let Some(item) = self.deques[me].lock().expect("deque lock").pop_front() {
+                return Some(item);
+            }
+            for k in 1..self.deques.len() {
+                let victim = (me + k) % self.deques.len();
+                if let Some(item) = self.deques[victim].lock().expect("deque lock").pop_back() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+            }
+            let guard = self.signal.lock().expect("signal lock");
+            if *guard == version && !self.shutdown.load(Ordering::Acquire) {
+                // No submit happened since the scan; sleep until one
+                // does.
+                drop(self.work_cv.wait(guard).expect("signal wait"));
+            }
+        }
+    }
+
+    /// Speculatively expands one node: scores every enumerated move and
+    /// materializes the children likely to survive pruning. Pure with
+    /// respect to the search — all outputs are functions of the item's
+    /// immutable state.
+    fn process(&self, item: &WorkItem, scratch: &mut SubstScratch) -> Slot {
+        if rmrls_obs::fail::trigger("core/search/worker-task").is_err() {
+            return Slot::Failed;
+        }
+        let ctx = &self.ctx;
+        let state = item.state.as_ref();
+        let n = state.num_vars();
+        let child_depth = item.depth + 1;
+        let groups = enumerate_move_groups(state, &ctx.options, item.parent_gate);
+        let mut scores: Vec<SpecScore> = Vec::new();
+        let mut premat: HashMap<usize, MultiPprm> = HashMap::new();
+        let mut materialized = 0u64;
+        for group in &groups {
+            let group_base = scores.len();
+            // (enumeration index, priority) of pushable candidates, in
+            // enumeration order — mirrors the serial candidate vector
+            // so the same sort yields the same pruning survivors.
+            let mut ranked: Vec<(usize, f64)> = Vec::new();
+            for em in &group.moves {
+                let idx = scores.len();
+                let score = score_move(state, em.mv, scratch);
+                let mut identity = None;
+                if score.terms == n && score.fingerprint == ctx.identity_fp {
+                    let (child, _) = apply_move(state, em.mv, scratch);
+                    materialized += 1;
+                    identity = Some(child.is_identity());
+                }
+                if identity != Some(true) {
+                    if let Some(priority) = candidate_priority(
+                        &ctx.options,
+                        ctx.init_terms,
+                        n,
+                        child_depth,
+                        &score,
+                        em.lits,
+                        em.allow_growth,
+                    ) {
+                        ranked.push((idx, priority));
+                    }
+                }
+                scores.push(SpecScore { score, identity });
+            }
+            if let Some(keep) = ctx.options.pruning.keep() {
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+                ranked.truncate(keep);
+            }
+            for (idx, _) in ranked {
+                // Perf-only filters: skip children the commit thread
+                // would reject anyway (stale reads err toward building
+                // too much, never too little admitted).
+                if child_depth >= self.cutoff.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let fp = scores[idx].score.fingerprint;
+                if ctx.options.dedup_states && self.seen.contains(fp) {
+                    self.seen_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let (child, _) = apply_move(state, group.moves[idx - group_base].mv, scratch);
+                materialized += 1;
+                premat.insert(idx, child);
+            }
+        }
+        self.scored
+            .fetch_add(scores.len() as u64, Ordering::Relaxed);
+        self.materialized.fetch_add(materialized, Ordering::Relaxed);
+        Slot::Done(SpecReplay {
+            scores,
+            premat,
+            cursor: 0,
+        })
+    }
+
+    /// Publishes a finished item and wakes the commit thread.
+    fn complete(&self, seq: u64, slot: Slot) {
+        let mut slots = self.slots.lock().expect("slots lock");
+        match slots.get(&seq) {
+            Some(Slot::Discarded) => {
+                // The commit thread dropped this node; free the entry.
+                slots.remove(&seq);
+            }
+            _ => {
+                slots.insert(seq, slot);
+            }
+        }
+        drop(slots);
+        self.done_cv.notify_all();
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, me: usize) {
+    let mut scratch = SubstScratch::new();
+    while let Some(item) = shared.find_work(me) {
+        let seq = item.seq;
+        match panic::catch_unwind(AssertUnwindSafe(|| shared.process(&item, &mut scratch))) {
+            Ok(slot) => shared.complete(seq, slot),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let mut slot = shared.panic_msg.lock().expect("panic lock");
+                slot.get_or_insert(msg);
+                drop(slot);
+                shared.panicked.store(true, Ordering::Release);
+                shared.complete(seq, Slot::Failed);
+                // This worker dies; the commit thread re-raises the
+                // panic the next time it waits for a result.
+                break;
+            }
+        }
+    }
+}
+
+/// Handle to the worker pool, owned by the commit thread's search.
+pub(crate) struct ParEngine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Round-robin submission target.
+    next: usize,
+}
+
+impl ParEngine {
+    /// Spawns `threads` workers. The commit thread is not counted: it
+    /// coordinates and replays, and spends most of its time either
+    /// admitting children or blocked waiting for the next result.
+    pub(crate) fn new(
+        threads: usize,
+        options: &SynthesisOptions,
+        init_terms: usize,
+        identity_fp: u64,
+        initial_cutoff: u32,
+    ) -> ParEngine {
+        let shared = Arc::new(Shared {
+            ctx: WorkerCtx {
+                options: options.clone(),
+                init_terms,
+                identity_fp,
+            },
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Mutex::new(0),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            slots: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            cutoff: AtomicU32::new(initial_cutoff),
+            seen: SeenTable::new(),
+            panic_msg: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            seen_hits: AtomicU64::new(0),
+            scored: AtomicU64::new(0),
+            materialized: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rmrls-search-{me}"))
+                    .spawn(move || worker_main(shared, me))
+                    .expect("spawn search worker")
+            })
+            .collect();
+        ParEngine {
+            shared,
+            handles,
+            next: 0,
+        }
+    }
+
+    /// Submits a frontier entry for speculative expansion. Idempotent
+    /// per `seq`: a re-submission after a trim re-admitted the entry is
+    /// a no-op while its first result is still tracked.
+    pub(crate) fn submit(&mut self, item: WorkItem) {
+        {
+            let mut slots = self.shared.slots.lock().expect("slots lock");
+            if slots.contains_key(&item.seq) {
+                return;
+            }
+            slots.insert(item.seq, Slot::Queued);
+        }
+        self.shared.deques[self.next]
+            .lock()
+            .expect("deque lock")
+            .push_back(item);
+        self.next = (self.next + 1) % self.shared.deques.len();
+        let mut version = self.shared.signal.lock().expect("signal lock");
+        *version += 1;
+        drop(version);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Blocks until the result for `seq` is available and takes it.
+    /// `None` means no usable result (never submitted, failpoint error,
+    /// or discarded): the caller expands the node live. Re-raises a
+    /// worker panic on the commit thread.
+    pub(crate) fn take(&self, seq: u64) -> Option<SpecReplay> {
+        let mut slots = self.shared.slots.lock().expect("slots lock");
+        loop {
+            if self.shared.panicked.load(Ordering::Acquire) {
+                drop(slots);
+                let msg = self
+                    .shared
+                    .panic_msg
+                    .lock()
+                    .expect("panic lock")
+                    .clone()
+                    .unwrap_or_default();
+                panic!("search worker panicked: {msg}");
+            }
+            match slots.get(&seq) {
+                Some(Slot::Queued) => {
+                    slots = self.shared.done_cv.wait(slots).expect("done wait");
+                }
+                Some(Slot::Done(_)) => match slots.remove(&seq) {
+                    Some(Slot::Done(replay)) => return Some(replay),
+                    _ => unreachable!("slot changed under the lock"),
+                },
+                Some(Slot::Failed) | Some(Slot::Discarded) => {
+                    slots.remove(&seq);
+                    return None;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Marks a dropped entry's speculation as never-to-be-consumed.
+    pub(crate) fn discard(&self, seq: u64) {
+        let mut slots = self.shared.slots.lock().expect("slots lock");
+        match slots.get(&seq) {
+            Some(Slot::Queued) => {
+                slots.insert(seq, Slot::Discarded);
+            }
+            Some(_) => {
+                slots.remove(&seq);
+            }
+            None => {}
+        }
+    }
+
+    /// Publishes a tightened depth cutoff to the workers.
+    pub(crate) fn set_cutoff(&self, cutoff: u32) {
+        self.shared.cutoff.store(cutoff, Ordering::Relaxed);
+    }
+
+    /// Mirrors an authoritative visited-table insert into the shared
+    /// hint table.
+    pub(crate) fn seen_insert(&self, fp: u64) {
+        self.shared.seen.insert(fp);
+    }
+
+    /// Snapshot of the scheduling-dependent totals.
+    pub(crate) fn totals(&self) -> ParTotals {
+        ParTotals {
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            contention_retries: self.shared.seen.contention_retries.load(Ordering::Relaxed),
+            seen_hits: self.shared.seen_hits.load(Ordering::Relaxed),
+            scored: self.shared.scored.load(Ordering::Relaxed),
+            materialized: self.shared.materialized.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ParEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut version = self.shared.signal.lock().expect("signal lock");
+            *version += 1;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already delivered its message via
+            // the panic slot; a second panic from join would abort the
+            // unwind in progress.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seen_table_inserts_and_finds() {
+        let t = SeenTable::new();
+        assert!(!t.contains(42));
+        t.insert(42);
+        assert!(t.contains(42));
+        t.insert(42);
+        assert!(t.contains(42), "idempotent insert");
+        assert!(!t.contains(0), "zero is never stored");
+        t.insert(0);
+        assert!(!t.contains(0));
+    }
+
+    #[test]
+    fn seen_table_survives_probe_collisions() {
+        let t = SeenTable::new();
+        // Fingerprints landing in the same probe window must coexist.
+        let base = 7u64;
+        for i in 0..SEEN_PROBES as u64 {
+            let fp = base + i * (SEEN_SLOTS as u64) * 0x1_0000_0000;
+            // All map near the same slot index modulo the mask.
+            t.insert(fp | (base << 32));
+        }
+        for i in 0..SEEN_PROBES as u64 {
+            let fp = base + i * (SEEN_SLOTS as u64) * 0x1_0000_0000;
+            assert!(t.contains(fp | (base << 32)), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn engine_round_trips_a_work_item() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let options = SynthesisOptions::new();
+        let init_terms = spec.total_terms();
+        let identity_fp = MultiPprm::identity(3).fingerprint();
+        let mut engine = ParEngine::new(2, &options, init_terms, identity_fp, u32::MAX);
+        engine.submit(WorkItem {
+            seq: 1,
+            depth: 0,
+            parent_gate: None,
+            state: Arc::new(spec.clone()),
+        });
+        let replay = engine.take(1).expect("result");
+        let groups = enumerate_move_groups(&spec, &options, None);
+        let total_moves: usize = groups.iter().map(|g| g.moves.len()).sum();
+        assert_eq!(replay.scores.len(), total_moves);
+        // Scores must match a fresh serial computation move for move.
+        let mut scratch = SubstScratch::new();
+        let mut idx = 0;
+        for group in &groups {
+            for em in &group.moves {
+                let expected = score_move(&spec, em.mv, &mut scratch);
+                assert_eq!(replay.scores[idx].score, expected, "move {idx}");
+                idx += 1;
+            }
+        }
+        // Pre-materialized children agree with their predicted scores.
+        for (i, child) in &replay.premat {
+            assert_eq!(child.fingerprint(), replay.scores[*i].score.fingerprint);
+            assert_eq!(child.total_terms(), replay.scores[*i].score.terms);
+        }
+        assert_eq!(engine.totals().scored, total_moves as u64);
+    }
+
+    #[test]
+    fn discard_before_completion_frees_the_slot() {
+        let spec = MultiPprm::from_permutation(&[1, 0, 7, 2, 3, 4, 5, 6], 3);
+        let options = SynthesisOptions::new();
+        let mut engine = ParEngine::new(
+            1,
+            &options,
+            spec.total_terms(),
+            MultiPprm::identity(3).fingerprint(),
+            u32::MAX,
+        );
+        engine.submit(WorkItem {
+            seq: 9,
+            depth: 0,
+            parent_gate: None,
+            state: Arc::new(spec),
+        });
+        engine.discard(9);
+        assert!(engine.take(9).is_none(), "discarded result is not served");
+    }
+
+    #[test]
+    fn take_without_submit_is_a_live_expand() {
+        let options = SynthesisOptions::new();
+        let engine = ParEngine::new(
+            1,
+            &options,
+            4,
+            MultiPprm::identity(2).fingerprint(),
+            u32::MAX,
+        );
+        assert!(engine.take(77).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Thread-count determinism: the parallel search is speculation around
+//! an unchanged sequential commit order, so the synthesized circuit and
+//! every replay-derived statistic must be byte-identical for any
+//! `SynthesisOptions::threads` value — including on runs that shed
+//! memory, exhaust budgets, or fail entirely.
+
+use rmrls_core::{synthesize, SearchStats, StopReason, SynthesisOptions, TraceEvent};
+use rmrls_spec::benchmarks;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The deterministic (replay-derived) slice of the statistics. The
+/// scheduling-dependent counters (`spec_*`, `steals`,
+/// `shard_contention_retries`, `dup_races_lost`, `shared_seen_hits`)
+/// and wall-clock times are deliberately excluded.
+#[derive(Debug, PartialEq)]
+struct DetKey {
+    nodes_expanded: u64,
+    children_generated: u64,
+    candidates_scored: u64,
+    candidates_materialized: u64,
+    children_pushed: u64,
+    restarts: u64,
+    solutions_seen: u64,
+    depth_pruned: u64,
+    dedup_hits: u64,
+    dedup_collisions: u64,
+    beam_trims: u64,
+    beam_dropped: u64,
+    queue_peak: u64,
+    memory_sheds: u64,
+    memory_shed_dropped: u64,
+    live_terms_peak: u64,
+    queue_bytes_peak: u64,
+    stop_reason: Option<StopReason>,
+    restart_nodes: Vec<u64>,
+    trace: Vec<TraceEvent>,
+}
+
+fn det_key(stats: &SearchStats) -> DetKey {
+    DetKey {
+        nodes_expanded: stats.nodes_expanded,
+        children_generated: stats.children_generated,
+        candidates_scored: stats.candidates_scored,
+        candidates_materialized: stats.candidates_materialized,
+        children_pushed: stats.children_pushed,
+        restarts: stats.restarts,
+        solutions_seen: stats.solutions_seen,
+        depth_pruned: stats.depth_pruned,
+        dedup_hits: stats.dedup_hits,
+        dedup_collisions: stats.dedup_collisions,
+        beam_trims: stats.beam_trims,
+        beam_dropped: stats.beam_dropped,
+        queue_peak: stats.queue_peak,
+        memory_sheds: stats.memory_sheds,
+        memory_shed_dropped: stats.memory_shed_dropped,
+        live_terms_peak: stats.live_terms_peak,
+        queue_bytes_peak: stats.queue_bytes_peak,
+        stop_reason: stats.stop_reason,
+        restart_nodes: stats
+            .restart_spans
+            .iter()
+            .map(|s| s.nodes_expanded)
+            .collect(),
+        trace: stats.trace.clone(),
+    }
+}
+
+/// Runs one synthesis and returns the rendered circuit (`None` on
+/// failure) plus the deterministic stats key.
+fn run(
+    spec: &rmrls_pprm::MultiPprm,
+    options: &SynthesisOptions,
+    threads: usize,
+) -> (Option<String>, DetKey, u64) {
+    match synthesize(spec, &options.clone().with_threads(threads)) {
+        Ok(result) => {
+            assert_eq!(result.stats.threads_used, threads as u64);
+            let key = det_key(&result.stats);
+            (
+                Some(result.circuit.to_string()),
+                key,
+                result.stats.spec_hits,
+            )
+        }
+        Err(err) => {
+            assert_eq!(err.stats.threads_used, threads as u64);
+            (None, det_key(&err.stats), err.stats.spec_hits)
+        }
+    }
+}
+
+/// Asserts byte-identical circuits and deterministic stats across all
+/// of [`THREADS`], returning the total speculation hits observed on the
+/// multi-threaded runs.
+fn assert_thread_invariant(
+    name: &str,
+    spec: &rmrls_pprm::MultiPprm,
+    options: &SynthesisOptions,
+) -> u64 {
+    let (circuit1, key1, _) = run(spec, options, 1);
+    let mut hits = 0;
+    for threads in THREADS.into_iter().skip(1) {
+        let (circuit_n, key_n, spec_hits) = run(spec, options, threads);
+        assert_eq!(
+            circuit_n, circuit1,
+            "{name}: circuit differs at {threads} threads"
+        );
+        assert_eq!(key_n, key1, "{name}: stats differ at {threads} threads");
+        hits += spec_hits;
+    }
+    hits
+}
+
+#[test]
+fn worked_examples_identical_across_thread_counts() {
+    let options = SynthesisOptions::new()
+        .with_max_nodes(100_000)
+        .with_trace(true);
+    let mut total_hits = 0;
+    for bench in benchmarks::example_suite() {
+        total_hits += assert_thread_invariant(bench.name, &bench.to_multi_pprm(), &options);
+    }
+    // The parallel path must actually have engaged: commit-thread pops
+    // served from completed worker speculations.
+    assert!(
+        total_hits > 0,
+        "no speculative expansion was ever consumed across the suite"
+    );
+}
+
+#[test]
+fn pruning_and_fredkin_variants_identical_across_thread_counts() {
+    use rmrls_core::{FredkinMode, Pruning};
+    let spec = benchmarks::find("decod24").unwrap().to_multi_pprm();
+    for options in [
+        SynthesisOptions::new()
+            .with_pruning(Pruning::TopK(3))
+            .with_max_nodes(50_000),
+        SynthesisOptions::new()
+            .with_pruning(Pruning::Greedy)
+            .with_stop_at_first(true)
+            .with_max_nodes(50_000),
+        SynthesisOptions::new()
+            .with_fredkin_substitutions(FredkinMode::Full)
+            .with_max_nodes(50_000),
+        SynthesisOptions::new()
+            .with_max_queue(Some(64))
+            .with_max_nodes(50_000),
+    ] {
+        assert_thread_invariant("decod24", &spec, &options);
+    }
+}
+
+#[test]
+fn memory_shed_runs_identical_across_thread_counts() {
+    // A tight live-terms budget forces emergency queue sheds (and with
+    // it the union-frontier drain/rebuild path of the parallel search);
+    // the shed decisions are made on the logical frontier under the
+    // serial comparator, so they too must be thread-count-independent.
+    let spec = benchmarks::find("rd53").unwrap().to_multi_pprm();
+    let options = SynthesisOptions::new()
+        .with_max_nodes(3_000)
+        .with_max_live_terms(1_500);
+    let (_, key1, _) = run(&spec, &options, 1);
+    assert!(
+        key1.memory_sheds > 0,
+        "workload must actually shed to exercise the path"
+    );
+    assert_thread_invariant("rd53-shed", &spec, &options);
+}
+
+#[test]
+fn unsolved_runs_identical_across_thread_counts() {
+    // Budget-bounded failure: the node budget expires mid-search and
+    // the NoSolutionError stats must match exactly, including the stop
+    // reason and restart spans.
+    let spec = benchmarks::find("hwb4").unwrap().to_multi_pprm();
+    let options = SynthesisOptions::new().with_max_nodes(400);
+    let (circuit, key1, _) = run(&spec, &options, 1);
+    assert!(circuit.is_none(), "budget must expire before a solution");
+    assert_eq!(key1.stop_reason, Some(StopReason::NodeBudget));
+    assert_thread_invariant("hwb4-budget", &spec, &options);
+}
+
+#[test]
+fn restart_schedule_identical_across_thread_counts() {
+    // Restarts drain the frontier and reseed from the root children —
+    // in parallel mode that also discards every in-flight speculation.
+    let spec = benchmarks::find("4_49").unwrap().to_multi_pprm();
+    let options = SynthesisOptions::new()
+        .with_restart_after(Some(500))
+        .with_max_nodes(4_000);
+    let (_, key1, _) = run(&spec, &options, 1);
+    assert!(key1.restarts > 0, "workload must actually restart");
+    assert_thread_invariant("4_49-restarts", &spec, &options);
+}

@@ -125,7 +125,12 @@ pub struct BatchOptions {
 impl Default for BatchOptions {
     /// One worker, 1024-entry cache, canonicalization up to 8 wires,
     /// verification on, and a 200k-node search budget so a batch
-    /// without a deadline still terminates.
+    /// without a deadline still terminates. Per-job search threads are
+    /// pinned to 1: batch parallelism comes from `workers`, and letting
+    /// every worker also auto-spawn `available_parallelism` search
+    /// threads would oversubscribe the machine quadratically. Callers
+    /// wanting intra-job parallelism set `synthesis.threads` (the CLI's
+    /// `--threads`) explicitly.
     fn default() -> BatchOptions {
         BatchOptions {
             workers: 1,
@@ -135,7 +140,9 @@ impl Default for BatchOptions {
             verify: true,
             fallback: false,
             trace_dir: None,
-            synthesis: SynthesisOptions::new().with_max_nodes(200_000),
+            synthesis: SynthesisOptions::new()
+                .with_max_nodes(200_000)
+                .with_threads(1),
         }
     }
 }
