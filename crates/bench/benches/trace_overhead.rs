@@ -15,6 +15,11 @@
 //!    reads the clock around every scoring / materialize / dedup span,
 //!    which is real per-node cost on a small kernel; its overhead is
 //!    reported but not capped (see DESIGN.md §5e).
+//! 4. **Live telemetry** (PR 8) — the `--metrics-addr` hook: a progress
+//!    beat per `TIME_CHECK_INTERVAL` pops updating the job board's
+//!    atomics and the latency histograms, exactly what the engine wires
+//!    up for a scrapeable run. Must stay within 3% of the baseline
+//!    (`BENCH_pr8.json`; see DESIGN.md §5g).
 //!
 //! Throughput is measured as full searches over a fixed set of random
 //! 4-variable permutations, median-of-reps, same-workload
@@ -124,14 +129,52 @@ fn main() {
         synthesize_with_observer(s, &profiled, &mut obs).is_ok()
     });
 
+    // 5. Live telemetry: the --metrics-addr progress hook — job-board
+    //    atomics plus expansion-batch histogram per beat, job latency
+    //    histogram per search. (The HTTP server itself is off the hot
+    //    path: scrapes happen on their own thread.)
+    let telemetry =
+        std::sync::Arc::new(rmrls_engine::BatchTelemetry::new(vec!["bench".to_string()]));
+    let (tele_secs, tele_solved) = timed(&specs, reps, |s| {
+        let t = std::sync::Arc::clone(&telemetry);
+        let batches = std::sync::Arc::clone(&telemetry.expansion_batch_seconds);
+        let mut last_beat = Instant::now();
+        let mut obs = Observer::null().with_progress(Box::new(move |p| {
+            t.jobs.update_progress(
+                0,
+                p.nodes_expanded,
+                p.queue_depth as u64,
+                p.live_terms,
+                p.memory_sheds,
+            );
+            let now = Instant::now();
+            batches.record(now.duration_since(last_beat).as_secs_f64());
+            last_beat = now;
+        }));
+        telemetry.jobs.mark_running(0);
+        let started = Instant::now();
+        let ok = synthesize_with_observer(s, &opts, &mut obs).is_ok();
+        telemetry
+            .job_seconds
+            .record(started.elapsed().as_secs_f64());
+        ok
+    });
+    let beats = telemetry.expansion_batch_seconds.count();
+
     assert_eq!(base_solved, off_solved, "observer must not change results");
     assert_eq!(base_solved, on_solved, "recorder must not change results");
     assert_eq!(base_solved, prof_solved, "profiler must not change results");
+    assert_eq!(
+        base_solved, tele_solved,
+        "telemetry must not change results"
+    );
     assert!(records > 0, "the enabled recorder must actually record");
+    assert!(beats > 0, "the telemetry hook must actually beat");
 
     let off_overhead = (off_secs - base_secs) / base_secs;
     let on_overhead = (on_secs - base_secs) / base_secs;
     let prof_overhead = (prof_secs - base_secs) / base_secs;
+    let tele_overhead = (tele_secs - base_secs) / base_secs;
     println!("baseline (plain synthesize): {base_secs:.3}s, {base_solved}/{count} solved");
     println!(
         "recorder disabled:           {off_secs:.3}s ({:+.1}%)",
@@ -145,6 +188,10 @@ fn main() {
         "recorder + profiler:         {prof_secs:.3}s ({:+.1}% — uncapped, see DESIGN §5e)",
         prof_overhead * 100.0
     );
+    println!(
+        "live telemetry hook:         {tele_secs:.3}s ({:+.1}%)",
+        tele_overhead * 100.0
+    );
     if !smoke {
         // One-sided contracts: measuring *faster* is scheduler noise.
         assert!(
@@ -156,6 +203,11 @@ fn main() {
             on_overhead < 0.10,
             "enabled recorder must cost <10%, measured {:+.1}%",
             on_overhead * 100.0
+        );
+        assert!(
+            tele_overhead < 0.03,
+            "live telemetry must cost <3%, measured {:+.1}%",
+            tele_overhead * 100.0
         );
     }
 
@@ -180,6 +232,12 @@ fn main() {
             "profiled_overhead_fraction".to_string(),
             Json::Num(prof_overhead),
         ),
+        ("seconds_telemetry".to_string(), Json::Num(tele_secs)),
+        (
+            "telemetry_overhead_fraction".to_string(),
+            Json::Num(tele_overhead),
+        ),
+        ("telemetry_beats".to_string(), Json::uint(beats)),
         (
             "records_per_run".to_string(),
             Json::uint(records / reps as u64),

@@ -98,6 +98,11 @@ SYNTH OPTIONS:
                                      (load in chrome://tracing)
   --metrics-out FILE                 write metrics as Prometheus text
                                      exposition
+  --metrics-addr HOST:PORT           serve live telemetry over HTTP while
+                                     the search runs: GET /metrics
+                                     (Prometheus text), /healthz, /jobs.
+                                     Port 0 picks a free port; the bound
+                                     address is announced on stderr
 
 BATCH OPTIONS:
   --jobs N            worker threads (default: available parallelism)
@@ -128,6 +133,14 @@ BATCH OPTIONS:
   --profile           aggregate a per-phase timing profile across jobs
                       into the batch report
   --strict            exit nonzero on any error, panic, or verify failure
+  --metrics-addr HOST:PORT
+                      serve live telemetry over HTTP during the run:
+                      GET /metrics (Prometheus counters, latency
+                      histograms, sampled gauges), /healthz (liveness +
+                      degraded flag), /jobs (per-job status board).
+                      Port 0 picks a free port; the bound address is
+                      announced on stderr. Telemetry is observation-only:
+                      results are byte-identical with or without it
 ";
 
 /// Where the input specification comes from.
@@ -238,6 +251,9 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write a Prometheus text exposition of metrics to this file.
         metrics_out: Option<String>,
+        /// Serve live telemetry over HTTP at this address while the
+        /// search runs.
+        metrics_addr: Option<String>,
     },
     /// `rmrls batch`.
     Batch {
@@ -270,6 +286,9 @@ pub enum Command {
         profile: bool,
         /// Exit nonzero on any error, panic, or verification failure.
         strict: bool,
+        /// Serve live telemetry over HTTP at this address during the
+        /// run.
+        metrics_addr: Option<String>,
     },
     /// `rmrls mmd`.
     Mmd {
@@ -385,6 +404,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut trace = None;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut metrics_addr = None;
     let mut dump = None;
     let mut chrome_out = None;
 
@@ -478,6 +498,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             "--trace" => trace = Some(take_value(&mut args, "--trace")?),
             "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
             "--metrics-out" => metrics_out = Some(take_value(&mut args, "--metrics-out")?),
+            "--metrics-addr" => metrics_addr = Some(take_value(&mut args, "--metrics-addr")?),
             "--dump" => dump = Some(take_value(&mut args, "--dump")?),
             "--chrome-out" => chrome_out = Some(take_value(&mut args, "--chrome-out")?),
             "--fredkin" => {
@@ -504,6 +525,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     }
     if (trace_out.is_some() || metrics_out.is_some()) && cmd != "synth" {
         return Err(err("--trace-out and --metrics-out apply only to 'synth'"));
+    }
+    if metrics_addr.is_some() && cmd != "synth" && cmd != "batch" {
+        return Err(err("--metrics-addr applies only to 'synth' and 'batch'"));
     }
     if (dump.is_some() || chrome_out.is_some()) && cmd != "trace" {
         return Err(err("--dump and --chrome-out apply only to 'trace'"));
@@ -549,6 +573,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 trace,
                 trace_out,
                 metrics_out,
+                metrics_addr,
             })
         }
         "batch" => {
@@ -579,6 +604,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 trace_dir: trace,
                 profile,
                 strict,
+                metrics_addr,
             })
         }
         "trace" => Ok(Command::Trace {
@@ -664,6 +690,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             trace,
             trace_out,
             metrics_out,
+            metrics_addr,
         } => {
             let (pprm, name) = source.resolve()?;
             let mut opts = SynthesisOptions::new()
@@ -703,18 +730,48 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             if let Some(r) = &recorder {
                 obs = obs.with_recorder(r.clone());
             }
-            if progress {
-                obs = obs.with_progress(Box::new(|p: &Progress| {
-                    eprintln!(
-                        "progress: {} nodes, queue {}, best {}, {} restarts, {:.1}s",
-                        p.nodes_expanded,
-                        p.queue_depth,
-                        p.best_gates
-                            .map(|g| g.to_string())
-                            .unwrap_or_else(|| "-".into()),
-                        p.restarts,
-                        p.elapsed.as_secs_f64()
-                    );
+            // Live telemetry: a one-job status board plus latency
+            // histograms, served over HTTP while the search runs.
+            // Observation-only — the progress hook writes slot atomics
+            // and a histogram, so the synthesized circuit is
+            // byte-identical with or without --metrics-addr.
+            let telemetry = metrics_addr.as_ref().map(|_| {
+                std::sync::Arc::new(rmrls_engine::BatchTelemetry::new(vec![name.clone()]))
+            });
+            let _server = match (&metrics_addr, &telemetry) {
+                (Some(addr), Some(t)) => Some(bind_telemetry_server(addr, t)?),
+                _ => None,
+            };
+            if progress || telemetry.is_some() {
+                let tele = telemetry.clone();
+                let mut last_beat = std::time::Instant::now();
+                obs = obs.with_progress(Box::new(move |p: &Progress| {
+                    if let Some(t) = &tele {
+                        t.jobs.update_progress(
+                            0,
+                            p.nodes_expanded,
+                            p.queue_depth as u64,
+                            p.live_terms,
+                            p.memory_sheds,
+                        );
+                        let now = std::time::Instant::now();
+                        t.expansion_batch_seconds
+                            .record(now.duration_since(last_beat).as_secs_f64());
+                        last_beat = now;
+                        t.sample(None);
+                    }
+                    if progress {
+                        eprintln!(
+                            "progress: {} nodes, queue {}, best {}, {} restarts, {:.1}s",
+                            p.nodes_expanded,
+                            p.queue_depth,
+                            p.best_gates
+                                .map(|g| g.to_string())
+                                .unwrap_or_else(|| "-".into()),
+                            p.restarts,
+                            p.elapsed.as_secs_f64()
+                        );
+                    }
                 }));
             }
 
@@ -778,6 +835,11 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                     Ok(())
                 };
 
+            if let Some(t) = &telemetry {
+                t.jobs.mark_running(0);
+                t.sample(None);
+            }
+            let job_started = std::time::Instant::now();
             let outcome = if bidirectional {
                 if pprm.num_vars() > 16 {
                     return Err(err("--bidi needs an explicit truth table (<= 16 wires)"));
@@ -788,6 +850,14 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             } else {
                 synthesize_with_observer(&pprm, &opts, &mut obs)
             };
+            if let Some(t) = &telemetry {
+                t.job_seconds.record(job_started.elapsed().as_secs_f64());
+                match &outcome {
+                    Ok(_) => t.jobs.mark_done(0, Some(rmrls_engine::SolveTier::Rmrls)),
+                    Err(_) => t.jobs.mark_failed(0),
+                }
+                t.sample(None);
+            }
             let result = match outcome {
                 Ok(r) => r,
                 Err(e) => {
@@ -861,6 +931,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             trace_dir,
             profile,
             strict,
+            metrics_addr,
         } => {
             let admissions = match &source {
                 BatchSource::Manifest(path) => {
@@ -908,12 +979,30 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 .map(|n| n.get())
                 .unwrap_or(1);
             if workers * per_job_threads > cores {
+                let suggested = (cores / workers).max(1);
                 writeln!(
                     out,
                     "warning: {workers} workers x {per_job_threads} search threads \
-                     oversubscribes {cores} available cores"
+                     oversubscribes {cores} available cores; try --threads {suggested}"
                 )
                 .map_err(|e| err(e.to_string()))?;
+            }
+
+            // Live telemetry: per-job status board, latency histograms,
+            // and sampled gauges served over HTTP for the whole run.
+            // Deliberately excluded from the options fingerprint — a
+            // scraped run resumes a plain journal and vice versa.
+            let telemetry = metrics_addr.as_ref().map(|_| {
+                std::sync::Arc::new(rmrls_engine::BatchTelemetry::new(
+                    admissions.iter().map(|a| a.name().to_string()).collect(),
+                ))
+            });
+            let _server = match (&metrics_addr, &telemetry) {
+                (Some(addr), Some(t)) => Some(bind_telemetry_server(addr, t)?),
+                _ => None,
+            };
+            if let Some(t) = &telemetry {
+                options.telemetry = Some(std::sync::Arc::clone(t));
             }
             let header = rmrls_engine::JournalHeader::new(&admissions, &options);
 
@@ -1150,6 +1239,27 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                     .map_err(|e| err(e.to_string()))?;
             }
 
+            // Anomaly tally: kind @ site occurrence counts in
+            // first-seen order — the one-glance answer to "what went
+            // wrong, and how often" for an .anomaly.json dump.
+            let mut tally: Vec<(String, u64)> = Vec::new();
+            for r in &snapshot.records {
+                let TraceKind::Anomaly { kind, site } = &r.kind else {
+                    continue;
+                };
+                let key = format!("{kind} @ {site}");
+                match tally.iter_mut().find(|(k, _)| *k == key) {
+                    Some(t) => t.1 += 1,
+                    None => tally.push((key, 1)),
+                }
+            }
+            if !tally.is_empty() {
+                writeln!(out, "anomaly tally:").map_err(|e| err(e.to_string()))?;
+                for (key, n) in &tally {
+                    writeln!(out, "  {key} x{n}").map_err(|e| err(e.to_string()))?;
+                }
+            }
+
             // Each anomaly with the records leading up to it — the
             // trailing context that names the failing site.
             for (i, r) in snapshot.records.iter().enumerate() {
@@ -1281,6 +1391,32 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             Ok(())
         }
     }
+}
+
+/// Binds the live-telemetry HTTP server over a shared telemetry board
+/// and announces the bound address on stderr. Stdout carries the
+/// command's result; stderr is where a scraper discovers the actual
+/// port when `--metrics-addr host:0` asked for an ephemeral one.
+fn bind_telemetry_server(
+    addr: &str,
+    telemetry: &std::sync::Arc<rmrls_engine::BatchTelemetry>,
+) -> Result<rmrls_telemetry::TelemetryServer, CliError> {
+    let (m, h, j) = (
+        std::sync::Arc::clone(telemetry),
+        std::sync::Arc::clone(telemetry),
+        std::sync::Arc::clone(telemetry),
+    );
+    let server = rmrls_telemetry::TelemetryServer::bind(
+        addr,
+        rmrls_telemetry::Providers {
+            metrics: Box::new(move || m.metrics_text()),
+            healthz: Box::new(move || h.healthz_json()),
+            jobs: Box::new(move || j.jobs_json()),
+        },
+    )
+    .map_err(|e| err(format!("cannot bind --metrics-addr {addr}: {e}")))?;
+    eprintln!("telemetry: serving http://{}/metrics", server.local_addr());
+    Ok(server)
 }
 
 /// Folds phase-enter/exit record pairs into per-phase totals
@@ -1459,6 +1595,112 @@ mod tests {
             out.contains("warning") && out.contains("oversubscribes"),
             "{out}"
         );
+        // The warning suggests a per-job thread count that fits.
+        let suggested = (cores / 2).max(1);
+        assert!(out.contains(&format!("try --threads {suggested}")), "{out}");
+    }
+
+    #[test]
+    fn metrics_addr_flag_parses_and_is_scoped() {
+        match parse(&["synth", "--spec", "0,1", "--metrics-addr", "127.0.0.1:0"]).unwrap() {
+            Command::Synth { metrics_addr, .. } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:0"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "batch",
+            "--suite",
+            "examples",
+            "--metrics-addr",
+            "0.0.0.0:9100",
+        ])
+        .unwrap()
+        {
+            Command::Batch { metrics_addr, .. } => {
+                assert_eq!(metrics_addr.as_deref(), Some("0.0.0.0:9100"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["synth", "--spec", "0,1", "--metrics-addr"]).is_err());
+        assert!(parse(&["mmd", "--spec", "0,1", "--metrics-addr", "x:0"]).is_err());
+        assert!(parse(&["trace", "--dump", "d.json", "--metrics-addr", "x:0"]).is_err());
+    }
+
+    #[test]
+    fn metrics_addr_bind_failure_is_an_error_not_a_panic() {
+        let cmd = parse(&["synth", "--spec", "1,0", "--metrics-addr", "not-an-address"]).unwrap();
+        let e = run(cmd, &mut String::new()).unwrap_err();
+        assert!(e.0.contains("--metrics-addr"), "{}", e.0);
+    }
+
+    #[test]
+    fn synth_with_metrics_addr_leaves_output_identical() {
+        let mut plain = String::new();
+        run(parse(&["synth", "--benchmark", "ex1"]).unwrap(), &mut plain).unwrap();
+        let mut live = String::new();
+        run(
+            parse(&[
+                "synth",
+                "--benchmark",
+                "ex1",
+                "--metrics-addr",
+                "127.0.0.1:0",
+            ])
+            .unwrap(),
+            &mut live,
+        )
+        .unwrap();
+        // The "search:" line embeds wall-clock time; everything else
+        // must be byte-identical — telemetry observes, never steers.
+        let deterministic = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("search:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(deterministic(&plain), deterministic(&live));
+    }
+
+    #[test]
+    fn batch_with_metrics_addr_serves_and_journal_is_identical() {
+        let dir = std::env::temp_dir().join("rmrls-cli-metrics-addr-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.jsonl");
+        let live = dir.join("live.jsonl");
+        let batch = |results: &std::path::Path, extra: &[&str]| {
+            let mut v = vec![
+                "batch",
+                "--suite",
+                "examples",
+                "--jobs",
+                "2",
+                "--results",
+                results.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            run(parse(&v).unwrap(), &mut String::new()).unwrap();
+        };
+        batch(&plain, &[]);
+        batch(&live, &["--metrics-addr", "127.0.0.1:0"]);
+        // Byte-identical journals modulo per-job wall-clock seconds.
+        let strip = |path: &std::path::Path| {
+            std::fs::read_to_string(path)
+                .unwrap()
+                .lines()
+                .map(|l| match rmrls_obs::Json::parse(l).unwrap() {
+                    rmrls_obs::Json::Obj(fields) => rmrls_obs::Json::Obj(
+                        fields.into_iter().filter(|(k, _)| k != "seconds").collect(),
+                    )
+                    .to_string(),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&plain), strip(&live));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1643,6 +1885,7 @@ mod tests {
             "--trace",
             "--trace-out",
             "--metrics-out",
+            "--metrics-addr",
             "--dump",
             "--chrome-out",
         ] {
@@ -1802,6 +2045,34 @@ mod tests {
         std::fs::write(&garbage, "not json").unwrap();
         let cmd = parse(&["trace", "--dump", garbage.to_str().unwrap()]).unwrap();
         assert!(run(cmd, &mut String::new()).is_err());
+    }
+
+    #[test]
+    fn trace_subcommand_tallies_anomalies_from_an_anomaly_dump() {
+        let dir = std::env::temp_dir().join("rmrls-cli-anomaly-tally-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("3-rd53.anomaly.json");
+        // Shape of an engine .anomaly.json: a recorder snapshot plus
+        // the job name and the anomaly that triggered the dump.
+        let recorder = FlightRecorder::with_default_budget();
+        recorder.anomaly("memory_shed", "frontier");
+        recorder.anomaly("memory_shed", "frontier");
+        recorder.anomaly("deadline_expired", "search_loop");
+        let mut json = recorder.snapshot().to_json();
+        if let rmrls_obs::Json::Obj(fields) = &mut json {
+            fields.push(("job".into(), rmrls_obs::Json::str("rd53")));
+            fields.push(("trigger".into(), rmrls_obs::Json::str("memory_shed")));
+        }
+        std::fs::write(&path, format!("{json}\n")).unwrap();
+
+        let cmd = parse(&["trace", "--dump", path.to_str().unwrap()]).unwrap();
+        let mut out = String::new();
+        run(cmd, &mut out).unwrap();
+        assert!(out.contains("job: rd53"), "{out}");
+        assert!(out.contains("trigger: memory_shed"), "{out}");
+        assert!(out.contains("anomaly tally:"), "{out}");
+        assert!(out.contains("memory_shed @ frontier x2"), "{out}");
+        assert!(out.contains("deadline_expired @ search_loop x1"), "{out}");
     }
 
     #[test]
@@ -1979,7 +2250,9 @@ mod tests {
                 profile,
                 strict,
                 resume,
+                metrics_addr,
             } => {
+                assert_eq!(metrics_addr, None);
                 assert_eq!(source, BatchSource::Suite("examples".into()));
                 assert_eq!(jobs, Some(4));
                 assert_eq!(threads, Some(2));

@@ -49,6 +49,11 @@ pub struct Progress {
     pub best_gates: Option<u32>,
     /// Restarts performed so far.
     pub restarts: u64,
+    /// Live PPRM terms currently held across frontier + queue (the
+    /// quantity memory budgets cap).
+    pub live_terms: u64,
+    /// Memory sheds performed so far (degraded-mode evictions).
+    pub memory_sheds: u64,
     /// Wall-clock time since the search started.
     pub elapsed: Duration,
 }
@@ -476,6 +481,8 @@ mod tests {
             queue_depth: 17,
             best_gates: None,
             restarts: 0,
+            live_terms: 40,
+            memory_sheds: 0,
             elapsed: Duration::from_millis(1),
         });
         obs.on_run_end("first solution", 128, Some(3));
@@ -517,6 +524,8 @@ mod tests {
             queue_depth: 10,
             best_gates: None,
             restarts: 0,
+            live_terms: 12,
+            memory_sheds: 1,
             elapsed: Duration::from_millis(5),
         });
         assert_eq!(count.get(), 1);

@@ -1380,6 +1380,8 @@ pub fn synthesize_with_observer(
                     queue_depth: search.frontier_len(),
                     best_gates: search.best.as_ref().map(|&(d, _, _)| d),
                     restarts: search.stats.restarts,
+                    live_terms: search.live_terms,
+                    memory_sheds: search.stats.memory_sheds,
                     elapsed: search.start.elapsed(),
                 };
                 search.obs.on_progress(&progress);

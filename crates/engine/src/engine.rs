@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rmrls_baselines::{mmd_synthesize, MmdVariant};
@@ -47,6 +47,12 @@ use crate::canon::{canonical_form, uncanonicalize_circuit};
 use crate::journal::{CompletedJob, JournalWriter};
 use crate::manifest::{Admission, BatchJob, SpecData};
 use crate::signal::ShutdownHandles;
+use crate::telemetry::{BatchTelemetry, SAMPLE_INTERVAL};
+
+/// A worker's handle on the run's telemetry board, paired with the
+/// admission index of the job it is currently executing. `None`
+/// throughout when telemetry is disabled.
+type JobTelemetry<'a> = Option<(&'a Arc<BatchTelemetry>, usize)>;
 
 /// Version of the batch report / results-JSONL schema.
 pub const BATCH_SCHEMA_VERSION: u64 = 1;
@@ -118,6 +124,12 @@ pub struct BatchOptions {
     /// `<index>-<job>.anomaly.json`. `None` (the default) records
     /// nothing.
     pub trace_dir: Option<String>,
+    /// Live telemetry board. When set, the engine sources its run
+    /// counters from the board's registry, feeds the latency
+    /// histograms, drives the job-status registry, and runs a
+    /// background gauge sampler — all observation-only: results are
+    /// byte-identical with telemetry on or off.
+    pub telemetry: Option<Arc<BatchTelemetry>>,
     /// Base search configuration applied to every job.
     pub synthesis: SynthesisOptions,
 }
@@ -140,6 +152,7 @@ impl Default for BatchOptions {
             verify: true,
             fallback: false,
             trace_dir: None,
+            telemetry: None,
             synthesis: SynthesisOptions::new()
                 .with_max_nodes(200_000)
                 .with_threads(1),
@@ -404,26 +417,69 @@ impl BatchCounters {
 
 /// Thread-shared counter set; snapshotted into [`BatchCounters`] once
 /// the pool joins.
+///
+/// With telemetry enabled the handles come from the telemetry board's
+/// registry, so every tally the aggregate report makes is *also* a
+/// live `/metrics` series — one increment, two consumers. Without
+/// telemetry they are free-standing atomics, exactly as before.
 #[derive(Default)]
 struct RunCounters {
-    jobs_completed: SyncCounter,
-    jobs_unsolved: SyncCounter,
-    jobs_errored: SyncCounter,
-    panics_contained: SyncCounter,
-    cache_hits: SyncCounter,
-    cache_misses: SyncCounter,
-    deadline_expired: SyncCounter,
-    cancelled: SyncCounter,
-    verified_ok: SyncCounter,
-    verify_failures: SyncCounter,
-    solved_by_rmrls: SyncCounter,
-    solved_by_relaxed: SyncCounter,
-    solved_by_mmd: SyncCounter,
-    jobs_resumed: SyncCounter,
-    journal_append_errors: SyncCounter,
-    anomaly_dumps: SyncCounter,
-    trace_records_dropped: SyncCounter,
-    trace_write_errors: SyncCounter,
+    jobs_completed: Arc<SyncCounter>,
+    jobs_unsolved: Arc<SyncCounter>,
+    jobs_errored: Arc<SyncCounter>,
+    panics_contained: Arc<SyncCounter>,
+    cache_hits: Arc<SyncCounter>,
+    cache_misses: Arc<SyncCounter>,
+    deadline_expired: Arc<SyncCounter>,
+    cancelled: Arc<SyncCounter>,
+    verified_ok: Arc<SyncCounter>,
+    verify_failures: Arc<SyncCounter>,
+    solved_by_rmrls: Arc<SyncCounter>,
+    solved_by_relaxed: Arc<SyncCounter>,
+    solved_by_mmd: Arc<SyncCounter>,
+    jobs_resumed: Arc<SyncCounter>,
+    journal_append_errors: Arc<SyncCounter>,
+    anomaly_dumps: Arc<SyncCounter>,
+    trace_records_dropped: Arc<SyncCounter>,
+    trace_write_errors: Arc<SyncCounter>,
+    /// Spec-expansion memo hits across all searches (live-only series;
+    /// not part of [`BatchCounters`]).
+    spec_hits: Arc<SyncCounter>,
+    /// Spec-expansion memo misses across all searches (live-only).
+    spec_misses: Arc<SyncCounter>,
+}
+
+impl RunCounters {
+    /// Free-standing counters, or handles registered on the telemetry
+    /// board so the same increments feed `/metrics`.
+    fn new(telemetry: Option<&BatchTelemetry>) -> RunCounters {
+        let Some(t) = telemetry else {
+            return RunCounters::default();
+        };
+        let r = t.registry();
+        RunCounters {
+            jobs_completed: r.counter("jobs_completed"),
+            jobs_unsolved: r.counter("jobs_unsolved"),
+            jobs_errored: r.counter("jobs_errored"),
+            panics_contained: r.counter("panics_contained"),
+            cache_hits: r.counter("cache_hits"),
+            cache_misses: r.counter("cache_misses"),
+            deadline_expired: r.counter("deadline_expired"),
+            cancelled: r.counter("cancelled"),
+            verified_ok: r.counter("verified_ok"),
+            verify_failures: r.counter("verify_failures"),
+            solved_by_rmrls: r.counter("solved_by_rmrls"),
+            solved_by_relaxed: r.counter("solved_by_relaxed"),
+            solved_by_mmd: r.counter("solved_by_mmd"),
+            jobs_resumed: r.counter("jobs_resumed"),
+            journal_append_errors: r.counter("journal_append_errors"),
+            anomaly_dumps: r.counter("anomaly_dumps"),
+            trace_records_dropped: r.counter("trace_records_dropped"),
+            trace_write_errors: r.counter("trace_write_errors"),
+            spec_hits: r.counter("spec_hits"),
+            spec_misses: r.counter("spec_misses"),
+        }
+    }
 }
 
 /// A completed (possibly partially drained) batch run.
@@ -577,7 +633,11 @@ pub fn run_batch_resumable(
     let cache = opts
         .cache_size
         .map(|cap| Mutex::new(CircuitCache::new(cap)));
-    let counters = RunCounters::default();
+    let telemetry = opts.telemetry.as_ref();
+    let counters = RunCounters::new(telemetry.map(Arc::as_ref));
+    if let Some(t) = telemetry {
+        t.set_workers_total(workers as u64);
+    }
     let slots: Vec<Mutex<Option<JobRecord>>> =
         admissions.iter().map(|_| Mutex::new(None)).collect();
     if let Some(done) = resumed {
@@ -586,14 +646,18 @@ pub fn run_batch_resumable(
                 continue;
             }
             tally_resumed(job, &counters);
+            let outcome = JobOutcome::Resumed {
+                json: job.json.clone(),
+            };
+            if let Some(t) = telemetry {
+                t.jobs.mark_finished(index, &outcome);
+            }
             *lock(&slots[index]) = Some(JobRecord {
                 name: admissions[index].name().to_string(),
                 origin: admissions[index].origin().to_string(),
                 cache_hit: false,
                 seconds: 0.0,
-                outcome: JobOutcome::Resumed {
-                    json: job.json.clone(),
-                },
+                outcome,
                 profile: PhaseProfile::default(),
             });
         }
@@ -612,6 +676,20 @@ pub fn run_batch_resumable(
                 shutdown.poll_signals();
                 std::thread::park_timeout(Duration::from_millis(20));
             }
+        });
+        // The sampler publishes point-in-time gauges (frontier depth,
+        // live terms, cache occupancy, busy workers) every beat, so a
+        // scrape mid-run sees current values rather than whatever the
+        // last finished job left behind. One final beat after the pool
+        // drains leaves the gauges at their end-of-run state.
+        let sampler = telemetry.map(|t| {
+            scope.spawn(|| loop {
+                t.sample(cache.as_ref().map(|m| lock(m).len() as u64));
+                if workers_done.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::park_timeout(SAMPLE_INTERVAL);
+            })
         });
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -633,6 +711,9 @@ pub fn run_batch_resumable(
                         .trace_dir
                         .as_ref()
                         .map(|_| FlightRecorder::with_default_budget());
+                    if let Some(t) = telemetry {
+                        t.jobs.mark_running(index);
+                    }
                     let record = run_one(
                         &admissions[index],
                         opts,
@@ -640,7 +721,12 @@ pub fn run_batch_resumable(
                         cache.as_ref(),
                         &counters,
                         recorder.as_ref(),
+                        telemetry.map(|t| (t, index)),
                     );
+                    if let Some(t) = telemetry {
+                        t.job_seconds.record(record.seconds);
+                        t.jobs.mark_finished(index, &record.outcome);
+                    }
                     if let Some(w) = journal {
                         let line = record.to_json_indexed(index).to_string();
                         if lock(w).append(&line).is_err() {
@@ -665,6 +751,9 @@ pub fn run_batch_resumable(
         }
         workers_done.store(true, Ordering::Release);
         monitor.thread().unpark();
+        if let Some(s) = &sampler {
+            s.thread().unpark();
+        }
         if let Some(payload) = worker_panic {
             // Preserve pre-monitor behavior: an uncontained worker
             // panic (a bug — jobs run under catch_unwind) still
@@ -814,6 +903,7 @@ fn run_one(
     cache: Option<&Mutex<CircuitCache>>,
     counters: &RunCounters,
     recorder: Option<&FlightRecorder>,
+    telemetry: JobTelemetry,
 ) -> JobRecord {
     let started = Instant::now();
     let (name, origin) = (admission.name().to_string(), admission.origin().to_string());
@@ -836,7 +926,7 @@ fn run_one(
                 r.phase_enter("job");
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute_job(job, opts, shutdown, cache, counters, recorder)
+                execute_job(job, opts, shutdown, cache, counters, recorder, telemetry)
             }));
             // Exit after catch_unwind returns so the span closes (and
             // nests correctly) even when the job panicked mid-phase.
@@ -895,17 +985,49 @@ fn run_search(
     sopts: &SynthesisOptions,
     recorder: Option<&FlightRecorder>,
     profile: &mut PhaseProfile,
+    counters: &RunCounters,
+    telemetry: JobTelemetry,
 ) -> Result<Synthesis, Option<StopReason>> {
     let mut observer = match recorder {
         Some(r) => Observer::null().with_recorder(r.clone()),
         None => Observer::null(),
     };
+    if let Some((t, index)) = telemetry {
+        // Live progress beats: one per TIME_CHECK_INTERVAL expansions.
+        // The callback only stores into the job's slot atomics and a
+        // histogram — it cannot influence the search, preserving
+        // byte-identical results with telemetry on.
+        let board = Arc::clone(t);
+        let batches = Arc::clone(&t.expansion_batch_seconds);
+        let mut last_beat = Instant::now();
+        observer = observer.with_progress(Box::new(move |p| {
+            board.jobs.update_progress(
+                index,
+                p.nodes_expanded,
+                p.queue_depth as u64,
+                p.live_terms,
+                p.memory_sheds,
+            );
+            let now = Instant::now();
+            batches.record(now.duration_since(last_beat).as_secs_f64());
+            last_beat = now;
+        }));
+    }
+    let tally = |stats: &rmrls_core::SearchStats| {
+        counters.spec_hits.add(stats.spec_hits);
+        counters.spec_misses.add(stats.spec_misses);
+        if let Some((t, _)) = telemetry {
+            t.note_memory_sheds(stats.memory_sheds);
+        }
+    };
     match synthesize_with_observer(spec, sopts, &mut observer) {
         Ok(s) => {
+            tally(&s.stats);
             profile.merge(&s.stats.profile);
             Ok(s)
         }
         Err(e) => {
+            tally(&e.stats);
             profile.merge(&e.stats.profile);
             Err(e.stats.stop_reason)
         }
@@ -939,15 +1061,18 @@ fn escalate(recorder: Option<&FlightRecorder>, from: SolveTier, to: SolveTier) {
 /// shutdown, so the ladder returns the cancellation instead.
 ///
 /// On failure, returns the *last* attempted tier's stop reason.
+#[allow(clippy::too_many_arguments)]
 fn synthesize_ladder(
     spec: &MultiPprm,
     sopts: &SynthesisOptions,
     fallback: bool,
     recorder: Option<&FlightRecorder>,
     profile: &mut PhaseProfile,
+    counters: &RunCounters,
+    telemetry: JobTelemetry,
     perm_for_mmd: impl FnOnce() -> Option<Permutation>,
 ) -> Result<(Circuit, SolveTier), Option<StopReason>> {
-    let tier1 = match run_search(spec, sopts, recorder, profile) {
+    let tier1 = match run_search(spec, sopts, recorder, profile, counters, telemetry) {
         Ok(s) => return Ok((s.circuit, SolveTier::Rmrls)),
         Err(reason) => reason,
     };
@@ -955,7 +1080,14 @@ fn synthesize_ladder(
         return Err(tier1);
     }
     escalate(recorder, SolveTier::Rmrls, SolveTier::RmrlsRelaxed);
-    let tier2 = match run_search(spec, &relaxed_options(sopts), recorder, profile) {
+    let tier2 = match run_search(
+        spec,
+        &relaxed_options(sopts),
+        recorder,
+        profile,
+        counters,
+        telemetry,
+    ) {
         Ok(s) => return Ok((s.circuit, SolveTier::RmrlsRelaxed)),
         Err(reason) => reason.or(tier1),
     };
@@ -1043,6 +1175,7 @@ fn execute_job(
     cache: Option<&Mutex<CircuitCache>>,
     counters: &RunCounters,
     recorder: Option<&FlightRecorder>,
+    telemetry: JobTelemetry,
 ) -> (JobOutcome, bool, PhaseProfile) {
     // The engine-side profiler times the stages the search cannot see
     // (canonicalization + cache, verification); the search's own phase
@@ -1076,6 +1209,7 @@ fn execute_job(
             // or off — so results never depend on scheduling (see the
             // module docs).
             let t_cache = profiler.start();
+            let lookup_started = telemetry.map(|_| Instant::now());
             let (canon_table, sigma) = canonical_form(p, opts.canon_limit);
             let key = CacheKey {
                 num_vars: p.num_vars(),
@@ -1089,6 +1223,9 @@ fn execute_job(
                 Err(_) => None,
             };
             profiler.stop("cache", t_cache);
+            if let (Some((t, _)), Some(at)) = (telemetry, lookup_started) {
+                t.cache_lookup_seconds.record(at.elapsed().as_secs_f64());
+            }
             if canon_solution.is_some() {
                 counters.cache_hits.inc();
                 cache_hit = true;
@@ -1102,12 +1239,20 @@ fn execute_job(
             }
             if !cache_hit {
                 let spec = MultiPprm::from_permutation(&key.table, key.num_vars);
-                let ladder =
-                    synthesize_ladder(&spec, &sopts, opts.fallback, recorder, &mut profile, || {
+                let ladder = synthesize_ladder(
+                    &spec,
+                    &sopts,
+                    opts.fallback,
+                    recorder,
+                    &mut profile,
+                    counters,
+                    telemetry,
+                    || {
                         (key.num_vars <= MMD_FALLBACK_LIMIT)
                             .then(|| Permutation::from_vec(key.table.clone()).ok())
                             .flatten()
-                    });
+                    },
+                );
                 match ladder {
                     Ok((circuit, tier)) => {
                         // Failpoint: a failed insert only costs future
@@ -1159,12 +1304,20 @@ fn execute_job(
             // ladder still applies, with tier 3 gated on the spec
             // having a materializable (reversible, narrow-enough)
             // truth table.
-            let ladder =
-                synthesize_ladder(m, &sopts, opts.fallback, recorder, &mut profile, || {
+            let ladder = synthesize_ladder(
+                m,
+                &sopts,
+                opts.fallback,
+                recorder,
+                &mut profile,
+                counters,
+                telemetry,
+                || {
                     (m.num_vars() <= MMD_FALLBACK_LIMIT)
                         .then(|| Permutation::from_vec(m.to_permutation()).ok())
                         .flatten()
-                });
+                },
+            );
             match ladder {
                 Ok((circuit, tier)) => {
                     if let Err(e) = rmrls_obs::fail::trigger("engine/worker/pre-verify") {

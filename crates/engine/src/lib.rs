@@ -42,6 +42,7 @@ pub mod fsutil;
 pub mod journal;
 pub mod manifest;
 pub mod signal;
+pub mod telemetry;
 
 pub use cache::{CacheKey, CircuitCache};
 pub use canon::{canonical_form, relabel_circuit, uncanonicalize_circuit};
@@ -58,3 +59,4 @@ pub use manifest::{
     load_manifest, parse_manifest, suite_admissions, Admission, BatchJob, SpecData,
 };
 pub use signal::ShutdownHandles;
+pub use telemetry::{BatchTelemetry, JobState, JobStatus, JobStatusRegistry, SAMPLE_INTERVAL};

@@ -1,0 +1,583 @@
+//! Live telemetry for a running batch: a thread-safe metrics registry
+//! plus a per-job status board, both scrapeable mid-run.
+//!
+//! [`BatchTelemetry`] is handed to [`run_batch`] via
+//! [`BatchOptions::telemetry`]; the engine then
+//!
+//! - sources its run counters from the shared [`SyncRegistry`] (so
+//!   every counter the aggregate report tallies is also a live
+//!   `/metrics` series),
+//! - records per-job synthesis latency, expansion-batch latency, and
+//!   cache-lookup latency into log-bucketed histograms,
+//! - drives the [`JobStatusRegistry`] through
+//!   pending → running → done/failed transitions, and
+//! - runs a background sampler that publishes point-in-time gauges
+//!   (frontier depth, live PPRM terms, cache occupancy, busy workers)
+//!   every [`SAMPLE_INTERVAL`].
+//!
+//! Everything here is observation-only. Job state lives in
+//! per-slot atomics written by workers and read by scrape threads; no
+//! telemetry path takes a lock a worker search loop holds, and no
+//! search decision reads telemetry state — which is what makes the
+//! "byte-identical results with telemetry on" guarantee hold.
+//!
+//! [`run_batch`]: crate::engine::run_batch
+//! [`BatchOptions::telemetry`]: crate::engine::BatchOptions
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rmrls_obs::{prometheus_text, Json, SyncCounter, SyncGauge, SyncHistogram, SyncRegistry};
+
+use crate::engine::{JobOutcome, SolveTier};
+
+/// Cadence of the background gauge sampler.
+pub const SAMPLE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Sentinel for "not yet" in the per-slot millisecond timestamps.
+const UNSET: u64 = u64::MAX;
+
+/// Lifecycle of one batch job, as exposed on `/jobs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Not yet picked up by a worker.
+    Pending,
+    /// A worker is executing it now.
+    Running,
+    /// Finished with a circuit (solved, or recovered from a journal).
+    Done,
+    /// Finished without a circuit (unsolved, errored, panicked, or
+    /// skipped by a drain).
+    Failed,
+}
+
+impl JobState {
+    /// Stable lowercase name used in the `/jobs` JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn from_u8(v: u8) -> JobState {
+        match v {
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            _ => JobState::Pending,
+        }
+    }
+}
+
+/// One job's live status cell: all-atomic, so workers update and
+/// scrape threads read without locking.
+struct JobSlot {
+    name: String,
+    state: AtomicU8,
+    /// 0 = none/unsolved, else `SolveTier as u8 + 1`.
+    solved_by: AtomicU8,
+    started_ms: AtomicU64,
+    ended_ms: AtomicU64,
+    nodes_expanded: AtomicU64,
+    queue_depth: AtomicU64,
+    live_terms: AtomicU64,
+    memory_sheds: AtomicU64,
+}
+
+impl JobSlot {
+    fn new(name: String) -> JobSlot {
+        JobSlot {
+            name,
+            state: AtomicU8::new(0),
+            solved_by: AtomicU8::new(0),
+            started_ms: AtomicU64::new(UNSET),
+            ended_ms: AtomicU64::new(UNSET),
+            nodes_expanded: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            live_terms: AtomicU64::new(0),
+            memory_sheds: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time view of one job, as served on `/jobs`.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// Admission index.
+    pub index: usize,
+    /// Display name from the manifest.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Producing tier, once solved.
+    pub solved_by: Option<SolveTier>,
+    /// Wall-clock seconds: running → elapsed so far; finished → total;
+    /// pending → 0.
+    pub elapsed_seconds: f64,
+    /// Nodes expanded (live while running, final afterwards).
+    pub nodes_expanded: u64,
+    /// Frontier queue depth at the last progress beat.
+    pub queue_depth: u64,
+    /// Live PPRM terms at the last progress beat.
+    pub live_terms: u64,
+    /// Memory sheds so far.
+    pub memory_sheds: u64,
+}
+
+impl JobStatus {
+    /// Serializes one status row for the `/jobs` endpoint.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("index".into(), Json::uint(self.index as u64)),
+            ("job".into(), Json::str(&self.name)),
+            ("state".into(), Json::str(self.state.as_str())),
+            (
+                "solved_by".into(),
+                self.solved_by
+                    .map(|t| Json::str(t.as_str()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("elapsed_seconds".into(), Json::Num(self.elapsed_seconds)),
+            ("nodes_expanded".into(), Json::uint(self.nodes_expanded)),
+            ("queue_depth".into(), Json::uint(self.queue_depth)),
+            ("live_terms".into(), Json::uint(self.live_terms)),
+            ("memory_sheds".into(), Json::uint(self.memory_sheds)),
+        ])
+    }
+}
+
+/// Live per-job state for one batch run.
+///
+/// Indices are admission indices; the slot vector is sized once at
+/// construction and never grows, so readers never race a resize.
+pub struct JobStatusRegistry {
+    t0: Instant,
+    slots: Vec<JobSlot>,
+}
+
+impl JobStatusRegistry {
+    /// One pending slot per job name, in admission order.
+    pub fn new(names: Vec<String>) -> JobStatusRegistry {
+        JobStatusRegistry {
+            t0: Instant::now(),
+            slots: names.into_iter().map(JobSlot::new).collect(),
+        }
+    }
+
+    /// Number of tracked jobs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when tracking no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    /// Marks a job picked up by a worker.
+    pub fn mark_running(&self, index: usize) {
+        let Some(slot) = self.slots.get(index) else {
+            return;
+        };
+        slot.started_ms.store(self.now_ms(), Ordering::Relaxed);
+        slot.state.store(1, Ordering::Release);
+    }
+
+    /// Marks a job finished, deriving done/failed and the solve tier
+    /// from its outcome.
+    pub fn mark_finished(&self, index: usize, outcome: &JobOutcome) {
+        match outcome {
+            JobOutcome::Solved { solved_by, .. } => self.mark_done(index, Some(*solved_by)),
+            JobOutcome::Resumed { .. } => self.mark_done(index, None),
+            _ => self.mark_failed(index),
+        }
+    }
+
+    /// Marks a job finished with a circuit (tier `None` for jobs
+    /// recovered from a journal, where the tier was not replayed).
+    pub fn mark_done(&self, index: usize, tier: Option<SolveTier>) {
+        self.finish(index, 2, tier);
+    }
+
+    /// Marks a job finished without a circuit.
+    pub fn mark_failed(&self, index: usize) {
+        self.finish(index, 3, None);
+    }
+
+    fn finish(&self, index: usize, state: u8, tier: Option<SolveTier>) {
+        let Some(slot) = self.slots.get(index) else {
+            return;
+        };
+        slot.solved_by
+            .store(tier.map_or(0, |t| t as u8 + 1), Ordering::Relaxed);
+        slot.ended_ms.store(self.now_ms(), Ordering::Relaxed);
+        slot.state.store(state, Ordering::Release);
+    }
+
+    /// Publishes a progress beat from inside a running search.
+    pub fn update_progress(
+        &self,
+        index: usize,
+        nodes_expanded: u64,
+        queue_depth: u64,
+        live_terms: u64,
+        memory_sheds: u64,
+    ) {
+        let Some(slot) = self.slots.get(index) else {
+            return;
+        };
+        slot.nodes_expanded.store(nodes_expanded, Ordering::Relaxed);
+        slot.queue_depth.store(queue_depth, Ordering::Relaxed);
+        slot.live_terms.store(live_terms, Ordering::Relaxed);
+        slot.memory_sheds.store(memory_sheds, Ordering::Relaxed);
+    }
+
+    /// Reads one job's current status.
+    pub fn status(&self, index: usize) -> Option<JobStatus> {
+        let slot = self.slots.get(index)?;
+        let state = JobState::from_u8(slot.state.load(Ordering::Acquire));
+        let started = slot.started_ms.load(Ordering::Relaxed);
+        let ended = slot.ended_ms.load(Ordering::Relaxed);
+        let elapsed_ms = match (state, started, ended) {
+            (JobState::Pending, _, _) | (_, UNSET, _) => 0,
+            (JobState::Running, s, _) => self.now_ms().saturating_sub(s),
+            (_, s, e) => {
+                if e == UNSET {
+                    0
+                } else {
+                    e.saturating_sub(s)
+                }
+            }
+        };
+        let solved_by = match slot.solved_by.load(Ordering::Relaxed) {
+            1 => Some(SolveTier::Rmrls),
+            2 => Some(SolveTier::RmrlsRelaxed),
+            3 => Some(SolveTier::Mmd),
+            _ => None,
+        };
+        Some(JobStatus {
+            index,
+            name: slot.name.clone(),
+            state,
+            solved_by,
+            elapsed_seconds: elapsed_ms as f64 / 1000.0,
+            nodes_expanded: slot.nodes_expanded.load(Ordering::Relaxed),
+            queue_depth: slot.queue_depth.load(Ordering::Relaxed),
+            live_terms: slot.live_terms.load(Ordering::Relaxed),
+            memory_sheds: slot.memory_sheds.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Snapshot of every job, in admission order.
+    pub fn statuses(&self) -> Vec<JobStatus> {
+        (0..self.slots.len())
+            .filter_map(|i| self.status(i))
+            .collect()
+    }
+
+    /// Count of jobs currently in `state`.
+    pub fn count_in(&self, state: JobState) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| JobState::from_u8(s.state.load(Ordering::Acquire)) == state)
+            .count() as u64
+    }
+
+    /// Sums a live field over all *running* jobs — the cluster-wide
+    /// "how deep are the frontiers right now" view the sampler
+    /// publishes as gauges.
+    fn sum_running(&self, field: impl Fn(&JobSlot) -> &AtomicU64) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.state.load(Ordering::Acquire) == 1)
+            .map(|s| field(s).load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Everything a scrape endpoint needs to describe a running batch.
+///
+/// Construct once per run, share via `Arc`: the engine writes, the
+/// HTTP providers read.
+pub struct BatchTelemetry {
+    registry: SyncRegistry,
+    /// Per-job live state, drives `/jobs`.
+    pub jobs: JobStatusRegistry,
+    /// Per-job wall-clock synthesis latency (seconds).
+    pub job_seconds: Arc<SyncHistogram>,
+    /// Latency between successive in-search progress beats (one beat
+    /// per `TIME_CHECK_INTERVAL` expansions), i.e. expansion-batch
+    /// latency in seconds.
+    pub expansion_batch_seconds: Arc<SyncHistogram>,
+    /// Canonicalization + cache-probe latency per lookup (seconds).
+    pub cache_lookup_seconds: Arc<SyncHistogram>,
+    queue_depth: Arc<SyncGauge>,
+    live_terms: Arc<SyncGauge>,
+    cache_entries: Arc<SyncGauge>,
+    workers_busy: Arc<SyncGauge>,
+    workers_total: Arc<SyncGauge>,
+    jobs_running: Arc<SyncGauge>,
+    jobs_pending: Arc<SyncGauge>,
+    // Degradation witnesses: shared with the engine's run counters
+    // (same registry names), read by `/healthz`.
+    panics_contained: Arc<SyncCounter>,
+    verify_failures: Arc<SyncCounter>,
+    journal_append_errors: Arc<SyncCounter>,
+    trace_write_errors: Arc<SyncCounter>,
+    memory_shed_jobs: Arc<SyncCounter>,
+}
+
+impl fmt::Debug for BatchTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchTelemetry")
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchTelemetry {
+    /// Builds the telemetry board for a run over the named jobs.
+    pub fn new(job_names: Vec<String>) -> BatchTelemetry {
+        let registry = SyncRegistry::new();
+        let latency = rmrls_obs::log2_bounds(1e-6, 128.0);
+        BatchTelemetry {
+            job_seconds: registry.histogram("job_seconds", &latency),
+            expansion_batch_seconds: registry.histogram("expansion_batch_seconds", &latency),
+            cache_lookup_seconds: registry.histogram("cache_lookup_seconds", &latency),
+            queue_depth: registry.gauge("queue_depth"),
+            live_terms: registry.gauge("live_terms"),
+            cache_entries: registry.gauge("cache_entries"),
+            workers_busy: registry.gauge("workers_busy"),
+            workers_total: registry.gauge("workers_total"),
+            jobs_running: registry.gauge("jobs_running"),
+            jobs_pending: registry.gauge("jobs_pending"),
+            panics_contained: registry.counter("panics_contained"),
+            verify_failures: registry.counter("verify_failures"),
+            journal_append_errors: registry.counter("journal_append_errors"),
+            trace_write_errors: registry.counter("trace_write_errors"),
+            memory_shed_jobs: registry.counter("memory_shed_jobs"),
+            jobs: JobStatusRegistry::new(job_names),
+            registry,
+        }
+    }
+
+    /// The shared metrics registry (the engine sources its run
+    /// counters here so every tally is also a live series).
+    pub fn registry(&self) -> &SyncRegistry {
+        &self.registry
+    }
+
+    /// Records the total worker count (published once at pool start).
+    pub fn set_workers_total(&self, n: u64) {
+        self.workers_total.set(n);
+    }
+
+    /// One sampler beat: reads live state and publishes it as gauges.
+    /// `cache_entries` is the memo-cache occupancy, `None` when the
+    /// cache is disabled.
+    pub fn sample(&self, cache_entries: Option<u64>) {
+        self.queue_depth
+            .set(self.jobs.sum_running(|s| &s.queue_depth));
+        self.live_terms
+            .set(self.jobs.sum_running(|s| &s.live_terms));
+        if let Some(n) = cache_entries {
+            self.cache_entries.set(n);
+        }
+        let running = self.jobs.count_in(JobState::Running);
+        self.workers_busy.set(running);
+        self.jobs_running.set(running);
+        self.jobs_pending.set(self.jobs.count_in(JobState::Pending));
+    }
+
+    /// True when the run has witnessed degradation: a contained panic,
+    /// a verification failure, a journal/trace write error, or a
+    /// memory shed.
+    pub fn degraded(&self) -> bool {
+        self.panics_contained.get() > 0
+            || self.verify_failures.get() > 0
+            || self.journal_append_errors.get() > 0
+            || self.trace_write_errors.get() > 0
+            || self.memory_shed_jobs.get() > 0
+    }
+
+    /// Counts a job whose search shed memory (degraded mode).
+    pub fn note_memory_sheds(&self, sheds: u64) {
+        if sheds > 0 {
+            self.memory_shed_jobs.inc();
+        }
+    }
+
+    /// Body of `GET /metrics`: the live registry in Prometheus text
+    /// exposition format.
+    pub fn metrics_text(&self) -> String {
+        prometheus_text(&self.registry.snapshot())
+    }
+
+    /// Body of `GET /healthz`: liveness plus the degraded-mode flag.
+    pub fn healthz_json(&self) -> String {
+        Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("degraded".into(), Json::Bool(self.degraded())),
+            ("jobs_total".into(), Json::uint(self.jobs.len() as u64)),
+            (
+                "jobs_running".into(),
+                Json::uint(self.jobs.count_in(JobState::Running)),
+            ),
+            (
+                "jobs_done".into(),
+                Json::uint(self.jobs.count_in(JobState::Done)),
+            ),
+            (
+                "jobs_failed".into(),
+                Json::uint(self.jobs.count_in(JobState::Failed)),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Body of `GET /jobs`: every job's current status, in admission
+    /// order.
+    pub fn jobs_json(&self) -> String {
+        Json::Arr(
+            self.jobs
+                .statuses()
+                .iter()
+                .map(JobStatus::to_json)
+                .collect(),
+        )
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmrls_circuit::Circuit;
+
+    fn telemetry(n: usize) -> BatchTelemetry {
+        BatchTelemetry::new((0..n).map(|i| format!("job-{i}")).collect())
+    }
+
+    #[test]
+    fn jobs_walk_the_lifecycle() {
+        let t = telemetry(2);
+        assert_eq!(t.jobs.status(0).unwrap().state, JobState::Pending);
+        t.jobs.mark_running(0);
+        assert_eq!(t.jobs.status(0).unwrap().state, JobState::Running);
+        t.jobs.update_progress(0, 512, 40, 900, 1);
+        let s = t.jobs.status(0).unwrap();
+        assert_eq!(s.nodes_expanded, 512);
+        assert_eq!(s.queue_depth, 40);
+        assert_eq!(s.live_terms, 900);
+        assert_eq!(s.memory_sheds, 1);
+        t.jobs.mark_finished(
+            0,
+            &JobOutcome::Solved {
+                circuit: Circuit::new(3),
+                verified: Some(true),
+                solved_by: SolveTier::RmrlsRelaxed,
+            },
+        );
+        let s = t.jobs.status(0).unwrap();
+        assert_eq!(s.state, JobState::Done);
+        assert_eq!(s.solved_by, Some(SolveTier::RmrlsRelaxed));
+        t.jobs.mark_running(1);
+        t.jobs.mark_finished(
+            1,
+            &JobOutcome::Unsolved {
+                stop_reason: "node budget exhausted".into(),
+            },
+        );
+        assert_eq!(t.jobs.status(1).unwrap().state, JobState::Failed);
+        assert_eq!(t.jobs.status(1).unwrap().solved_by, None);
+        // Out-of-range indices are ignored, not panics.
+        t.jobs.mark_running(99);
+        assert!(t.jobs.status(99).is_none());
+    }
+
+    #[test]
+    fn sampler_publishes_running_sums() {
+        let t = telemetry(3);
+        t.set_workers_total(2);
+        t.jobs.mark_running(0);
+        t.jobs.mark_running(1);
+        t.jobs.update_progress(0, 10, 100, 1000, 0);
+        t.jobs.update_progress(1, 20, 50, 500, 0);
+        t.sample(Some(7));
+        let snap = t.registry().snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, v, _)| *v)
+                .unwrap()
+        };
+        assert_eq!(gauge("queue_depth"), 150);
+        assert_eq!(gauge("live_terms"), 1500);
+        assert_eq!(gauge("cache_entries"), 7);
+        assert_eq!(gauge("workers_busy"), 2);
+        assert_eq!(gauge("workers_total"), 2);
+        assert_eq!(gauge("jobs_pending"), 1);
+        // A finished job leaves the running sums.
+        t.jobs.mark_finished(
+            0,
+            &JobOutcome::Error {
+                message: "x".into(),
+            },
+        );
+        t.sample(None);
+        let snap = t.registry().snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, v, _)| *v)
+                .unwrap()
+        };
+        assert_eq!(gauge("queue_depth"), 50);
+        assert_eq!(gauge("workers_busy"), 1);
+    }
+
+    #[test]
+    fn healthz_reports_degradation() {
+        let t = telemetry(1);
+        assert!(t.healthz_json().contains("\"degraded\":false"));
+        t.note_memory_sheds(0);
+        assert!(!t.degraded());
+        t.note_memory_sheds(3);
+        assert!(t.degraded());
+        assert!(t.healthz_json().contains("\"degraded\":true"));
+    }
+
+    #[test]
+    fn jobs_json_is_parseable_and_ordered() {
+        let t = telemetry(2);
+        t.jobs.mark_running(1);
+        let parsed = Json::parse(&t.jobs_json()).unwrap();
+        let rows = parsed.as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("job").unwrap().as_str(), Some("job-0"));
+        assert_eq!(rows[1].get("state").unwrap().as_str(), Some("running"));
+        assert_eq!(rows[0].get("solved_by"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn metrics_text_has_histogram_series_even_before_traffic() {
+        let t = telemetry(1);
+        let text = t.metrics_text();
+        assert!(text.contains("rmrls_job_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("# TYPE rmrls_expansion_batch_seconds histogram"));
+        assert!(text.contains("# TYPE rmrls_cache_lookup_seconds histogram"));
+        t.job_seconds.record(0.25);
+        assert!(t.metrics_text().contains("rmrls_job_seconds_count 1\n"));
+    }
+}

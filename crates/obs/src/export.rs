@@ -118,6 +118,29 @@ fn metric_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside `label="..."`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `label="value"` pair with proper value escaping.
+///
+/// Exposed for callers that assemble labeled series by hand (the
+/// telemetry endpoint's job-status series, for example).
+pub fn prom_label(name: &str, value: &str) -> String {
+    format!("{name}=\"{}\"", escape_label_value(value))
+}
+
 /// Formats a float the way Prometheus expects (`+Inf` for infinity,
 /// plain decimal otherwise).
 fn prom_num(v: f64) -> String {
@@ -136,27 +159,52 @@ fn prom_num(v: f64) -> String {
     }
 }
 
+/// Escapes a `# HELP` text: backslash and newline must be
+/// backslash-escaped (double quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a metrics snapshot in the Prometheus text exposition format.
 ///
 /// Counters become `counter` series, gauges become two `gauge` series
 /// (current value and `_high_water`), histograms become the standard
-/// cumulative `_bucket{le="..."}` / `_sum` / `_count` triple.
+/// cumulative `_bucket{le="..."}` / `_sum` / `_count` triple. Every
+/// family carries `# HELP` and `# TYPE` headers; the help text echoes
+/// the original (pre-sanitized) metric name so scrapes stay traceable
+/// to the registry key.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let family = |out: &mut String, n: &str, orig: &str, kind: &str| {
+        out.push_str(&format!(
+            "# HELP {n} rmrls {kind} `{}`\n# TYPE {n} {kind}\n",
+            escape_help(orig)
+        ));
+    };
     for (name, value) in &snapshot.counters {
         let n = metric_name(name);
-        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        family(&mut out, &n, name, "counter");
+        out.push_str(&format!("{n} {value}\n"));
     }
     for (name, value, high_water) in &snapshot.gauges {
         let n = metric_name(name);
-        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
-        out.push_str(&format!(
-            "# TYPE {n}_high_water gauge\n{n}_high_water {high_water}\n"
-        ));
+        family(&mut out, &n, name, "gauge");
+        out.push_str(&format!("{n} {value}\n"));
+        let hw = format!("{n}_high_water");
+        family(&mut out, &hw, name, "gauge");
+        out.push_str(&format!("{hw} {high_water}\n"));
     }
     for (name, hist) in &snapshot.histograms {
         let n = metric_name(name);
-        out.push_str(&format!("# TYPE {n} histogram\n"));
+        family(&mut out, &n, name, "histogram");
         let mut cumulative = 0u64;
         for (i, count) in hist.counts.iter().enumerate() {
             cumulative += count;
@@ -165,7 +213,10 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
                 .get(i)
                 .copied()
                 .map_or_else(|| "+Inf".to_string(), prom_num);
-            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            out.push_str(&format!(
+                "{n}_bucket{{{}}} {cumulative}\n",
+                prom_label("le", &le)
+            ));
         }
         out.push_str(&format!("{n}_sum {}\n", prom_num(hist.sum)));
         out.push_str(&format!("{n}_count {}\n", hist.count));
@@ -269,13 +320,81 @@ mod tests {
         assert!(text.contains("rmrls_push_priority_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("rmrls_push_priority_count 3\n"));
         assert!(text.contains("rmrls_push_priority_sum 105.5\n"));
-        // Every line is a comment or `name value`.
+    }
+
+    /// Scrape-format conformance: the rules a Prometheus scraper
+    /// actually enforces on text exposition format 0.0.4.
+    #[test]
+    fn prometheus_text_conforms_to_exposition_format() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("jobs.total").add(3);
+        reg.gauge("queue_depth").set(7);
+        reg.histogram("job_seconds", &[0.1, 1.0]).record(0.5);
+        let text = prometheus_text(&reg.snapshot());
+
+        let mut typed: Vec<String> = Vec::new();
+        let mut helped: Vec<String> = Vec::new();
         for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.push(rest.split(' ').next().unwrap().to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap().to_string();
+                let kind = it.next().unwrap();
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "bad type: {line}"
+                );
+                // HELP precedes TYPE for the same family.
+                assert!(helped.contains(&name), "TYPE without HELP: {name}");
+                typed.push(name);
+                continue;
+            }
+            // Sample line: `name[{labels}] value`.
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let name = series.split('{').next().unwrap();
             assert!(
-                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
-                "malformed line: {line}"
+                name.chars().next().unwrap().is_ascii_alphabetic(),
+                "bad metric name start: {line}"
             );
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name charset: {line}"
+            );
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value: {line}"
+            );
+            // Every sample belongs to a declared family.
+            assert!(
+                typed.iter().any(|t| {
+                    name == t
+                        || (name
+                            .strip_prefix(t.as_str())
+                            .is_some_and(|s| ["_bucket", "_sum", "_count"].contains(&s)))
+                }),
+                "sample without TYPE header: {line}"
+            );
+            // Labels, when present, are well-formed k="v" pairs.
+            if let Some(rest) = series.strip_prefix(name).filter(|r| !r.is_empty()) {
+                assert!(rest.starts_with('{') && rest.ends_with('}'), "{line}");
+                let body = &rest[1..rest.len() - 1];
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                    assert!(v.starts_with('"') && v.ends_with('"'), "{line}");
+                }
+            }
         }
+        assert!(!typed.is_empty());
+    }
+
+    #[test]
+    fn label_values_escape_hostile_characters() {
+        assert_eq!(prom_label("job", "plain"), "job=\"plain\"");
+        assert_eq!(prom_label("job", "a\\b\"c\nd"), "job=\"a\\\\b\\\"c\\nd\"");
     }
 
     #[test]

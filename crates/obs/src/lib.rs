@@ -13,8 +13,9 @@
 //! - [`sink`] — a pluggable [`EventSink`] trait with null, bounded
 //!   memory-ring, and JSON-lines implementations. Sinks never silently
 //!   truncate: overflow is surfaced through a `dropped_events` count.
-//! - [`sync`] — atomic counters/gauges for the one consumer that *is*
-//!   multi-threaded: the batch engine's worker pool.
+//! - [`sync`] — atomic counters/gauges/histograms plus a thread-safe
+//!   [`SyncRegistry`] for the consumers that *are* multi-threaded: the
+//!   batch engine's worker pool and the live telemetry endpoint.
 //! - [`span`] — monotonic span timing built on `std::time::Instant`.
 //! - [`json`] — a hand-rolled JSON value type with writer (correct
 //!   string escaping) and parser, used for run reports and round-trip
@@ -41,10 +42,10 @@ pub mod sink;
 pub mod span;
 pub mod sync;
 
-pub use export::{chrome_trace_json, prometheus_text};
+pub use export::{chrome_trace_json, prom_label, prometheus_text};
 pub use fail::{FailAction, FailError};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::{PhaseEntry, PhaseProfile, Profiler};
 pub use recorder::{
     FlightRecorder, RecorderSnapshot, TraceKind, TraceRecord, DEFAULT_TRACE_BYTES,
@@ -52,4 +53,4 @@ pub use recorder::{
 };
 pub use sink::{Event, EventSink, JsonLinesSink, MemorySink, NullSink, Value};
 pub use span::SpanTimer;
-pub use sync::{SyncCounter, SyncGauge};
+pub use sync::{log2_bounds, SyncCounter, SyncGauge, SyncHistogram, SyncRegistry};

@@ -147,6 +147,95 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from bucket counts.
+    ///
+    /// Uses linear interpolation within the bucket that contains the
+    /// target rank, the standard prometheus `histogram_quantile`
+    /// estimate. The overflow bucket is capped at the observed `max`,
+    /// so the estimate never exceeds a value actually recorded.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= rank {
+                let lo = if i == 0 {
+                    self.min.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max.max(lo))
+                } else {
+                    self.max.max(lo)
+                };
+                let frac = (rank - seen as f64) / c as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = upto;
+        }
+        self.max
+    }
+
+    /// Median estimate ([`Self::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Combines two snapshots of histograms with identical bounds.
+    ///
+    /// Merging is associative and commutative over the counts (exact
+    /// integer sums); the `sum` field is a float sum, exact whenever
+    /// the observations are (as with the fixed-point [`SyncHistogram`]
+    /// backing store).
+    ///
+    /// [`SyncHistogram`]: crate::sync::SyncHistogram
+    ///
+    /// # Panics
+    /// If the bucket bounds differ.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        let (min, max) = match (self.count, other.count) {
+            (0, _) => (other.min, other.max),
+            (_, 0) => (self.min, self.max),
+            _ => (self.min.min(other.min), self.max.max(other.max)),
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min,
+            max,
+        }
+    }
 }
 
 /// Owner of all named metrics for one run.
@@ -350,6 +439,65 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10.0, 20.0, 30.0]);
+        for v in 0..100 {
+            h.record(v as f64 * 0.3); // uniform over [0, 29.7]
+        }
+        let snap = h.snapshot();
+        // Uniform data: the estimate should land near the true value.
+        assert!((snap.p50() - 15.0).abs() < 2.0, "p50 {}", snap.p50());
+        assert!((snap.p90() - 27.0).abs() < 2.0, "p90 {}", snap.p90());
+        assert!(snap.p99() <= snap.max);
+        assert_eq!(snap.quantile(0.0), 0.0);
+        assert_eq!(snap.quantile(1.0), snap.max);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let snap = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(snap.p50(), 0.0);
+        assert_eq!(snap.p99(), 0.0);
+    }
+
+    #[test]
+    fn quantile_caps_overflow_bucket_at_observed_max() {
+        let h = Histogram::new(&[1.0]);
+        h.record(5.0);
+        h.record(9.0);
+        let snap = h.snapshot();
+        assert!(snap.p99() <= 9.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_tracks_extremes() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        a.record(1.5);
+        let b = Histogram::new(&[1.0, 2.0]);
+        b.record(7.0);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.counts, vec![1, 1, 1]);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 9.0);
+        assert_eq!(merged.min, 0.5);
+        assert_eq!(merged.max, 7.0);
+        // Commutes, and merging an empty histogram is the identity.
+        assert_eq!(merged, b.snapshot().merge(&a.snapshot()));
+        let empty = Histogram::new(&[1.0, 2.0]).snapshot();
+        assert_eq!(merged.merge(&empty), merged);
+        assert_eq!(empty.merge(&merged), merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[1.0]).snapshot();
+        let b = Histogram::new(&[2.0]).snapshot();
+        let _ = a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Property tests for the lock-free metrics layer: histogram snapshot
+//! merge forms a commutative monoid (commutative, associative, with
+//! the empty snapshot as identity), and `SyncCounter`/`SyncGauge` stay
+//! consistent under concurrent updates.
+//!
+//! Merge observations are integer-valued f64s: bucket counts are u64
+//! sums (exact and associative), and the observation sum travels
+//! through fixed-point accumulation, so equality here is exact — no
+//! epsilon comparisons papering over drift.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rmrls_obs::{log2_bounds, SyncCounter, SyncGauge, SyncHistogram};
+
+/// Observations that are exactly representable and exercise every
+/// bucket of `log2_bounds(1.0, 64.0)`, including underflow and
+/// overflow.
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u64..256).prop_map(|v| v as f64), 0..64)
+}
+
+fn filled(values: &[f64]) -> SyncHistogram {
+    let h = SyncHistogram::new(&log2_bounds(1.0, 64.0));
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a), and merging the empty histogram is
+    /// the identity on both sides.
+    #[test]
+    fn histogram_merge_is_commutative_with_identity(
+        a in observations(),
+        b in observations(),
+    ) {
+        let (sa, sb) = (filled(&a).snapshot(), filled(&b).snapshot());
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+
+        let empty = SyncHistogram::new(&log2_bounds(1.0, 64.0)).snapshot();
+        prop_assert_eq!(sa.merge(&empty), sa.clone());
+        prop_assert_eq!(empty.merge(&sa), sa);
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)), and the merged
+    /// snapshot equals recording every observation into one histogram.
+    #[test]
+    fn histogram_merge_is_associative_and_matches_single_recording(
+        a in observations(),
+        b in observations(),
+        c in observations(),
+    ) {
+        let (sa, sb, sc) = (
+            filled(&a).snapshot(),
+            filled(&b).snapshot(),
+            filled(&c).snapshot(),
+        );
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let combined = filled(&all).snapshot();
+        prop_assert_eq!(left, combined);
+    }
+
+    /// Counter increments from many threads are never lost: the final
+    /// value is the exact sum of every per-thread contribution, and a
+    /// mid-run read is a valid partial sum.
+    #[test]
+    fn counter_sums_exactly_across_threads(
+        per_thread in proptest::collection::vec((1u64..64, 0u64..128), 1..8),
+    ) {
+        let counter = Arc::new(SyncCounter::new());
+        let expected: u64 = per_thread.iter().map(|(incs, add)| incs + add).sum();
+        std::thread::scope(|scope| {
+            for &(incs, add) in &per_thread {
+                let c = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..incs {
+                        c.inc();
+                    }
+                    c.add(add);
+                });
+            }
+            // A concurrent read sees some prefix of the total, never
+            // more.
+            prop_assert!(counter.get() <= expected);
+            Ok(())
+        })?;
+        prop_assert_eq!(counter.get(), expected);
+    }
+
+    /// A gauge hammered from many threads lands on one of the written
+    /// values, and its peak is the maximum ever written.
+    #[test]
+    fn gauge_last_write_wins_and_peak_is_exact(
+        writes in proptest::collection::vec(
+            proptest::collection::vec(0u64..1024, 1..16),
+            1..8,
+        ),
+    ) {
+        let gauge = Arc::new(SyncGauge::new());
+        std::thread::scope(|scope| {
+            for thread_writes in &writes {
+                let g = Arc::clone(&gauge);
+                scope.spawn(move || {
+                    for &v in thread_writes {
+                        g.set(v);
+                    }
+                });
+            }
+        });
+        let finals: Vec<u64> = writes.iter().map(|w| *w.last().unwrap()).collect();
+        prop_assert!(
+            finals.contains(&gauge.get()),
+            "final value {} is not any thread's last write {:?}",
+            gauge.get(),
+            finals
+        );
+        let max = writes.iter().flatten().copied().max().unwrap();
+        prop_assert_eq!(gauge.peak(), max);
+    }
+
+    /// Concurrent histogram recording loses nothing: count and sum
+    /// match the all-in-one-thread result exactly (fixed-point sum
+    /// accumulation is order-independent).
+    #[test]
+    fn histogram_concurrent_recording_is_exact(
+        per_thread in proptest::collection::vec(observations(), 1..8),
+    ) {
+        let h = Arc::new(SyncHistogram::new(&log2_bounds(1.0, 64.0)));
+        std::thread::scope(|scope| {
+            for values in &per_thread {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for &v in values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<f64> = per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(h.snapshot(), filled(&all).snapshot());
+    }
+}

@@ -1,0 +1,214 @@
+//! A deliberately tiny HTTP/1.1 implementation: parse a request line,
+//! skip headers, write a `Connection: close` response.
+//!
+//! The build environment is offline, so this is written from scratch
+//! against RFC 9112. It supports exactly what a scraper needs —
+//! `GET`/`HEAD` with no request body — and rejects everything else
+//! early. Each connection serves one request and closes, which keeps
+//! the server loop free of keep-alive state.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers). Scrape
+/// requests are tiny; anything larger is hostile or confused.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line. Headers are read and discarded; the routes
+/// this server exposes do not depend on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Request target with any query string stripped.
+    pub path: String,
+}
+
+/// Reads and parses one request head from `stream`.
+///
+/// Returns `InvalidData` on malformed input and `UnexpectedEof` when
+/// the peer closes before a full head arrives.
+pub fn read_request<R: Read>(stream: R) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before request line",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line: {line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol version: {version}"),
+        ));
+    }
+    // Drain headers up to the blank line; `take` caps total head size.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A plain-text response with an arbitrary status code.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{body}\n"),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serializes `resp` onto `stream` as a `Connection: close` HTTP/1.1
+/// response. For `HEAD` requests pass `head = true`: the headers
+/// (including `Content-Length`) are written but the body is omitted.
+pub fn write_response<W: Write>(mut stream: W, resp: &Response, head: bool) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    )?;
+    if !head {
+        stream.write_all(resp.body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let raw = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn strips_query_strings() {
+        let raw = b"GET /jobs?limit=5 HTTP/1.1\r\n\r\n";
+        assert_eq!(read_request(&raw[..]).unwrap().path, "/jobs");
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert_eq!(
+            read_request(&b"not http\r\n\r\n"[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            read_request(&b""[..]).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            read_request(&b"GET / HTTP/1.1\r\nHost: x"[..])
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn rejects_http2_preface() {
+        let raw = b"PRI * HTTP/2.0\r\n\r\n";
+        assert_eq!(
+            read_request(&raw[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn caps_oversized_heads() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn writes_conformant_responses() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            &Response::ok("application/json", "{}".into()),
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn head_omits_the_body_but_keeps_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(404, "no such route"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 14\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The scrape server: a blocking accept loop on a dedicated thread,
+//! answering `GET /metrics`, `GET /healthz`, and `GET /jobs` from
+//! provider closures.
+//!
+//! Providers are plain `Fn() -> String` closures so the server knows
+//! nothing about registries, engines, or job state — the caller wires
+//! those in. Each scrape calls the provider at request time, so
+//! responses always reflect *current* state, not state captured at
+//! bind time.
+//!
+//! Shutdown is cooperative: [`TelemetryServer::shutdown`] flips a stop
+//! flag, then opens one throwaway connection to its own listener to
+//! unblock `accept`, then joins the thread. No request in flight is
+//! aborted; the loop finishes serving it, sees the flag, and exits.
+
+use crate::http::{read_request, write_response, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Prometheus text exposition content type (format version 0.0.4).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Per-connection socket timeout: a scraper that stalls longer than
+/// this is cut off so it cannot wedge the accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+type Provider = Box<dyn Fn() -> String + Send + Sync>;
+
+/// The three route bodies the server can produce.
+pub struct Providers {
+    /// Body of `GET /metrics` (Prometheus text exposition format).
+    pub metrics: Provider,
+    /// Body of `GET /healthz` (JSON liveness document).
+    pub healthz: Provider,
+    /// Body of `GET /jobs` (JSON job-status snapshot).
+    pub jobs: Provider,
+}
+
+/// A running scrape endpoint. Dropping without calling
+/// [`shutdown`](TelemetryServer::shutdown) detaches the accept thread;
+/// prefer an explicit shutdown so the port is released promptly.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop. The bound address — with the real port —
+    /// is available via [`local_addr`](TelemetryServer::local_addr).
+    pub fn bind<A: ToSocketAddrs>(addr: A, providers: Providers) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let requests = Arc::clone(&requests);
+            std::thread::Builder::new()
+                .name("rmrls-telemetry".into())
+                .spawn(move || accept_loop(&listener, &providers, &stop, &requests))?
+        };
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            requests,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the listener actually bound (real port even when
+    /// the caller asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far (any route, any status).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // `accept` has no timeout; a throwaway self-connection wakes
+        // the loop so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    providers: &Providers,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        requests.fetch_add(1, Ordering::Relaxed);
+        serve_one(stream, providers);
+    }
+}
+
+/// Serves a single connection. Errors are swallowed deliberately: a
+/// scraper disconnecting mid-response must never take the batch down.
+fn serve_one(stream: TcpStream, providers: &Providers) {
+    let request = match read_request(&stream) {
+        Ok(r) => r,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let _ = write_response(&stream, &Response::text(400, "bad request"), false);
+            return;
+        }
+        Err(_) => return,
+    };
+    let head = request.method == "HEAD";
+    let response = route(&request, providers);
+    let _ = write_response(&stream, &response, head);
+}
+
+fn route(request: &Request, providers: &Providers) -> Response {
+    if request.method != "GET" && request.method != "HEAD" {
+        return Response::text(405, "only GET is supported");
+    }
+    match request.path.as_str() {
+        "/metrics" => Response::ok(PROMETHEUS_CONTENT_TYPE, (providers.metrics)()),
+        "/healthz" => Response::ok("application/json", (providers.healthz)()),
+        "/jobs" => Response::ok("application/json", (providers.jobs)()),
+        _ => Response::text(404, "no such route (try /metrics, /healthz, /jobs)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    fn constant_providers() -> Providers {
+        Providers {
+            metrics: Box::new(|| "rmrls_up 1\n".into()),
+            healthz: Box::new(|| "{\"ok\":true}".into()),
+            jobs: Box::new(|| "[]".into()),
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+        request(addr, "GET", target)
+    }
+
+    fn request(addr: SocketAddr, method: &str, target: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_three_routes() {
+        let server = TelemetryServer::bind("127.0.0.1:0", constant_providers()).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        let (status, head, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert_eq!(body, "rmrls_up 1\n");
+
+        let (status, head, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"ok\":true}");
+
+        let (status, _, body) = get(addr, "/jobs");
+        assert_eq!(status, 200);
+        assert_eq!(body, "[]");
+
+        assert_eq!(server.requests_served(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn providers_are_called_per_scrape_not_at_bind() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let providers = Providers {
+            metrics: Box::new(move || {
+                let n = c.fetch_add(1, Ordering::SeqCst) + 1;
+                format!("rmrls_scrapes {n}\n")
+            }),
+            healthz: Box::new(|| "{}".into()),
+            jobs: Box::new(|| "[]".into()),
+        };
+        let server = TelemetryServer::bind("127.0.0.1:0", providers).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(get(server.local_addr(), "/metrics").2, "rmrls_scrapes 1\n");
+        assert_eq!(get(server.local_addr(), "/metrics").2, "rmrls_scrapes 2\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let server = TelemetryServer::bind("127.0.0.1:0", constant_providers()).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(request(addr, "POST", "/metrics").0, 405);
+        let (status, head, body) = request(addr, "HEAD", "/healthz");
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Length: 11"));
+        assert_eq!(body, "");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_do_not_kill_the_loop() {
+        let server = TelemetryServer::bind("127.0.0.1:0", constant_providers()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"definitely not http\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+        // The loop survived and still serves.
+        assert_eq!(get(addr, "/healthz").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_the_port_and_joins() {
+        let server = TelemetryServer::bind("127.0.0.1:0", constant_providers()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Rebinding the same port succeeds once the listener is gone.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+        drop(rebound);
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn drop_also_shuts_down() {
+        let addr;
+        {
+            let server = TelemetryServer::bind("127.0.0.1:0", constant_providers()).unwrap();
+            addr = server.local_addr();
+        }
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}
