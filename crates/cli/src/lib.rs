@@ -6,6 +6,8 @@
 //!   named benchmark, or TFC file) with RMRLS;
 //! - `rmrls batch` — run a manifest or bundled suite of specifications
 //!   on the concurrent batch engine;
+//! - `rmrls serve` — run the long-lived synthesis daemon (`POST
+//!   /synthesize`, request status, live telemetry, crash-safe journal);
 //! - `rmrls mmd` — synthesize with the MMD transformation baseline;
 //! - `rmrls info` — inspect a TFC circuit (gates, cost, diagram);
 //! - `rmrls trace` — summarize a flight-recorder dump (top phases,
@@ -60,6 +62,9 @@ USAGE:
                             --tfc FILE | --spec-file FILE)
   rmrls batch    [OPTIONS] (--manifest FILE | --suite table4|examples|
                             extended|all)
+  rmrls serve    [OPTIONS] [--addr HOST:PORT]   long-lived synthesis
+                 daemon: POST /synthesize, GET /requests/<id>[/events],
+                 /metrics, /healthz, /jobs
   rmrls mmd      (--spec \"...\" | --benchmark NAME | --tfc FILE) [--uni]
   rmrls info     --tfc FILE
   rmrls analyze  --tfc FILE
@@ -141,6 +146,27 @@ BATCH OPTIONS:
                       Port 0 picks a free port; the bound address is
                       announced on stderr. Telemetry is observation-only:
                       results are byte-identical with or without it
+
+SERVE OPTIONS:
+  --addr HOST:PORT    listen address (default 127.0.0.1:0; port 0 picks
+                      a free port, announced on stderr)
+  --jobs N            worker threads executing requests (default:
+                      available parallelism)
+  --threads N         search threads inside each request (default 1)
+  --queue N           admission-queue depth; beyond it new requests are
+                      shed with 429 + Retry-After (default 16)
+  --deadline-ms M     default per-request deadline for requests that do
+                      not carry their own deadline_ms
+  --cache-size K      shared canonical result cache, warm across
+                      requests (default 1024); --no-cache disables it
+  --canon-limit N     widest spec canonicalized for caching (default 8)
+  --no-verify         skip per-circuit equivalence verification
+  --fallback          never-fail mode: relaxed pruning then the MMD
+                      baseline for requests RMRLS cannot solve
+  --max-body-bytes N  largest accepted request body (default 262144)
+  --journal FILE      append-only request journal: on restart completed
+                      requests are restored read-only and interrupted
+                      ones re-run (crash recovery)
 ";
 
 /// Where the input specification comes from.
@@ -290,6 +316,35 @@ pub enum Command {
         /// run.
         metrics_addr: Option<String>,
     },
+    /// `rmrls serve`.
+    Serve {
+        /// Listen address (`host:0` binds a free port, announced on
+        /// stderr).
+        addr: String,
+        /// Worker threads executing requests (`None` = available
+        /// parallelism).
+        jobs: Option<usize>,
+        /// Intra-request search threads (`None` = the serve default of
+        /// 1; concurrency comes from `jobs` unless asked otherwise).
+        threads: Option<usize>,
+        /// Admission-queue depth; beyond it requests are shed with 429.
+        queue: usize,
+        /// Default deadline for requests without their own
+        /// `deadline_ms`.
+        deadline: Option<Duration>,
+        /// Result-cache capacity (`None` disables the cache).
+        cache_size: Option<usize>,
+        /// Widest spec canonicalized for caching.
+        canon_limit: usize,
+        /// Verify each circuit against its specification.
+        verify: bool,
+        /// Run the fallback ladder so every well-formed request solves.
+        fallback: bool,
+        /// Largest accepted request body in bytes.
+        max_body_bytes: usize,
+        /// Request-journal path enabling crash recovery.
+        journal: Option<String>,
+    },
     /// `rmrls mmd`.
     Mmd {
         /// Input specification.
@@ -407,6 +462,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut metrics_addr = None;
     let mut dump = None;
     let mut chrome_out = None;
+    let mut addr = None;
+    let mut queue = None;
+    let mut max_body_bytes = None;
+    let mut journal = None;
 
     let take_value =
         |args: &mut std::iter::Peekable<I::IntoIter>, flag: &str| -> Result<String, CliError> {
@@ -499,6 +558,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
             "--metrics-out" => metrics_out = Some(take_value(&mut args, "--metrics-out")?),
             "--metrics-addr" => metrics_addr = Some(take_value(&mut args, "--metrics-addr")?),
+            "--addr" => addr = Some(take_value(&mut args, "--addr")?),
+            "--queue" => {
+                let v = take_value(&mut args, "--queue")?;
+                let n: usize = v.parse().map_err(|_| err("bad --queue"))?;
+                if n == 0 {
+                    return Err(err("--queue must be at least 1"));
+                }
+                queue = Some(n);
+            }
+            "--max-body-bytes" => {
+                let v = take_value(&mut args, "--max-body-bytes")?;
+                max_body_bytes = Some(v.parse().map_err(|_| err("bad --max-body-bytes"))?);
+            }
+            "--journal" => journal = Some(take_value(&mut args, "--journal")?),
             "--dump" => dump = Some(take_value(&mut args, "--dump")?),
             "--chrome-out" => chrome_out = Some(take_value(&mut args, "--chrome-out")?),
             "--fredkin" => {
@@ -532,8 +605,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     if (dump.is_some() || chrome_out.is_some()) && cmd != "trace" {
         return Err(err("--dump and --chrome-out apply only to 'trace'"));
     }
-    if threads.is_some() && cmd != "synth" && cmd != "batch" {
-        return Err(err("--threads applies only to 'synth' and 'batch'"));
+    if threads.is_some() && cmd != "synth" && cmd != "batch" && cmd != "serve" {
+        return Err(err(
+            "--threads applies only to 'synth', 'batch', and 'serve'",
+        ));
+    }
+    if (addr.is_some() || queue.is_some() || max_body_bytes.is_some() || journal.is_some())
+        && cmd != "serve"
+    {
+        return Err(err(
+            "--addr, --queue, --max-body-bytes, and --journal apply only to 'serve'",
+        ));
     }
 
     match cmd.as_str() {
@@ -605,6 +687,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 profile,
                 strict,
                 metrics_addr,
+            })
+        }
+        "serve" => {
+            if no_cache && cache_size.is_some() {
+                return Err(err("--no-cache conflicts with --cache-size"));
+            }
+            Ok(Command::Serve {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                jobs,
+                threads,
+                queue: queue.unwrap_or(16),
+                deadline: deadline_ms,
+                cache_size: if no_cache {
+                    None
+                } else {
+                    Some(cache_size.unwrap_or(1024))
+                },
+                canon_limit: canon_limit.unwrap_or(8),
+                verify: !no_verify,
+                fallback,
+                max_body_bytes: max_body_bytes.unwrap_or(256 * 1024),
+                journal,
             })
         }
         "trace" => Ok(Command::Trace {
@@ -1186,6 +1290,69 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             }
             Ok(())
         }
+        Command::Serve {
+            addr,
+            jobs,
+            threads,
+            queue,
+            deadline,
+            cache_size,
+            canon_limit,
+            verify,
+            fallback,
+            max_body_bytes,
+            journal,
+        } => {
+            let workers = jobs.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+            let mut batch = rmrls_engine::BatchOptions {
+                workers,
+                cache_size,
+                canon_limit,
+                verify,
+                fallback,
+                ..rmrls_engine::BatchOptions::default()
+            };
+            if let Some(n) = threads {
+                batch.synthesis = batch.synthesis.clone().with_threads(n);
+            }
+            let opts = rmrls_serve::ServeOptions {
+                addr,
+                workers,
+                queue_capacity: queue,
+                default_deadline: deadline,
+                max_body_bytes,
+                journal_path: journal,
+                batch,
+            };
+            // Ctrl-C once drains (running requests finish, queued work
+            // is skipped — and replayed on restart when journaled);
+            // twice aborts in-flight searches.
+            let shutdown = rmrls_engine::ShutdownHandles::install_sigint();
+            let daemon = rmrls_serve::ServeDaemon::start(opts, shutdown).map_err(err)?;
+            // Stdout is buffered until exit, so the address a client
+            // needs now is announced on stderr (matching
+            // --metrics-addr), including when port 0 picked a port.
+            eprintln!(
+                "serve: listening on http://{} — POST /synthesize, \
+                 GET /requests/<id>[/events], /metrics, /healthz, /jobs",
+                daemon.local_addr()
+            );
+            // Registry handles are shared by name, so this counter
+            // stays readable after `wait` consumes the daemon.
+            let completed = daemon.telemetry().registry().counter("requests_completed");
+            daemon.wait();
+            writeln!(
+                out,
+                "serve: shut down ({} requests completed)",
+                completed.get()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
         Command::Trace { dump, chrome_out } => {
             let text = std::fs::read_to_string(&dump)
                 .map_err(|e| err(format!("cannot read {dump}: {e}")))?;
@@ -1518,6 +1685,87 @@ mod tests {
         assert!(parse(&["synth", "--spec", "0,1", "--threads", "0"]).is_err());
         assert!(parse(&["mmd", "--spec", "0,1", "--threads", "2"]).is_err());
         assert!(parse(&["trace", "--dump", "d.json", "--threads", "2"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        match parse(&["serve"]).unwrap() {
+            Command::Serve {
+                addr,
+                jobs,
+                queue,
+                deadline,
+                cache_size,
+                canon_limit,
+                verify,
+                fallback,
+                max_body_bytes,
+                journal,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(jobs, None);
+                assert_eq!(queue, 16);
+                assert_eq!(deadline, None);
+                assert_eq!(cache_size, Some(1024));
+                assert_eq!(canon_limit, 8);
+                assert!(verify);
+                assert!(!fallback);
+                assert_eq!(max_body_bytes, 256 * 1024);
+                assert_eq!(journal, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:8791",
+            "--jobs",
+            "4",
+            "--queue",
+            "2",
+            "--deadline-ms",
+            "500",
+            "--no-cache",
+            "--fallback",
+            "--max-body-bytes",
+            "1024",
+            "--journal",
+            "reqs.jsonl",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                jobs,
+                queue,
+                deadline,
+                cache_size,
+                fallback,
+                max_body_bytes,
+                journal,
+                ..
+            } => {
+                assert_eq!(addr, "0.0.0.0:8791");
+                assert_eq!(jobs, Some(4));
+                assert_eq!(queue, 2);
+                assert_eq!(deadline, Some(Duration::from_millis(500)));
+                assert_eq!(cache_size, None);
+                assert!(fallback);
+                assert_eq!(max_body_bytes, 1024);
+                assert_eq!(journal.as_deref(), Some("reqs.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_flags_are_scoped_and_checked() {
+        assert!(parse(&["serve", "--queue", "0"]).is_err());
+        assert!(parse(&["serve", "--no-cache", "--cache-size", "8"]).is_err());
+        assert!(parse(&["batch", "--suite", "table4", "--addr", "x:1"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--journal", "j.jsonl"]).is_err());
+        assert!(parse(&["serve", "--threads", "2"]).is_ok());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! cost of a synthesis run the cache exists to avoid.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rmrls_circuit::Circuit;
 
@@ -91,6 +92,44 @@ impl CircuitCache {
     }
 }
 
+/// A [`CircuitCache`] behind one shared lock, cloneable across
+/// threads: the batch engine's workers and the serve daemon's request
+/// handlers all hit the same LRU, so one tenant's synthesis warms the
+/// cache for every other. Lock poisoning is recovered (a panicked
+/// holder can at worst have refreshed a recency tick — the map itself
+/// is only mutated through `&mut` methods that keep it consistent).
+#[derive(Clone, Debug)]
+pub struct SharedCache {
+    inner: Arc<Mutex<CircuitCache>>,
+}
+
+impl SharedCache {
+    /// A shared cache holding at most `capacity` circuits.
+    pub fn new(capacity: usize) -> SharedCache {
+        SharedCache {
+            inner: Arc::new(Mutex::new(CircuitCache::new(capacity))),
+        }
+    }
+
+    /// Locks the underlying cache, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, CircuitCache> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of cached circuits right now (takes the lock briefly).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +177,31 @@ mod tests {
         c.insert(key(1), circuit(1), SolveTier::Rmrls);
         assert!(c.is_empty());
         assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn shared_cache_is_one_cache_across_clones_and_threads() {
+        let shared = SharedCache::new(4);
+        let clone = shared.clone();
+        let handle = std::thread::spawn(move || {
+            clone.lock().insert(key(7), circuit(1), SolveTier::Mmd);
+        });
+        handle.join().unwrap();
+        assert_eq!(shared.len(), 1);
+        let (_, tier) = shared.lock().get(&key(7)).unwrap();
+        assert_eq!(tier, SolveTier::Mmd);
+    }
+
+    #[test]
+    fn shared_cache_recovers_from_poisoning() {
+        let shared = SharedCache::new(4);
+        let clone = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        shared.lock().insert(key(1), circuit(0), SolveTier::Rmrls);
+        assert_eq!(shared.len(), 1);
     }
 }

@@ -42,7 +42,7 @@ use rmrls_obs::{FlightRecorder, Json, PhaseProfile, Profiler, SyncCounter, Trace
 use rmrls_pprm::MultiPprm;
 use rmrls_spec::Permutation;
 
-use crate::cache::{CacheKey, CircuitCache};
+use crate::cache::{CacheKey, SharedCache};
 use crate::canon::{canonical_form, uncanonicalize_circuit};
 use crate::journal::{CompletedJob, JournalWriter};
 use crate::manifest::{Admission, BatchJob, SpecData};
@@ -52,7 +52,14 @@ use crate::telemetry::{BatchTelemetry, SAMPLE_INTERVAL};
 /// A worker's handle on the run's telemetry board, paired with the
 /// admission index of the job it is currently executing. `None`
 /// throughout when telemetry is disabled.
-type JobTelemetry<'a> = Option<(&'a Arc<BatchTelemetry>, usize)>;
+pub(crate) type JobTelemetry<'a> = Option<(&'a Arc<BatchTelemetry>, usize)>;
+
+/// Builds one fresh [`rmrls_obs::EventSink`] per search attempt. The
+/// serve daemon passes a factory that tees progress events into a
+/// request's JSONL stream; each ladder tier constructs its own
+/// `Observer`, hence a factory rather than a single sink. `None`
+/// everywhere in batch mode.
+pub type SinkFactory = dyn Fn() -> Box<dyn rmrls_obs::EventSink> + Sync;
 
 /// Version of the batch report / results-JSONL schema.
 pub const BATCH_SCHEMA_VERSION: u64 = 1;
@@ -130,6 +137,14 @@ pub struct BatchOptions {
     /// background gauge sampler — all observation-only: results are
     /// byte-identical with telemetry on or off.
     pub telemetry: Option<Arc<BatchTelemetry>>,
+    /// A caller-owned shared cache to use instead of building a private
+    /// one from `cache_size`. The serve daemon passes the cache it
+    /// keeps warm across requests; batch callers leave this `None` and
+    /// the engine behaves exactly as before (a fresh cache per run,
+    /// sized by `cache_size`). Excluded from the journal options
+    /// fingerprint for the same reason `cache_size` is: the cache
+    /// cannot change results, only speed.
+    pub shared_cache: Option<SharedCache>,
     /// Base search configuration applied to every job.
     pub synthesis: SynthesisOptions,
 }
@@ -153,6 +168,7 @@ impl Default for BatchOptions {
             fallback: false,
             trace_dir: None,
             telemetry: None,
+            shared_cache: None,
             synthesis: SynthesisOptions::new()
                 .with_max_nodes(200_000)
                 .with_threads(1),
@@ -423,7 +439,7 @@ impl BatchCounters {
 /// live `/metrics` series — one increment, two consumers. Without
 /// telemetry they are free-standing atomics, exactly as before.
 #[derive(Default)]
-struct RunCounters {
+pub(crate) struct RunCounters {
     jobs_completed: Arc<SyncCounter>,
     jobs_unsolved: Arc<SyncCounter>,
     jobs_errored: Arc<SyncCounter>,
@@ -452,7 +468,7 @@ struct RunCounters {
 impl RunCounters {
     /// Free-standing counters, or handles registered on the telemetry
     /// board so the same increments feed `/metrics`.
-    fn new(telemetry: Option<&BatchTelemetry>) -> RunCounters {
+    pub(crate) fn new(telemetry: Option<&BatchTelemetry>) -> RunCounters {
         let Some(t) = telemetry else {
             return RunCounters::default();
         };
@@ -631,8 +647,9 @@ pub fn run_batch_resumable(
     let started = Instant::now();
     let workers = opts.workers.max(1);
     let cache = opts
-        .cache_size
-        .map(|cap| Mutex::new(CircuitCache::new(cap)));
+        .shared_cache
+        .clone()
+        .or_else(|| opts.cache_size.map(SharedCache::new));
     let telemetry = opts.telemetry.as_ref();
     let counters = RunCounters::new(telemetry.map(Arc::as_ref));
     if let Some(t) = telemetry {
@@ -684,7 +701,7 @@ pub fn run_batch_resumable(
         // drains leaves the gauges at their end-of-run state.
         let sampler = telemetry.map(|t| {
             scope.spawn(|| loop {
-                t.sample(cache.as_ref().map(|m| lock(m).len() as u64));
+                t.sample(cache.as_ref().map(|c| c.len() as u64));
                 if workers_done.load(Ordering::Acquire) {
                     break;
                 }
@@ -722,6 +739,7 @@ pub fn run_batch_resumable(
                         &counters,
                         recorder.as_ref(),
                         telemetry.map(|t| (t, index)),
+                        None,
                     );
                     if let Some(t) = telemetry {
                         t.job_seconds.record(record.seconds);
@@ -852,7 +870,7 @@ fn tagged_snapshot(snapshot_json: Json, extra: Vec<(String, Json)>) -> Json {
 /// plus `<index>-<job>.anomaly.json` when the recorder registered an
 /// anomaly — into the trace directory. Write failures never fail the
 /// batch; they increment `trace_write_errors` and move on.
-fn write_job_traces(
+pub(crate) fn write_job_traces(
     dir: &str,
     index: usize,
     job_name: &str,
@@ -896,14 +914,16 @@ fn write_job_traces(
     }
 }
 
-fn run_one(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_one(
     admission: &Admission,
     opts: &BatchOptions,
     shutdown: &ShutdownHandles,
-    cache: Option<&Mutex<CircuitCache>>,
+    cache: Option<&SharedCache>,
     counters: &RunCounters,
     recorder: Option<&FlightRecorder>,
     telemetry: JobTelemetry,
+    sink: Option<&SinkFactory>,
 ) -> JobRecord {
     let started = Instant::now();
     let (name, origin) = (admission.name().to_string(), admission.origin().to_string());
@@ -926,7 +946,9 @@ fn run_one(
                 r.phase_enter("job");
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute_job(job, opts, shutdown, cache, counters, recorder, telemetry)
+                execute_job(
+                    job, opts, shutdown, cache, counters, recorder, telemetry, sink,
+                )
             }));
             // Exit after catch_unwind returns so the span closes (and
             // nests correctly) even when the job panicked mid-phase.
@@ -980,6 +1002,7 @@ fn relaxed_options(base: &SynthesisOptions) -> SynthesisOptions {
 /// One ladder tier: runs the search with the job's flight recorder
 /// attached (when tracing) and folds the tier's phase timings into the
 /// job profile whether or not it solved.
+#[allow(clippy::too_many_arguments)]
 fn run_search(
     spec: &MultiPprm,
     sopts: &SynthesisOptions,
@@ -987,11 +1010,18 @@ fn run_search(
     profile: &mut PhaseProfile,
     counters: &RunCounters,
     telemetry: JobTelemetry,
+    sink: Option<&SinkFactory>,
 ) -> Result<Synthesis, Option<StopReason>> {
-    let mut observer = match recorder {
-        Some(r) => Observer::null().with_recorder(r.clone()),
+    let mut observer = match sink {
+        // Serve-path event streaming: a fresh sink per search attempt,
+        // fed the same run_start/expand/... events the JSONL log sink
+        // sees. Observation-only, like the recorder and progress hooks.
+        Some(f) => Observer::with_sink(f()),
         None => Observer::null(),
     };
+    if let Some(r) = recorder {
+        observer = observer.with_recorder(r.clone());
+    }
     if let Some((t, index)) = telemetry {
         // Live progress beats: one per TIME_CHECK_INTERVAL expansions.
         // The callback only stores into the job's slot atomics and a
@@ -1070,9 +1100,10 @@ fn synthesize_ladder(
     profile: &mut PhaseProfile,
     counters: &RunCounters,
     telemetry: JobTelemetry,
+    sink: Option<&SinkFactory>,
     perm_for_mmd: impl FnOnce() -> Option<Permutation>,
 ) -> Result<(Circuit, SolveTier), Option<StopReason>> {
-    let tier1 = match run_search(spec, sopts, recorder, profile, counters, telemetry) {
+    let tier1 = match run_search(spec, sopts, recorder, profile, counters, telemetry, sink) {
         Ok(s) => return Ok((s.circuit, SolveTier::Rmrls)),
         Err(reason) => reason,
     };
@@ -1087,6 +1118,7 @@ fn synthesize_ladder(
         profile,
         counters,
         telemetry,
+        sink,
     ) {
         Ok(s) => return Ok((s.circuit, SolveTier::RmrlsRelaxed)),
         Err(reason) => reason.or(tier1),
@@ -1168,14 +1200,16 @@ fn injected_error(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     job: &BatchJob,
     opts: &BatchOptions,
     shutdown: &ShutdownHandles,
-    cache: Option<&Mutex<CircuitCache>>,
+    cache: Option<&SharedCache>,
     counters: &RunCounters,
     recorder: Option<&FlightRecorder>,
     telemetry: JobTelemetry,
+    sink: Option<&SinkFactory>,
 ) -> (JobOutcome, bool, PhaseProfile) {
     // The engine-side profiler times the stages the search cannot see
     // (canonicalization + cache, verification); the search's own phase
@@ -1219,7 +1253,7 @@ fn execute_job(
             // Failpoint: a lookup failure degrades to a miss — the job
             // re-synthesizes rather than erroring.
             let mut canon_solution = match rmrls_obs::fail::trigger("engine/cache/lookup") {
-                Ok(()) => cache.and_then(|m| lock(m).get(&key)),
+                Ok(()) => cache.and_then(|c| c.lock().get(&key)),
                 Err(_) => None,
             };
             profiler.stop("cache", t_cache);
@@ -1247,6 +1281,7 @@ fn execute_job(
                     &mut profile,
                     counters,
                     telemetry,
+                    sink,
                     || {
                         (key.num_vars <= MMD_FALLBACK_LIMIT)
                             .then(|| Permutation::from_vec(key.table.clone()).ok())
@@ -1257,9 +1292,9 @@ fn execute_job(
                     Ok((circuit, tier)) => {
                         // Failpoint: a failed insert only costs future
                         // hits; this job's result is already in hand.
-                        if let Some(m) = cache {
+                        if let Some(c) = cache {
                             if rmrls_obs::fail::trigger("engine/cache/insert").is_ok() {
-                                lock(m).insert(key, circuit.clone(), tier);
+                                c.lock().insert(key, circuit.clone(), tier);
                             }
                         }
                         canon_solution = Some((circuit, tier));
@@ -1312,6 +1347,7 @@ fn execute_job(
                 &mut profile,
                 counters,
                 telemetry,
+                sink,
                 || {
                     (m.num_vars() <= MMD_FALLBACK_LIMIT)
                         .then(|| Permutation::from_vec(m.to_permutation()).ok())

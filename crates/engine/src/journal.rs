@@ -198,6 +198,39 @@ impl JournalWriter {
         Ok(writer)
     }
 
+    /// Creates (truncating) a journal at `path` with a caller-supplied
+    /// header line — for journals that are not batch-results journals
+    /// but reuse this framing (the serve request journal writes its own
+    /// self-describing header).
+    ///
+    /// # Errors
+    ///
+    /// When the file cannot be created or written.
+    pub fn create_raw(path: &str, header_line: &str) -> Result<JournalWriter, String> {
+        let file = File::create(path).map_err(|e| format!("cannot create journal {path}: {e}"))?;
+        let mut writer = JournalWriter { file };
+        writer
+            .write_line(header_line)
+            .map_err(|e| format!("cannot write journal header to {path}: {e}"))?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal for appending, without touching its
+    /// contents — the crash-recovery path, where the surviving records
+    /// have already been read back and the file must keep growing from
+    /// its current tail.
+    ///
+    /// # Errors
+    ///
+    /// When the file cannot be opened for append.
+    pub fn open_append(path: &str) -> Result<JournalWriter, String> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {path} for append: {e}"))?;
+        Ok(JournalWriter { file })
+    }
+
     /// Durably appends one record line (the line plus `\n`, then
     /// fsync). On return the record either is fully on disk or the
     /// error says it may not be.
@@ -206,11 +239,21 @@ impl JournalWriter {
     ///
     /// When the write or the fsync fails.
     pub fn append(&mut self, line: &str) -> Result<(), String> {
+        self.append_at(line, "engine/journal/append")
+    }
+
+    /// [`append`](JournalWriter::append) under a caller-chosen
+    /// failpoint, so each journal site (batch results, serve requests)
+    /// is injectable independently in the fault matrix.
+    ///
+    /// # Errors
+    ///
+    /// When the write or the fsync fails (or the failpoint fires).
+    pub fn append_at(&mut self, line: &str, failpoint: &str) -> Result<(), String> {
         // Failpoint: a full disk / dying device at the worst moment.
-        // Only record appends are injectable — the header is written
+        // Only record appends are injectable — headers are written
         // before any work starts, where failure is an ordinary error.
-        rmrls_obs::fail::trigger("engine/journal/append")
-            .map_err(|e| format!("journal append failed: {e}"))?;
+        rmrls_obs::fail::trigger(failpoint).map_err(|e| format!("journal append failed: {e}"))?;
         self.write_line(line)
     }
 

@@ -41,14 +41,15 @@ pub mod engine;
 pub mod fsutil;
 pub mod journal;
 pub mod manifest;
+pub mod runner;
 pub mod signal;
 pub mod telemetry;
 
-pub use cache::{CacheKey, CircuitCache};
+pub use cache::{CacheKey, CircuitCache, SharedCache};
 pub use canon::{canonical_form, relabel_circuit, uncanonicalize_circuit};
 pub use engine::{
     run_batch, run_batch_resumable, BatchCounters, BatchOptions, BatchRun, JobOutcome, JobRecord,
-    SolveTier, BATCH_SCHEMA_VERSION,
+    SinkFactory, SolveTier, BATCH_SCHEMA_VERSION,
 };
 pub use fsutil::write_atomic;
 pub use journal::{
@@ -56,7 +57,8 @@ pub use journal::{
     ResumeData, JOURNAL_SCHEMA_VERSION,
 };
 pub use manifest::{
-    load_manifest, parse_manifest, suite_admissions, Admission, BatchJob, SpecData,
+    admit_inline, load_manifest, parse_manifest, suite_admissions, Admission, BatchJob, SpecData,
 };
+pub use runner::JobRunner;
 pub use signal::ShutdownHandles;
 pub use telemetry::{BatchTelemetry, JobState, JobStatus, JobStatusRegistry, SAMPLE_INTERVAL};

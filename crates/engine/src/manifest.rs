@@ -205,6 +205,75 @@ pub fn load_manifest(path: &str) -> Result<Vec<Admission>, String> {
     Ok(parse_manifest(&text, path, base))
 }
 
+/// Admits one job whose specification arrives **inline** rather than
+/// by file path — the serve daemon's case, where a request body carries
+/// the spec text itself. Kinds:
+///
+/// - `perm` — `spec` is an inline permutation table (`1,0,3,2,…`);
+/// - `table` — `spec` is truth-table text (must be reversible);
+/// - `tfc` — `spec` is TFC circuit text (re-synthesized; capped at
+///   [`TFC_WIDTH_LIMIT`] wires);
+/// - `bench` — `spec` is a bundled benchmark name.
+///
+/// Like manifest loading, this is total: malformed specs become
+/// [`Admission::Error`] records, never panics or hard failures.
+pub fn admit_inline(name: &str, kind: &str, spec: &str, origin: String) -> Admission {
+    let fail = |message: String| Admission::Error {
+        name: name.to_string(),
+        origin: origin.clone(),
+        message,
+    };
+    let job = |spec: SpecData| {
+        Admission::Job(BatchJob {
+            name: name.to_string(),
+            origin: origin.clone(),
+            spec,
+        })
+    };
+    match kind {
+        "perm" => match formats::parse_permutation(spec) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(format!("bad permutation: {e}")),
+        },
+        "table" => match formats::parse_truth_table(spec)
+            .map_err(|e| format!("bad truth table: {e}"))
+            .and_then(|t| {
+                t.to_permutation()
+                    .map_err(|e| format!("truth table is not reversible: {e}"))
+            }) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(e),
+        },
+        "tfc" => match rmrls_circuit::tfc::parse(spec)
+            .map_err(|e| format!("bad TFC spec: {e}"))
+            .and_then(|circuit| {
+                if circuit.width() > TFC_WIDTH_LIMIT {
+                    return Err(format!(
+                        "TFC re-synthesis is limited to {TFC_WIDTH_LIMIT} wires (circuit has {})",
+                        circuit.width()
+                    ));
+                }
+                Ok(Permutation::from_circuit(&circuit))
+            }) {
+            Ok(p) => job(SpecData::Perm(p)),
+            Err(e) => fail(e),
+        },
+        "bench" => match benchmarks::find(spec) {
+            Some(b) => {
+                let data = match b.to_permutation() {
+                    Some(p) => SpecData::Perm(p),
+                    None => SpecData::Pprm(b.to_multi_pprm()),
+                };
+                job(data)
+            }
+            None => fail(format!("unknown benchmark '{spec}'")),
+        },
+        other => fail(format!(
+            "unknown spec kind '{other}' (perm|table|tfc|bench)"
+        )),
+    }
+}
+
 fn admit_single(kind: &str, arg: &str, origin: String, base_dir: &Path) -> Admission {
     let name = format!("{kind} {arg}");
     let fail = |message: String| Admission::Error {

@@ -1,0 +1,218 @@
+//! Single-job execution for long-lived callers.
+//!
+//! The batch engine owns its whole lifecycle: it builds a cache, runs
+//! a worker pool over a fixed admission list, and tears everything
+//! down. A service has the opposite shape — jobs arrive one at a time,
+//! forever, and the cache must outlive each of them. [`JobRunner`] is
+//! the engine's per-job core ([`run_one`]: canonicalize, cache,
+//! ladder, verify, panic containment) re-packaged for that shape: the
+//! runner is built once, holds the shared cache and the run counters,
+//! and [`JobRunner::run`] executes one admission under a caller-chosen
+//! deadline and cancel token.
+//!
+//! Everything that makes batch results trustworthy carries over
+//! unchanged — the job runs under `catch_unwind`, the fallback ladder
+//! and verification apply, `solved_by`/cache attribution is identical
+//! — because it is literally the same code path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rmrls_core::CancelToken;
+use rmrls_obs::FlightRecorder;
+
+use crate::cache::SharedCache;
+use crate::engine::{run_one, write_job_traces, BatchOptions, JobRecord, RunCounters, SinkFactory};
+use crate::manifest::Admission;
+use crate::signal::ShutdownHandles;
+use crate::telemetry::BatchTelemetry;
+
+/// Executes admissions one at a time against a persistent shared cache
+/// and counter set. Cheap to share behind an `Arc`; [`run`]
+/// (JobRunner::run) takes `&self`, so any number of threads can run
+/// jobs concurrently (the cache is the only shared mutable state, and
+/// it has its own lock).
+pub struct JobRunner {
+    opts: BatchOptions,
+    cache: Option<SharedCache>,
+    counters: RunCounters,
+}
+
+impl JobRunner {
+    /// A runner over `opts`. The cache is taken from
+    /// `opts.shared_cache` when set, otherwise built from
+    /// `opts.cache_size`; either way it persists across every
+    /// [`run`](JobRunner::run) on this runner. Counters register on
+    /// `opts.telemetry`'s registry when present (so they feed
+    /// `/metrics` live), exactly as in batch mode.
+    pub fn new(opts: BatchOptions) -> JobRunner {
+        let cache = opts
+            .shared_cache
+            .clone()
+            .or_else(|| opts.cache_size.map(SharedCache::new));
+        let counters = RunCounters::new(opts.telemetry.as_deref());
+        JobRunner {
+            opts,
+            cache,
+            counters,
+        }
+    }
+
+    /// The cache jobs run against (`None` when caching is disabled).
+    pub fn cache(&self) -> Option<&SharedCache> {
+        self.cache.as_ref()
+    }
+
+    /// The telemetry board the runner reports to, if any.
+    pub fn telemetry(&self) -> Option<&Arc<BatchTelemetry>> {
+        self.opts.telemetry.as_ref()
+    }
+
+    /// Runs one admission to completion.
+    ///
+    /// - `deadline` overrides the runner's configured per-job deadline
+    ///   when given (a per-request deadline);
+    /// - `cancel` aborts the search mid-flight when tripped (client
+    ///   disconnect, service shutdown) — the job then reports
+    ///   `unsolved` with a `cancelled` stop reason;
+    /// - `slot` is the telemetry job-board slot to drive through
+    ///   running → finished (ignored without a board);
+    /// - `sink` builds a fresh event sink per search attempt for
+    ///   streamed progress events.
+    ///
+    /// Never panics on job failure: panics inside the job are contained
+    /// into a `panicked` record, exactly as in batch mode.
+    pub fn run(
+        &self,
+        admission: &Admission,
+        deadline: Option<Duration>,
+        cancel: &CancelToken,
+        slot: Option<usize>,
+        sink: Option<&SinkFactory>,
+    ) -> JobRecord {
+        let mut opts = self.opts.clone();
+        if deadline.is_some() {
+            opts.deadline = deadline;
+        }
+        // The drain token is per-job and never tripped: drain semantics
+        // (stop *starting* jobs) live in the caller's queue, not inside
+        // a job that is already running. Abort is the caller's token.
+        let shutdown = ShutdownHandles {
+            drain: CancelToken::new(),
+            abort: cancel.clone(),
+        };
+        let telemetry = opts.telemetry.clone();
+        let board = telemetry.as_ref().zip(slot);
+        if let Some((t, index)) = board {
+            t.jobs.mark_running(index);
+        }
+        let recorder = opts
+            .trace_dir
+            .as_ref()
+            .map(|_| FlightRecorder::with_default_budget());
+        let record = run_one(
+            admission,
+            &opts,
+            &shutdown,
+            self.cache.as_ref(),
+            &self.counters,
+            recorder.as_ref(),
+            board,
+            sink,
+        );
+        if let Some((t, index)) = board {
+            t.job_seconds.record(record.seconds);
+            t.jobs.mark_finished(index, &record.outcome);
+        }
+        if let (Some(dir), Some(r)) = (opts.trace_dir.as_deref(), &recorder) {
+            write_job_traces(dir, slot.unwrap_or(0), &record.name, r, &self.counters);
+        }
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobOutcome, SolveTier};
+    use crate::manifest::admit_inline;
+
+    fn runner(opts: BatchOptions) -> JobRunner {
+        JobRunner::new(opts)
+    }
+
+    fn perm_job(name: &str) -> Admission {
+        admit_inline(name, "perm", "1,0,3,2,5,4,7,6", "test".to_string())
+    }
+
+    #[test]
+    fn runs_one_job_and_caches_it() {
+        let r = runner(BatchOptions::default());
+        let token = CancelToken::new();
+        let first = r.run(&perm_job("a"), None, &token, None, None);
+        assert!(!first.cache_hit);
+        assert!(matches!(
+            first.outcome,
+            JobOutcome::Solved {
+                verified: Some(true),
+                ..
+            }
+        ));
+        assert_eq!(r.cache().unwrap().len(), 1);
+        // The same spec under a different name hits the warm cache with
+        // identical attribution and a byte-identical circuit.
+        let second = r.run(&perm_job("b"), None, &token, None, None);
+        assert!(second.cache_hit);
+        let gates = |rec: &JobRecord| match &rec.outcome {
+            JobOutcome::Solved {
+                circuit, solved_by, ..
+            } => (format!("{:?}", circuit.gates()), *solved_by),
+            other => panic!("want solved, got {other:?}"),
+        };
+        let (g1, t1) = gates(&first);
+        let (g2, t2) = gates(&second);
+        assert_eq!(g1, g2);
+        assert_eq!(t1, SolveTier::Rmrls);
+        assert_eq!(t2, SolveTier::Rmrls);
+    }
+
+    #[test]
+    fn an_externally_shared_cache_is_used_as_is() {
+        let shared = SharedCache::new(64);
+        let opts = BatchOptions {
+            shared_cache: Some(shared.clone()),
+            ..BatchOptions::default()
+        };
+        let r = runner(opts);
+        r.run(&perm_job("x"), None, &CancelToken::new(), None, None);
+        assert_eq!(shared.len(), 1, "the caller's cache received the entry");
+    }
+
+    #[test]
+    fn a_tripped_cancel_token_stops_the_job_cleanly() {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = runner(BatchOptions::default());
+        // Wide enough that the search cannot finish before its first
+        // budget poll sees the token.
+        let hard = admit_inline(
+            "hard",
+            "perm",
+            "7,6,5,4,3,2,1,0,15,14,13,12,11,10,9,8",
+            "test".to_string(),
+        );
+        let record = r.run(&hard, None, &token, None, None);
+        match record.outcome {
+            JobOutcome::Unsolved { stop_reason } => assert_eq!(stop_reason, "cancelled"),
+            other => panic!("want cancelled unsolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_admissions_become_error_records_not_panics() {
+        let r = runner(BatchOptions::default());
+        let bad = admit_inline("bad", "perm", "0,0,0,0", "test".to_string());
+        let record = r.run(&bad, None, &CancelToken::new(), None, None);
+        assert!(matches!(record.outcome, JobOutcome::Error { .. }));
+    }
+}

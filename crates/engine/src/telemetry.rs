@@ -26,7 +26,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rmrls_obs::{prometheus_text, Json, SyncCounter, SyncGauge, SyncHistogram, SyncRegistry};
@@ -74,10 +74,12 @@ impl JobState {
     }
 }
 
-/// One job's live status cell: all-atomic, so workers update and
-/// scrape threads read without locking.
+/// One job's live status cell: all-atomic (except the name, which is
+/// only locked on slot reassignment and status reads — never inside a
+/// search loop), so workers update and scrape threads read without
+/// contending.
 struct JobSlot {
-    name: String,
+    name: Mutex<String>,
     state: AtomicU8,
     /// 0 = none/unsolved, else `SolveTier as u8 + 1`.
     solved_by: AtomicU8,
@@ -92,7 +94,7 @@ struct JobSlot {
 impl JobSlot {
     fn new(name: String) -> JobSlot {
         JobSlot {
-            name,
+            name: Mutex::new(name),
             state: AtomicU8::new(0),
             solved_by: AtomicU8::new(0),
             started_ms: AtomicU64::new(UNSET),
@@ -183,6 +185,29 @@ impl JobStatusRegistry {
         self.t0.elapsed().as_millis() as u64
     }
 
+    /// Reassigns a slot to a new job — the serve daemon's pattern,
+    /// where a fixed ring of slots is relabeled as requests arrive
+    /// (batch mode names every slot once at construction and never
+    /// calls this). Renames the slot and resets every field to a fresh
+    /// pending state.
+    pub fn assign(&self, index: usize, name: &str) {
+        let Some(slot) = self.slots.get(index) else {
+            return;
+        };
+        match slot.name.lock() {
+            Ok(mut n) => *n = name.to_string(),
+            Err(poisoned) => *poisoned.into_inner() = name.to_string(),
+        }
+        slot.solved_by.store(0, Ordering::Relaxed);
+        slot.started_ms.store(UNSET, Ordering::Relaxed);
+        slot.ended_ms.store(UNSET, Ordering::Relaxed);
+        slot.nodes_expanded.store(0, Ordering::Relaxed);
+        slot.queue_depth.store(0, Ordering::Relaxed);
+        slot.live_terms.store(0, Ordering::Relaxed);
+        slot.memory_sheds.store(0, Ordering::Relaxed);
+        slot.state.store(0, Ordering::Release);
+    }
+
     /// Marks a job picked up by a worker.
     pub fn mark_running(&self, index: usize) {
         let Some(slot) = self.slots.get(index) else {
@@ -264,9 +289,13 @@ impl JobStatusRegistry {
             3 => Some(SolveTier::Mmd),
             _ => None,
         };
+        let name = match slot.name.lock() {
+            Ok(n) => n.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
         Some(JobStatus {
             index,
-            name: slot.name.clone(),
+            name,
             state,
             solved_by,
             elapsed_seconds: elapsed_ms as f64 / 1000.0,
@@ -334,6 +363,9 @@ pub struct BatchTelemetry {
     journal_append_errors: Arc<SyncCounter>,
     trace_write_errors: Arc<SyncCounter>,
     memory_shed_jobs: Arc<SyncCounter>,
+    /// 1 while the serve admission queue is shedding load (429s being
+    /// returned), 0 otherwise. Always 0 in batch mode.
+    backpressure: Arc<SyncGauge>,
 }
 
 impl fmt::Debug for BatchTelemetry {
@@ -365,6 +397,7 @@ impl BatchTelemetry {
             journal_append_errors: registry.counter("journal_append_errors"),
             trace_write_errors: registry.counter("trace_write_errors"),
             memory_shed_jobs: registry.counter("memory_shed_jobs"),
+            backpressure: registry.gauge("admission_backpressure"),
             jobs: JobStatusRegistry::new(job_names),
             registry,
         }
@@ -399,14 +432,22 @@ impl BatchTelemetry {
     }
 
     /// True when the run has witnessed degradation: a contained panic,
-    /// a verification failure, a journal/trace write error, or a
-    /// memory shed.
+    /// a verification failure, a journal/trace write error, a memory
+    /// shed, or (serve mode) active admission backpressure.
     pub fn degraded(&self) -> bool {
         self.panics_contained.get() > 0
             || self.verify_failures.get() > 0
             || self.journal_append_errors.get() > 0
             || self.trace_write_errors.get() > 0
             || self.memory_shed_jobs.get() > 0
+            || self.backpressure.get() > 0
+    }
+
+    /// Flags (or clears) admission backpressure: the serve daemon sets
+    /// this while it is shedding requests with 429, which also flips
+    /// `/healthz` to degraded for the duration.
+    pub fn set_backpressure(&self, shedding: bool) {
+        self.backpressure.set(u64::from(shedding));
     }
 
     /// Counts a job whose search shed memory (degraded mode).
@@ -556,6 +597,41 @@ mod tests {
         t.note_memory_sheds(3);
         assert!(t.degraded());
         assert!(t.healthz_json().contains("\"degraded\":true"));
+    }
+
+    #[test]
+    fn backpressure_degrades_health_while_set() {
+        let t = telemetry(1);
+        assert!(!t.degraded());
+        t.set_backpressure(true);
+        assert!(t.degraded());
+        assert!(t.healthz_json().contains("\"degraded\":true"));
+        t.set_backpressure(false);
+        assert!(!t.degraded(), "clears when shedding stops");
+    }
+
+    #[test]
+    fn assign_relabels_and_resets_a_slot() {
+        let t = telemetry(2);
+        t.jobs.mark_running(0);
+        t.jobs.update_progress(0, 512, 40, 900, 1);
+        t.jobs.mark_finished(
+            0,
+            &JobOutcome::Solved {
+                circuit: Circuit::new(3),
+                verified: Some(true),
+                solved_by: SolveTier::Rmrls,
+            },
+        );
+        t.jobs.assign(0, "request:7");
+        let s = t.jobs.status(0).unwrap();
+        assert_eq!(s.name, "request:7");
+        assert_eq!(s.state, JobState::Pending);
+        assert_eq!(s.solved_by, None);
+        assert_eq!(s.nodes_expanded, 0);
+        assert_eq!(s.elapsed_seconds, 0.0);
+        // Out-of-range assigns are ignored, not panics.
+        t.jobs.assign(99, "x");
     }
 
     #[test]

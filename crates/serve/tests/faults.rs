@@ -1,0 +1,92 @@
+//! Serve-site fault injection (`--features failpoints`): the two
+//! daemon failpoints must degrade gracefully — a journal append
+//! failure serves the request anyway (weakened crash recovery,
+//! degraded health), an admission failure is a clean 503 and the
+//! daemon keeps serving. The failpoint registry is process-global, so
+//! tests serialize on a mutex.
+
+#![cfg(feature = "failpoints")]
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::{easy_body, get, post, scratch};
+use rmrls_engine::ShutdownHandles;
+use rmrls_obs::{fail, Json};
+use rmrls_serve::{ServeDaemon, ServeOptions};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn a_journal_append_fault_degrades_health_but_still_serves() {
+    let _g = serial();
+    let dir = scratch("fault-journal");
+    let journal_path = dir.join("requests.jsonl").to_string_lossy().into_owned();
+    let opts = ServeOptions {
+        journal_path: Some(journal_path),
+        ..ServeOptions::default()
+    };
+    let daemon = ServeDaemon::start(opts, ShutdownHandles::new()).expect("daemon starts");
+    let addr = daemon.local_addr();
+
+    fail::configure("serve/journal/append=err").unwrap();
+    let reply = post(addr, "/synthesize", &easy_body("despite-fault"));
+    fail::clear();
+
+    // The request is served — only crash recovery is weakened.
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply
+            .json()
+            .get("record")
+            .and_then(|r| r.get("status"))
+            .and_then(Json::as_str),
+        Some("solved")
+    );
+    // ... and the weakening is visible: degraded health, counted.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 503);
+    assert_eq!(health.json().get("degraded"), Some(&Json::Bool(true)));
+    let metrics = get(addr, "/metrics");
+    let errors = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("rmrls_journal_append_errors "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("journal_append_errors metric");
+    assert!(errors >= 1, "{}", metrics.body);
+
+    daemon.drain();
+    daemon.wait();
+}
+
+#[test]
+fn an_admission_enqueue_fault_is_a_clean_503() {
+    let _g = serial();
+    let daemon =
+        ServeDaemon::start(ServeOptions::default(), ShutdownHandles::new()).expect("daemon starts");
+    let addr = daemon.local_addr();
+
+    fail::configure("serve/admission/enqueue=err").unwrap();
+    let rejected = post(addr, "/synthesize", &easy_body("rejected"));
+    fail::clear();
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert!(
+        rejected.body.contains("admission failed"),
+        "{}",
+        rejected.body
+    );
+
+    // The fault touched nothing durable: the next request sails through.
+    let accepted = post(addr, "/synthesize", &easy_body("accepted"));
+    assert_eq!(accepted.status, 200, "{}", accepted.body);
+
+    daemon.drain();
+    daemon.wait();
+}

@@ -39,5 +39,8 @@
 pub mod http;
 pub mod server;
 
-pub use http::{read_request, write_response, Request, Response};
+pub use http::{
+    read_request, read_request_limited, respond_to_error, write_response, write_stream_head,
+    HttpError, Request, Response, DEFAULT_BODY_LIMIT,
+};
 pub use server::{Providers, TelemetryServer, PROMETHEUS_CONTENT_TYPE};

@@ -13,7 +13,7 @@
 //! unblock `accept`, then joins the thread. No request in flight is
 //! aborted; the loop finishes serving it, sees the flag, and exits.
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::http::{read_request, respond_to_error, write_response, Request, Response};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -128,14 +128,15 @@ fn accept_loop(
 
 /// Serves a single connection. Errors are swallowed deliberately: a
 /// scraper disconnecting mid-response must never take the batch down.
+/// Parse failures map to their status via [`HttpError::to_response`];
+/// a vanished or stalled peer (`HttpError::Io`) gets no response.
 fn serve_one(stream: TcpStream, providers: &Providers) {
     let request = match read_request(&stream) {
         Ok(r) => r,
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            let _ = write_response(&stream, &Response::text(400, "bad request"), false);
+        Err(e) => {
+            respond_to_error(&stream, &e);
             return;
         }
-        Err(_) => return,
     };
     let head = request.method == "HEAD";
     let response = route(&request, providers);

@@ -11,6 +11,8 @@
 //! - [`core`] — the RMRLS priority-queue synthesis algorithm;
 //! - [`engine`] — the concurrent batch-synthesis engine (worker pool,
 //!   deadlines, cancellation, canonical-form result cache);
+//! - [`serve`] — the long-lived multi-tenant synthesis daemon behind
+//!   `rmrls serve` (admission control, request journal, shared cache);
 //! - [`obs`] — zero-dependency metrics, event sinks, and the JSON
 //!   run-report machinery behind `rmrls synth --report`;
 //! - [`baselines`] — MMD transformation-based synthesis, exhaustive
@@ -39,4 +41,5 @@ pub use rmrls_core as core;
 pub use rmrls_engine as engine;
 pub use rmrls_obs as obs;
 pub use rmrls_pprm as pprm;
+pub use rmrls_serve as serve;
 pub use rmrls_spec as spec;
