@@ -1,0 +1,189 @@
+//! Durable-store benchmark (PR 10): what a warm store buys.
+//!
+//! A batch re-run over a manifest it has already solved should pay for
+//! **verification, not search**: every canonical form is served from
+//! the durable store (re-verified on open, verified again per job),
+//! and the search tiers never run. This bench measures that end to
+//! end, through the real batch engine:
+//!
+//! 1. **No store** — fresh process state, everything is searched.
+//! 2. **Cold store** — same workload against an empty store file: the
+//!    search cost plus the append/fsync cost of populating it.
+//! 3. **Warm store** — same workload again with fresh in-process state
+//!    (new LRU, new handles) over the now-populated file: every unique
+//!    canonical is a store hit.
+//!
+//! Contracts (asserted in every mode): all three runs produce
+//! byte-identical results JSONL, the warm run searches nothing it can
+//! load (`store_hits` = unique canonicals, `store_inserts` = 0), and
+//! zero verification failures anywhere. Full mode additionally asserts
+//! the warm run beats the no-store baseline — if loading + verifying
+//! were slower than searching, the store would be pointless.
+//!
+//! Output: a human-readable table plus the `BENCH_pr10.json` payload on
+//! request (`RMRLS_BENCH_OUT=path`). `RMRLS_SMOKE=1` shrinks the
+//! workload for CI.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmrls_engine::manifest::{Admission, BatchJob, SpecData};
+use rmrls_engine::{
+    run_batch, suite_admissions, BatchOptions, BatchRun, SharedStore, ShutdownHandles,
+};
+use rmrls_obs::Json;
+use rmrls_spec::random_permutation;
+
+fn smoke() -> bool {
+    std::env::var("RMRLS_SMOKE")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// The example suite plus deterministic random 3/4-variable
+/// permutations — all unique canonicals solvable well inside the
+/// default budget, so the warm run's advantage is pure search
+/// avoidance, not deadline luck.
+fn workload(randoms: usize) -> Vec<Admission> {
+    let mut jobs = suite_admissions("examples").expect("bundled suite");
+    let mut rng = StdRng::seed_from_u64(0x570e5eed);
+    for i in 0..randoms {
+        let n = 3 + (i % 2);
+        jobs.push(Admission::Job(BatchJob {
+            name: format!("rand{n}v-{i}"),
+            origin: "bench:random".to_string(),
+            spec: SpecData::Perm(random_permutation(n, &mut rng)),
+        }));
+    }
+    jobs
+}
+
+fn options(store: Option<SharedStore>) -> BatchOptions {
+    let mut opts = BatchOptions {
+        workers: 2,
+        fallback: true,
+        store,
+        store_provenance: "bench".to_string(),
+        ..BatchOptions::default()
+    };
+    // A deterministic node budget (never a wall-clock deadline — tier
+    // attribution must be identical across the three runs) plus the
+    // fallback ladder, so every job solves and the search cost per
+    // job is bounded.
+    opts.synthesis = opts
+        .synthesis
+        .clone()
+        .with_stop_at_first(true)
+        .with_max_nodes(50_000);
+    opts
+}
+
+fn timed(jobs: &[Admission], opts: &BatchOptions) -> (f64, BatchRun) {
+    let start = Instant::now();
+    let run = run_batch(jobs, opts, &ShutdownHandles::new());
+    (start.elapsed().as_secs_f64(), run)
+}
+
+fn main() {
+    let smoke = smoke();
+    let randoms = if smoke { 8 } else { 64 };
+    let jobs = workload(randoms);
+    let dir = std::env::temp_dir().join("rmrls-bench-store-warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("circuits.store").to_str().unwrap().to_string();
+
+    println!("# Durable store: warm-rerun vs cold-store vs no-store");
+    println!(
+        "mode: {} — {} jobs (examples suite + {randoms} random perms), 2 workers\n",
+        if smoke { "smoke" } else { "full" },
+        jobs.len()
+    );
+
+    // Warm-up pass so no timed run pays first-touch costs.
+    run_batch(&jobs, &options(None), &ShutdownHandles::new());
+
+    // 1. No store: every job searched (modulo the in-run LRU).
+    let (base_secs, base) = timed(&jobs, &options(None));
+
+    // 2. Cold store: search plus persist (one fsync'd append per
+    //    unique canonical).
+    let cold_store = SharedStore::open(&path).expect("store opens");
+    let (cold_secs, cold) = timed(&jobs, &options(Some(cold_store)));
+    let inserts = cold.counters.store_inserts;
+
+    // 3. Warm store: a fresh handle over the populated file — fresh
+    //    LRU too, so every unique canonical must come off disk.
+    let warm_store = SharedStore::open(&path).expect("store reopens");
+    let loaded = warm_store.len() as u64;
+    let (warm_secs, warm) = timed(&jobs, &options(Some(warm_store)));
+
+    // Correctness before speed.
+    for (name, run) in [("base", &base), ("cold", &cold), ("warm", &warm)] {
+        assert_eq!(run.counters.panics_contained, 0, "{name}");
+        assert_eq!(run.counters.verify_failures, 0, "{name}");
+        assert_eq!(run.counters.jobs_completed, jobs.len() as u64, "{name}");
+    }
+    assert_eq!(
+        base.results_jsonl(),
+        cold.results_jsonl(),
+        "persisting must not change results"
+    );
+    assert_eq!(
+        base.results_jsonl(),
+        warm.results_jsonl(),
+        "store-served circuits must be byte-identical"
+    );
+    assert!(inserts > 0, "the cold run must populate the store");
+    assert_eq!(loaded, inserts, "every insert must re-verify on open");
+    assert_eq!(
+        warm.counters.store_hits, inserts,
+        "the warm run must load every unique canonical"
+    );
+    assert_eq!(warm.counters.store_inserts, 0, "nothing new to persist");
+
+    let speedup = base_secs / warm_secs;
+    println!("no store (all searched):   {base_secs:.3}s");
+    println!(
+        "cold store (search+fsync): {cold_secs:.3}s ({:+.1}% vs no store)",
+        (cold_secs - base_secs) / base_secs * 100.0
+    );
+    println!(
+        "warm store (verify only):  {warm_secs:.3}s ({speedup:.1}x vs no store, {} hits)",
+        warm.counters.store_hits
+    );
+    if !smoke {
+        assert!(
+            warm_secs < base_secs,
+            "warm rerun must beat searching: {warm_secs:.3}s vs {base_secs:.3}s"
+        );
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".to_string(), Json::str("store_warm_pr10")),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        ("jobs".to_string(), Json::uint(jobs.len() as u64)),
+        ("unique_canonicals".to_string(), Json::uint(inserts)),
+        ("seconds_no_store".to_string(), Json::Num(base_secs)),
+        ("seconds_cold_store".to_string(), Json::Num(cold_secs)),
+        ("seconds_warm_store".to_string(), Json::Num(warm_secs)),
+        ("warm_speedup".to_string(), Json::Num(speedup)),
+        (
+            "warm_store_hits".to_string(),
+            Json::uint(warm.counters.store_hits),
+        ),
+        (
+            "cold_overhead_fraction".to_string(),
+            Json::Num((cold_secs - base_secs) / base_secs),
+        ),
+    ]);
+
+    if let Ok(path) = std::env::var("RMRLS_BENCH_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, format!("{report}\n")).expect("write RMRLS_BENCH_OUT");
+            println!("\nwrote {path}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -74,6 +74,8 @@ USAGE:
                  don't-care portfolio, then synthesizes)
   rmrls trace    --dump FILE [--chrome-out FILE]   summarize a
                  flight-recorder dump (phases, anomalies, record counts)
+  rmrls store    (stats | fsck | compact) --store FILE   inspect or
+                 repair a persistent circuit store
   rmrls benchmarks
 
 SYNTH OPTIONS:
@@ -137,6 +139,11 @@ BATCH OPTIONS:
                       <index>-<job>.anomaly.json
   --profile           aggregate a per-phase timing profile across jobs
                       into the batch report
+  --store FILE        persistent circuit store: canonical results are
+                      loaded (verified) at start and fresh syntheses are
+                      appended, so reruns serve repeated specs from disk
+                      instead of searching. Crash-safe and
+                      corruption-detecting; see 'rmrls store'
   --strict            exit nonzero on any error, panic, or verify failure
   --metrics-addr HOST:PORT
                       serve live telemetry over HTTP during the run:
@@ -167,6 +174,19 @@ SERVE OPTIONS:
   --journal FILE      append-only request journal: on restart completed
                       requests are restored read-only and interrupted
                       ones re-run (crash recovery)
+  --store FILE        persistent circuit store shared by all workers:
+                      the warm cache survives restarts, and every fresh
+                      synthesis is appended (store gauges on /metrics)
+
+STORE SUBCOMMANDS (rmrls store <sub> --store FILE):
+  stats               print the store's index and health counters as JSON
+  fsck                read-only integrity check: scans every record,
+                      re-verifies every circuit, reports quarantined /
+                      torn / unverifiable bytes without modifying the
+                      file; exits nonzero if damage is found
+  compact             atomically rewrite the file keeping only the live
+                      best-known records (drops quarantined regions and
+                      superseded entries)
 ";
 
 /// Where the input specification comes from.
@@ -233,6 +253,17 @@ pub enum BatchSource {
     Manifest(String),
     /// Bundled suite: `table4`, `examples`, `extended`, or `all`.
     Suite(String),
+}
+
+/// What `rmrls store` does to a store file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Print index and health counters.
+    Stats,
+    /// Read-only integrity check (exits nonzero on damage).
+    Fsck,
+    /// Atomic rewrite keeping only live records.
+    Compact,
 }
 
 /// Parsed command line.
@@ -315,6 +346,8 @@ pub enum Command {
         /// Serve live telemetry over HTTP at this address during the
         /// run.
         metrics_addr: Option<String>,
+        /// Persistent circuit store opened (or created) for the run.
+        store: Option<String>,
     },
     /// `rmrls serve`.
     Serve {
@@ -344,6 +377,9 @@ pub enum Command {
         max_body_bytes: usize,
         /// Request-journal path enabling crash recovery.
         journal: Option<String>,
+        /// Persistent circuit store keeping the warm cache across
+        /// restarts.
+        store: Option<String>,
     },
     /// `rmrls mmd`.
     Mmd {
@@ -385,6 +421,13 @@ pub enum Command {
         /// Also write a Chrome trace-event export to this file.
         chrome_out: Option<String>,
     },
+    /// `rmrls store`.
+    Store {
+        /// Subcommand: what to do with the store file.
+        action: StoreAction,
+        /// Store file path.
+        store: String,
+    },
     /// `rmrls benchmarks`.
     Benchmarks,
     /// `rmrls --help` / no arguments.
@@ -422,6 +465,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         return Ok(Command::Help);
     }
+    // `rmrls store` takes its subcommand as the next positional word.
+    let store_action = if cmd == "store" {
+        Some(match args.next().as_deref() {
+            Some("stats") => StoreAction::Stats,
+            Some("fsck") => StoreAction::Fsck,
+            Some("compact") => StoreAction::Compact,
+            Some(other) => {
+                return Err(err(format!(
+                    "unknown store subcommand '{other}' (stats, fsck, compact)"
+                )))
+            }
+            None => return Err(err("store needs a subcommand: stats, fsck, or compact")),
+        })
+    } else {
+        None
+    };
 
     let mut spec = None;
     let mut benchmark = None;
@@ -466,6 +525,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     let mut queue = None;
     let mut max_body_bytes = None;
     let mut journal = None;
+    let mut store = None;
 
     let take_value =
         |args: &mut std::iter::Peekable<I::IntoIter>, flag: &str| -> Result<String, CliError> {
@@ -572,6 +632,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 max_body_bytes = Some(v.parse().map_err(|_| err("bad --max-body-bytes"))?);
             }
             "--journal" => journal = Some(take_value(&mut args, "--journal")?),
+            "--store" => store = Some(take_value(&mut args, "--store")?),
             "--dump" => dump = Some(take_value(&mut args, "--dump")?),
             "--chrome-out" => chrome_out = Some(take_value(&mut args, "--chrome-out")?),
             "--fredkin" => {
@@ -616,6 +677,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         return Err(err(
             "--addr, --queue, --max-body-bytes, and --journal apply only to 'serve'",
         ));
+    }
+    if store.is_some() && cmd != "batch" && cmd != "serve" && cmd != "store" {
+        return Err(err("--store applies only to 'batch', 'serve', and 'store'"));
     }
 
     match cmd.as_str() {
@@ -687,6 +751,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 profile,
                 strict,
                 metrics_addr,
+                store,
             })
         }
         "serve" => {
@@ -709,8 +774,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 fallback,
                 max_body_bytes: max_body_bytes.unwrap_or(256 * 1024),
                 journal,
+                store,
             })
         }
+        "store" => Ok(Command::Store {
+            action: store_action.expect("store action parsed above"),
+            store: store.ok_or_else(|| err("store needs --store FILE"))?,
+        }),
         "trace" => Ok(Command::Trace {
             dump: dump.ok_or_else(|| err("trace needs --dump FILE"))?,
             chrome_out,
@@ -1036,6 +1106,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             profile,
             strict,
             metrics_addr,
+            store,
         } => {
             let admissions = match &source {
                 BatchSource::Manifest(path) => {
@@ -1073,6 +1144,38 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             }
             if let Some(n) = threads {
                 options.synthesis = options.synthesis.clone().with_threads(n);
+            }
+            // An unopenable store degrades to a store-less run: the
+            // batch still produces correct results, it merely won't
+            // remember them. The warning is the only difference.
+            let store_handle = match &store {
+                Some(path) => match rmrls_engine::SharedStore::open(path) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        writeln!(
+                            out,
+                            "warning: --store {path}: {e}; continuing without a store"
+                        )
+                        .map_err(|e| err(e.to_string()))?;
+                        None
+                    }
+                },
+                None => None,
+            };
+            if let Some(s) = &store_handle {
+                let st = s.stats();
+                if st.quarantined_records > 0 || st.verify_rejected > 0 {
+                    writeln!(
+                        out,
+                        "warning: store {}: {} corrupt records quarantined, {} rejected \
+                         by re-verification (run 'rmrls store fsck' for details)",
+                        store.as_deref().unwrap_or(""),
+                        st.quarantined_records,
+                        st.verify_rejected
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                }
+                options.store = Some(s.clone());
             }
             // workers × per-job search threads is the real concurrency;
             // oversubscribing cores costs throughput without changing
@@ -1214,6 +1317,16 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 )
                 .map_err(|e| err(e.to_string()))?;
             }
+            if let Some(s) = &store_handle {
+                let st = s.stats();
+                writeln!(
+                    out,
+                    "  store: {} hits, {} inserts, {} append errors; \
+                     {} entries on disk ({} bytes)",
+                    c.store_hits, c.store_inserts, c.store_append_errors, st.entries, st.file_bytes
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
             if verify {
                 writeln!(
                     out,
@@ -1302,6 +1415,7 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             fallback,
             max_body_bytes,
             journal,
+            store,
         } => {
             let workers = jobs.unwrap_or_else(|| {
                 std::thread::available_parallelism()
@@ -1318,6 +1432,20 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
             };
             if let Some(n) = threads {
                 batch.synthesis = batch.synthesis.clone().with_threads(n);
+            }
+            // The warm cache persists across restarts: circuits solved
+            // by earlier incarnations are re-verified on open and served
+            // as cache hits. An unopenable store degrades to warning.
+            if let Some(path) = &store {
+                match rmrls_engine::SharedStore::open(path) {
+                    Ok(s) => {
+                        batch.store = Some(s);
+                        batch.store_provenance = "serve".to_string();
+                    }
+                    Err(e) => {
+                        eprintln!("warning: --store {path}: {e}; continuing without a store");
+                    }
+                }
             }
             let opts = rmrls_serve::ServeOptions {
                 addr,
@@ -1351,6 +1479,46 @@ pub fn run(command: Command, out: &mut impl fmt::Write) -> Result<(), CliError> 
                 completed.get()
             )
             .map_err(|e| err(e.to_string()))?;
+            Ok(())
+        }
+        Command::Store { action, store } => {
+            match action {
+                StoreAction::Stats => {
+                    // Opening performs the full recovery pass (torn-tail
+                    // truncation, quarantine, re-verification), so the
+                    // stats describe the store as the engine would see it.
+                    let s = rmrls_engine::CircuitStore::open(&store)
+                        .map_err(|e| err(format!("{store}: {e}")))?;
+                    writeln!(out, "{}", s.stats().to_json()).map_err(|e| err(e.to_string()))?;
+                }
+                StoreAction::Fsck => {
+                    // Read-only: reports damage without modifying the
+                    // file (open/compact are the repair paths).
+                    let report =
+                        rmrls_engine::fsck(&store).map_err(|e| err(format!("{store}: {e}")))?;
+                    writeln!(out, "{}", report.to_json()).map_err(|e| err(e.to_string()))?;
+                    if !report.clean() {
+                        return Err(err(format!(
+                            "{store}: damage found ({} quarantined records, {} \
+                             verify-rejected, {} torn tail bytes)",
+                            report.quarantined.len(),
+                            report.verify_rejected,
+                            report.torn_tail_bytes
+                        )));
+                    }
+                }
+                StoreAction::Compact => {
+                    let mut s = rmrls_engine::CircuitStore::open(&store)
+                        .map_err(|e| err(format!("{store}: {e}")))?;
+                    let stats = s.compact().map_err(|e| err(format!("{store}: {e}")))?;
+                    writeln!(
+                        out,
+                        "compacted {}: {} records kept, {} -> {} bytes",
+                        store, stats.records_kept, stats.bytes_before, stats.bytes_after
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                }
+            }
             Ok(())
         }
         Command::Trace { dump, chrome_out } => {
@@ -1771,6 +1939,38 @@ mod tests {
     #[test]
     fn unknown_flag_rejected() {
         assert!(parse(&["synth", "--spec", "0,1", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn store_flag_and_subcommands_parse_and_are_scoped() {
+        match parse(&["batch", "--suite", "examples", "--store", "c.store"]).unwrap() {
+            Command::Batch { store, .. } => assert_eq!(store.as_deref(), Some("c.store")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["serve", "--store", "c.store"]).unwrap() {
+            Command::Serve { store, .. } => assert_eq!(store.as_deref(), Some("c.store")),
+            other => panic!("{other:?}"),
+        }
+        for (sub, action) in [
+            ("stats", StoreAction::Stats),
+            ("fsck", StoreAction::Fsck),
+            ("compact", StoreAction::Compact),
+        ] {
+            match parse(&["store", sub, "--store", "c.store"]).unwrap() {
+                Command::Store { action: a, store } => {
+                    assert_eq!(a, action);
+                    assert_eq!(store, "c.store");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The action and the file are both mandatory; the flag is
+        // meaningless outside batch/serve/store.
+        assert!(parse(&["store"]).is_err());
+        assert!(parse(&["store", "defrag", "--store", "c.store"]).is_err());
+        assert!(parse(&["store", "stats"]).is_err());
+        assert!(parse(&["synth", "--spec", "0,1", "--store", "c.store"]).is_err());
+        assert!(parse(&["trace", "--dump", "d.json", "--store", "c.store"]).is_err());
     }
 
     #[test]
@@ -2499,8 +2699,10 @@ mod tests {
                 strict,
                 resume,
                 metrics_addr,
+                store,
             } => {
                 assert_eq!(metrics_addr, None);
+                assert_eq!(store, None);
                 assert_eq!(source, BatchSource::Suite("examples".into()));
                 assert_eq!(jobs, Some(4));
                 assert_eq!(threads, Some(2));
@@ -2614,6 +2816,139 @@ mod tests {
                 .as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn run_batch_store_roundtrip_fsck_and_compact() {
+        let dir = std::env::temp_dir().join("rmrls-cli-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("circuits.store");
+        let store_arg = store.to_str().unwrap();
+        let results = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let batch = |results_path: &str| {
+            parse(&[
+                "batch",
+                "--suite",
+                "examples",
+                "--jobs",
+                "2",
+                "--strict",
+                "--store",
+                store_arg,
+                "--results",
+                results_path,
+            ])
+            .unwrap()
+        };
+
+        // Cold run populates the store; warm run must be served from it
+        // (fresh LRU each run, so every unique canonical either inserts
+        // on the first run or hits the store on the second).
+        let mut cold = String::new();
+        run(batch(&results("cold.jsonl")), &mut cold).expect("cold run");
+        assert!(cold.contains("  store: "), "{cold}");
+        let mut warm = String::new();
+        run(batch(&results("warm.jsonl")), &mut warm).expect("warm run");
+        let store_line = warm.lines().find(|l| l.starts_with("  store: ")).unwrap();
+        let hits: u64 = store_line
+            .trim_start_matches("  store: ")
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(hits > 0, "warm run should hit the store: {warm}");
+        assert!(store_line.contains("0 inserts"), "{warm}");
+
+        // The warm run's circuits are byte-identical to the cold run's.
+        let circuits = |path: &str| -> Vec<String> {
+            std::fs::read_to_string(path)
+                .unwrap()
+                .lines()
+                .skip(1)
+                .map(|l| {
+                    rmrls_obs::Json::parse(l)
+                        .unwrap()
+                        .get("circuit")
+                        .expect("solved record")
+                        .to_string()
+                })
+                .collect()
+        };
+        assert_eq!(
+            circuits(&results("cold.jsonl")),
+            circuits(&results("warm.jsonl"))
+        );
+
+        // stats and fsck agree the store is clean.
+        let mut out = String::new();
+        run(
+            parse(&["store", "stats", "--store", store_arg]).unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let stats = rmrls_obs::Json::parse(out.trim()).unwrap();
+        let entries = stats.get("entries").unwrap().as_u64().unwrap();
+        assert!(entries > 0);
+        assert_eq!(stats.get("quarantined_records").unwrap().as_u64(), Some(0));
+        let mut out = String::new();
+        run(
+            parse(&["store", "fsck", "--store", store_arg]).unwrap(),
+            &mut out,
+        )
+        .expect("clean store passes fsck");
+
+        // Flip one byte inside the first record's payload: fsck reports
+        // exactly that record quarantined (nonzero exit) and preserves
+        // the rest; a batch run degrades to a warning, not a failure.
+        let mut bytes = std::fs::read(&store).unwrap();
+        let payload_at = bytes.iter().position(|&b| b == b'\n').unwrap() + 1 + 15;
+        bytes[payload_at] ^= 0xff;
+        std::fs::write(&store, &bytes).unwrap();
+        let mut out = String::new();
+        let fsck_err = run(
+            parse(&["store", "fsck", "--store", store_arg]).unwrap(),
+            &mut out,
+        )
+        .expect_err("fsck must exit nonzero on damage");
+        assert!(fsck_err.0.contains("1 quarantined"), "{fsck_err:?}");
+        let report = rmrls_obs::Json::parse(out.trim()).unwrap();
+        match report.get("quarantined").unwrap() {
+            rmrls_obs::Json::Arr(regions) => assert_eq!(regions.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            report.get("valid_records").unwrap().as_u64(),
+            Some(entries - 1),
+            "undamaged records survive"
+        );
+        let mut damaged = String::new();
+        run(batch(&results("damaged.jsonl")), &mut damaged).expect("strict run despite damage");
+        assert!(damaged.contains("corrupt records quarantined"), "{damaged}");
+        assert_eq!(
+            circuits(&results("cold.jsonl")),
+            circuits(&results("damaged.jsonl"))
+        );
+
+        // Compact rewrites without the quarantined bytes; fsck is clean
+        // again and every entry survives (the damaged one was re-solved
+        // and re-inserted by the run above).
+        let mut out = String::new();
+        run(
+            parse(&["store", "compact", "--store", store_arg]).unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        let mut out = String::new();
+        run(
+            parse(&["store", "fsck", "--store", store_arg]).unwrap(),
+            &mut out,
+        )
+        .expect("compacted store passes fsck");
+        let report = rmrls_obs::Json::parse(out.trim()).unwrap();
+        assert_eq!(report.get("valid_records").unwrap().as_u64(), Some(entries));
     }
 
     #[test]

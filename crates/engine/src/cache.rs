@@ -73,11 +73,28 @@ impl CircuitCache {
 
     /// Inserts a canonical circuit and its producing tier, evicting the
     /// least-recently-used entry if the cache is full.
+    ///
+    /// Insertion is **cost-monotonic**: re-inserting an existing key
+    /// keeps whichever circuit is cheaper (fewer gates, then lower
+    /// quantum cost), refreshing the entry's recency either way. Store
+    /// merges and cache upgrades therefore can never regress a
+    /// best-known result — only improve it.
     pub fn insert(&mut self, key: CacheKey, circuit: Circuit, tier: SolveTier) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
+        if let Some((existing, existing_tier, used)) = self.entries.get_mut(&key) {
+            let cheaper = circuit.gate_count() < existing.gate_count()
+                || (circuit.gate_count() == existing.gate_count()
+                    && circuit.quantum_cost() < existing.quantum_cost());
+            if cheaper {
+                *existing = circuit;
+                *existing_tier = tier;
+            }
+            *used = self.tick;
+            return;
+        }
         self.entries.insert(key, (circuit, tier, self.tick));
         if self.entries.len() > self.capacity {
             if let Some(oldest) = self
@@ -166,6 +183,42 @@ mod tests {
         let _ = c.get(&key(1)); // refresh 1; 2 becomes LRU
         c.insert(key(3), circuit(3), SolveTier::RmrlsRelaxed);
         assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_keeps_the_cheaper_circuit() {
+        let mut c = CircuitCache::new(4);
+        let cheap = Circuit::from_gates(2, vec![Gate::not(0)]);
+        let costly = Circuit::from_gates(2, vec![Gate::not(0), Gate::not(1), Gate::not(1)]);
+        c.insert(key(1), costly.clone(), SolveTier::Mmd);
+        // A worse circuit never overwrites a better one...
+        c.insert(key(1), cheap.clone(), SolveTier::Rmrls);
+        c.insert(key(1), costly.clone(), SolveTier::Mmd);
+        let (hit, tier) = c.get(&key(1)).unwrap();
+        assert_eq!(hit.gate_count(), 1);
+        assert_eq!(tier, SolveTier::Rmrls, "tier follows the kept circuit");
+        // ...and an equal-cost re-insert keeps the incumbent.
+        let other_cheap = Circuit::from_gates(2, vec![Gate::not(1)]);
+        c.insert(key(1), other_cheap, SolveTier::Mmd);
+        let (hit, tier) = c.get(&key(1)).unwrap();
+        assert_eq!(hit.gates(), cheap.gates());
+        assert_eq!(tier, SolveTier::Rmrls);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_even_when_kept() {
+        let mut c = CircuitCache::new(2);
+        let cheap = Circuit::from_gates(2, vec![Gate::not(0)]);
+        let costly = Circuit::from_gates(2, vec![Gate::not(0), Gate::not(1), Gate::not(1)]);
+        c.insert(key(1), cheap, SolveTier::Rmrls);
+        c.insert(key(2), circuit(2), SolveTier::Rmrls);
+        // Re-offering a worse circuit for key 1 keeps the entry but
+        // marks it used, so key 2 is now the LRU victim.
+        c.insert(key(1), costly, SolveTier::Mmd);
+        c.insert(key(3), circuit(3), SolveTier::Rmrls);
         assert!(c.get(&key(1)).is_some());
         assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
         assert!(c.get(&key(3)).is_some());

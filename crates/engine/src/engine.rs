@@ -47,6 +47,7 @@ use crate::canon::{canonical_form, uncanonicalize_circuit};
 use crate::journal::{CompletedJob, JournalWriter};
 use crate::manifest::{Admission, BatchJob, SpecData};
 use crate::signal::ShutdownHandles;
+use crate::store::SharedStore;
 use crate::telemetry::{BatchTelemetry, SAMPLE_INTERVAL};
 
 /// A worker's handle on the run's telemetry board, paired with the
@@ -145,6 +146,18 @@ pub struct BatchOptions {
     /// fingerprint for the same reason `cache_size` is: the cache
     /// cannot change results, only speed.
     pub shared_cache: Option<SharedCache>,
+    /// Durable canonical circuit store. When set, a canonical-cache
+    /// miss consults the store's verified index before synthesizing
+    /// (hits are promoted into the in-memory cache), and every fresh
+    /// synthesis is offered back to the store, which keeps the cheaper
+    /// circuit on conflict. Excluded from the journal options
+    /// fingerprint for the same reason the cache is: the store serves
+    /// only verified canonical circuits, so it cannot change results,
+    /// only speed.
+    pub store: Option<SharedStore>,
+    /// Provenance label recorded on store inserts (`"batch"`,
+    /// `"serve"`, ...).
+    pub store_provenance: String,
     /// Base search configuration applied to every job.
     pub synthesis: SynthesisOptions,
 }
@@ -169,6 +182,8 @@ impl Default for BatchOptions {
             trace_dir: None,
             telemetry: None,
             shared_cache: None,
+            store: None,
+            store_provenance: "batch".to_string(),
             synthesis: SynthesisOptions::new()
                 .with_max_nodes(200_000)
                 .with_threads(1),
@@ -341,6 +356,14 @@ pub struct BatchCounters {
     pub cache_hits: u64,
     /// Canonical-cache misses (cache enabled, entry absent).
     pub cache_misses: u64,
+    /// Jobs served from the durable store's verified index (after an
+    /// in-memory cache miss).
+    pub store_hits: u64,
+    /// Fresh syntheses appended to the durable store.
+    pub store_inserts: u64,
+    /// Store appends that failed (the job still completes; the store
+    /// merely under-remembers).
+    pub store_append_errors: u64,
     /// Searches stopped by their per-job deadline.
     pub deadline_expired: u64,
     /// Searches stopped by the abort token.
@@ -394,6 +417,12 @@ impl BatchCounters {
             ("jobs_skipped".to_string(), Json::uint(self.jobs_skipped)),
             ("cache_hits".to_string(), Json::uint(self.cache_hits)),
             ("cache_misses".to_string(), Json::uint(self.cache_misses)),
+            ("store_hits".to_string(), Json::uint(self.store_hits)),
+            ("store_inserts".to_string(), Json::uint(self.store_inserts)),
+            (
+                "store_append_errors".to_string(),
+                Json::uint(self.store_append_errors),
+            ),
             (
                 "deadline_expired".to_string(),
                 Json::uint(self.deadline_expired),
@@ -446,6 +475,9 @@ pub(crate) struct RunCounters {
     panics_contained: Arc<SyncCounter>,
     cache_hits: Arc<SyncCounter>,
     cache_misses: Arc<SyncCounter>,
+    store_hits: Arc<SyncCounter>,
+    store_inserts: Arc<SyncCounter>,
+    store_append_errors: Arc<SyncCounter>,
     deadline_expired: Arc<SyncCounter>,
     cancelled: Arc<SyncCounter>,
     verified_ok: Arc<SyncCounter>,
@@ -480,6 +512,9 @@ impl RunCounters {
             panics_contained: r.counter("panics_contained"),
             cache_hits: r.counter("cache_hits"),
             cache_misses: r.counter("cache_misses"),
+            store_hits: r.counter("store_hits"),
+            store_inserts: r.counter("store_inserts"),
+            store_append_errors: r.counter("store_append_errors"),
             deadline_expired: r.counter("deadline_expired"),
             cancelled: r.counter("cancelled"),
             verified_ok: r.counter("verified_ok"),
@@ -812,6 +847,9 @@ pub fn run_batch_resumable(
         jobs_skipped,
         cache_hits: counters.cache_hits.get(),
         cache_misses: counters.cache_misses.get(),
+        store_hits: counters.store_hits.get(),
+        store_inserts: counters.store_inserts.get(),
+        store_append_errors: counters.store_append_errors.get(),
         deadline_expired: counters.deadline_expired.get(),
         cancelled: counters.cancelled.get(),
         verified_ok: counters.verified_ok.get(),
@@ -1271,7 +1309,23 @@ fn execute_job(
                     r.record(TraceKind::CacheLookup { hit: cache_hit });
                 }
             }
-            if !cache_hit {
+            // Second chance: the durable store's verified index. A hit
+            // is promoted into the in-memory cache so repeats within
+            // this run stay memory-speed.
+            let mut store_hit = false;
+            if canon_solution.is_none() {
+                if let Some(s) = opts.store.as_ref() {
+                    canon_solution = s.lock().get(&key);
+                    if let Some((circuit, tier)) = &canon_solution {
+                        counters.store_hits.inc();
+                        store_hit = true;
+                        if let Some(c) = cache {
+                            c.lock().insert(key.clone(), circuit.clone(), *tier);
+                        }
+                    }
+                }
+            }
+            if !cache_hit && !store_hit {
                 let spec = MultiPprm::from_permutation(&key.table, key.num_vars);
                 let ladder = synthesize_ladder(
                     &spec,
@@ -1294,7 +1348,27 @@ fn execute_job(
                         // hits; this job's result is already in hand.
                         if let Some(c) = cache {
                             if rmrls_obs::fail::trigger("engine/cache/insert").is_ok() {
-                                c.lock().insert(key, circuit.clone(), tier);
+                                c.lock().insert(key.clone(), circuit.clone(), tier);
+                            }
+                        }
+                        // Offer the fresh synthesis to the durable
+                        // store; an append failure costs only future
+                        // warm starts, never this job.
+                        if let Some(s) = opts.store.as_ref() {
+                            match s
+                                .lock()
+                                .insert(&key, &circuit, tier, &opts.store_provenance)
+                            {
+                                Ok(crate::store::InsertOutcome::Inserted { .. }) => {
+                                    counters.store_inserts.inc();
+                                }
+                                Ok(_) => {}
+                                Err(_) => {
+                                    counters.store_append_errors.inc();
+                                    if let Some(r) = recorder {
+                                        r.anomaly("store_append_failed", "engine/store/append");
+                                    }
+                                }
                             }
                         }
                         canon_solution = Some((circuit, tier));
@@ -1313,7 +1387,7 @@ fn execute_job(
                 profile.merge(&profiler.finish(Duration::ZERO));
                 return (
                     injected_error(e, "engine/worker/pre-verify", recorder, counters),
-                    cache_hit,
+                    cache_hit || store_hit,
                     profile,
                 );
             }
@@ -1330,7 +1404,10 @@ fn execute_job(
                     verified,
                     solved_by: tier,
                 },
-                cache_hit,
+                // A durable-store hit reports as a cache hit: either
+                // way the circuit came from the canonical cache layer,
+                // not a fresh search.
+                cache_hit || store_hit,
                 profile,
             )
         }

@@ -1,0 +1,332 @@
+//! CRC32-framed binary records: the shared on-disk codec.
+//!
+//! One framing format serves every binary durable file in the
+//! workspace — today the [`store`](crate::store), and available to the
+//! batch/serve journals should they ever move off JSON lines — so there
+//! is exactly one place that knows how to detect torn writes and
+//! bit-rot.
+//!
+//! A frame is `magic(2) | len(4, LE) | crc32(4, LE) | payload(len)`.
+//! The CRC covers the payload only; the length is implicitly checked
+//! because a corrupted length almost surely misaligns the payload and
+//! fails the CRC, at which point the scanner *resyncs* by searching
+//! forward for the next position that parses as a complete frame with
+//! a valid checksum. The scanner therefore distinguishes three
+//! conditions a reader must treat differently:
+//!
+//! - [`FrameEvent::Record`] — a complete frame with a matching CRC.
+//! - [`FrameEvent::Corrupt`] — a damaged region followed by more valid
+//!   frames (or a whole damaged interior): quarantine it, keep reading.
+//! - [`FrameEvent::Torn`] — an incomplete frame at end-of-buffer, the
+//!   signature of a crash mid-append: truncate it.
+
+/// Two-byte marker opening every frame (used for resynchronization
+/// after a corrupt region).
+pub const FRAME_MAGIC: [u8; 2] = *b"rF";
+
+/// Bytes of framing overhead per record (magic + length + CRC).
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// Ceiling on a single frame's payload (64 MiB). A length field above
+/// this is treated as corruption, not as a request to allocate.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 26;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup
+/// table, computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC32 (IEEE) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encodes one payload as a complete frame ready to append.
+///
+/// # Panics
+///
+/// If the payload exceeds [`MAX_PAYLOAD_LEN`] — callers frame records
+/// they produced themselves, so an oversized payload is a bug, not
+/// input.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN as usize,
+        "frame payload of {} bytes exceeds the {} byte ceiling",
+        payload.len(),
+        MAX_PAYLOAD_LEN
+    );
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// One event from a [`FrameScanner`] pass over a buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent<'a> {
+    /// A complete frame whose CRC matched. `start..end` is the frame's
+    /// byte range (header included) within the scanned buffer.
+    Record {
+        /// The frame's payload.
+        payload: &'a [u8],
+        /// Offset of the frame's first byte.
+        start: usize,
+        /// Offset one past the frame's last byte.
+        end: usize,
+    },
+    /// A damaged region: either a frame whose CRC failed (the region is
+    /// exactly that frame) or unrecognizable bytes up to the next
+    /// position that parses as a valid frame (or end of buffer).
+    Corrupt {
+        /// Offset of the first damaged byte.
+        start: usize,
+        /// Offset one past the last damaged byte.
+        end: usize,
+    },
+    /// An incomplete frame at the end of the buffer — a torn append.
+    /// Always the final event when emitted.
+    Torn {
+        /// Offset of the torn frame's first byte; truncating here
+        /// restores a clean append point.
+        start: usize,
+    },
+}
+
+/// Iterator over the frames of a byte buffer, yielding every record,
+/// corrupt region, and torn tail exactly once, in file order.
+pub struct FrameScanner<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// Scans `buf` from its first byte.
+    pub fn new(buf: &'a [u8]) -> FrameScanner<'a> {
+        FrameScanner { buf, at: 0 }
+    }
+
+    /// Attempts to parse a complete, CRC-valid frame at `pos`.
+    /// Returns the payload range on success.
+    fn valid_frame_at(buf: &[u8], pos: usize) -> Option<(usize, usize)> {
+        let header_end = pos.checked_add(FRAME_HEADER_LEN)?;
+        if header_end > buf.len() || buf[pos..pos + 2] != FRAME_MAGIC {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[pos + 2..pos + 6].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN {
+            return None;
+        }
+        let end = header_end.checked_add(len as usize)?;
+        if end > buf.len() {
+            return None;
+        }
+        let crc = u32::from_le_bytes(buf[pos + 6..pos + 10].try_into().unwrap());
+        (crc32(&buf[header_end..end]) == crc).then_some((header_end, end))
+    }
+
+    /// Whether the bytes at `pos` look like the *prefix* of a frame
+    /// that ran past the end of the buffer — the signature of an append
+    /// interrupted mid-write rather than of bit-rot.
+    fn torn_prefix_at(buf: &[u8], pos: usize) -> bool {
+        let rem = &buf[pos..];
+        if rem.len() < 2 {
+            return rem == &FRAME_MAGIC[..rem.len()];
+        }
+        if rem[..2] != FRAME_MAGIC {
+            return false;
+        }
+        if rem.len() < 6 {
+            return true; // magic present, length itself cut short
+        }
+        let len = u32::from_le_bytes(rem[2..6].try_into().unwrap());
+        len <= MAX_PAYLOAD_LEN && FRAME_HEADER_LEN + len as usize > rem.len()
+    }
+}
+
+impl<'a> Iterator for FrameScanner<'a> {
+    type Item = FrameEvent<'a>;
+
+    fn next(&mut self) -> Option<FrameEvent<'a>> {
+        if self.at >= self.buf.len() {
+            return None;
+        }
+        let start = self.at;
+        // The common case: a valid frame right here.
+        if let Some((payload_start, end)) = Self::valid_frame_at(self.buf, start) {
+            self.at = end;
+            return Some(FrameEvent::Record {
+                payload: &self.buf[payload_start..end],
+                start,
+                end,
+            });
+        }
+        // An incomplete-but-plausible frame touching end-of-buffer is a
+        // torn append; everything from here on is discarded.
+        if Self::torn_prefix_at(self.buf, start) {
+            self.at = self.buf.len();
+            return Some(FrameEvent::Torn { start });
+        }
+        // Damage. If the frame header still parses (magic and a sane
+        // length) the CRC failed over a well-delimited payload:
+        // quarantine exactly that frame and continue behind it.
+        if start + FRAME_HEADER_LEN <= self.buf.len() && self.buf[start..start + 2] == FRAME_MAGIC {
+            let len = u32::from_le_bytes(self.buf[start + 2..start + 6].try_into().unwrap());
+            let end = start + FRAME_HEADER_LEN + len as usize;
+            if len <= MAX_PAYLOAD_LEN && end <= self.buf.len() {
+                self.at = end;
+                return Some(FrameEvent::Corrupt { start, end });
+            }
+        }
+        // The length or magic itself is gone: resync by searching for
+        // the next position that parses as a complete valid frame.
+        let mut pos = start + 1;
+        while pos + FRAME_HEADER_LEN <= self.buf.len() {
+            if Self::valid_frame_at(self.buf, pos).is_some() {
+                self.at = pos;
+                return Some(FrameEvent::Corrupt { start, end: pos });
+            }
+            pos += 1;
+        }
+        // No later valid frame. If the tail still looks like a cut-off
+        // append somewhere, a crash explanation fits; otherwise the
+        // whole remainder is corrupt. Either way scanning ends here.
+        self.at = self.buf.len();
+        Some(FrameEvent::Corrupt {
+            start,
+            end: self.buf.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(buf: &[u8]) -> Vec<Vec<u8>> {
+        FrameScanner::new(buf)
+            .filter_map(|e| match e {
+                FrameEvent::Record { payload, .. } => Some(payload.to_vec()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let mut buf = Vec::new();
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"\x00\xFF\x00binary"];
+        for p in &payloads {
+            buf.extend_from_slice(&encode_frame(p));
+        }
+        assert_eq!(records(&buf), payloads);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_once_and_ends_the_scan() {
+        let mut buf = encode_frame(b"keep me");
+        let torn = encode_frame(b"interrupted append");
+        let start = buf.len();
+        buf.extend_from_slice(&torn[..torn.len() / 2]);
+        let events: Vec<_> = FrameScanner::new(&buf).collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], FrameEvent::Record { .. }));
+        assert_eq!(events[1], FrameEvent::Torn { start });
+    }
+
+    #[test]
+    fn bare_magic_prefix_at_eof_is_torn() {
+        let mut buf = encode_frame(b"ok");
+        let start = buf.len();
+        buf.push(FRAME_MAGIC[0]);
+        let events: Vec<_> = FrameScanner::new(&buf).collect();
+        assert_eq!(events[1], FrameEvent::Torn { start });
+    }
+
+    #[test]
+    fn payload_corruption_quarantines_exactly_one_frame() {
+        let mut buf = Vec::new();
+        for p in [&b"first"[..], b"second", b"third"] {
+            buf.extend_from_slice(&encode_frame(p));
+        }
+        // Flip one payload byte of the middle record.
+        let second_start = encode_frame(b"first").len();
+        buf[second_start + FRAME_HEADER_LEN] ^= 0x40;
+        let events: Vec<_> = FrameScanner::new(&buf).collect();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], FrameEvent::Record { payload, .. } if payload == b"first"));
+        assert!(
+            matches!(events[1], FrameEvent::Corrupt { start, .. } if start == second_start),
+            "damaged frame quarantined, not resynced past"
+        );
+        assert!(matches!(events[2], FrameEvent::Record { payload, .. } if payload == b"third"));
+    }
+
+    #[test]
+    fn length_corruption_resyncs_to_the_next_valid_frame() {
+        let mut buf = Vec::new();
+        for p in [&b"one"[..], b"two", b"three"] {
+            buf.extend_from_slice(&encode_frame(p));
+        }
+        // Blow up the middle record's length field far past the buffer.
+        let second_start = encode_frame(b"one").len();
+        buf[second_start + 2..second_start + 6].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payloads = records(&buf);
+        assert_eq!(payloads, vec![b"one".to_vec(), b"three".to_vec()]);
+        let corrupt: Vec<_> = FrameScanner::new(&buf)
+            .filter(|e| matches!(e, FrameEvent::Corrupt { .. }))
+            .collect();
+        assert_eq!(corrupt.len(), 1);
+    }
+
+    #[test]
+    fn garbage_only_buffer_is_one_corrupt_region() {
+        let buf = vec![0xA5u8; 37];
+        let events: Vec<_> = FrameScanner::new(&buf).collect();
+        assert_eq!(events, vec![FrameEvent::Corrupt { start: 0, end: 37 }]);
+    }
+
+    #[test]
+    fn empty_buffer_yields_nothing() {
+        assert_eq!(FrameScanner::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn magic_bytes_inside_payloads_do_not_confuse_the_scanner() {
+        // Payloads stuffed with the frame magic still round-trip.
+        let tricky: Vec<u8> = FRAME_MAGIC.repeat(16);
+        let mut buf = encode_frame(&tricky);
+        buf.extend_from_slice(&encode_frame(&tricky));
+        assert_eq!(records(&buf), vec![tricky.clone(), tricky]);
+    }
+}

@@ -23,6 +23,17 @@ use std::path::Path;
 /// A human-readable message naming the target path and the underlying
 /// I/O failure.
 pub fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-oriented twin of [`write_atomic`] for binary targets (the
+/// circuit store's `compact` rewrite).
+///
+/// # Errors
+///
+/// A human-readable message naming the target path and the underlying
+/// I/O failure.
+pub fn write_atomic_bytes(path: &str, contents: &[u8]) -> Result<(), String> {
     let target = Path::new(path);
     let dir = target
         .parent()
@@ -35,7 +46,7 @@ pub fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
     let tmp = dir.join(format!(".{stem}.tmp-{}", std::process::id()));
     let result = (|| -> std::io::Result<()> {
         let mut f = File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
+        f.write_all(contents)?;
         f.sync_data()?;
         std::fs::rename(&tmp, target)?;
         // Persist the rename itself; best effort — not every platform

@@ -82,10 +82,11 @@ pub fn manifest_hash(admissions: &[Admission]) -> u64 {
 
 /// Hash of the result-affecting batch configuration: deadline,
 /// canonicalization bound, verification, fallback, and the full
-/// synthesis option set. Worker count, cache size, and the per-job
-/// search thread count are deliberately excluded — results are
-/// independent of them by construction, so a journal written with 8
-/// workers (or `--threads 4`) resumes fine with 2 (or serially).
+/// synthesis option set. Worker count, cache size, the durable store,
+/// and the per-job search thread count are deliberately excluded —
+/// results are independent of them by construction, so a journal
+/// written with 8 workers (or `--threads 4`, or `--store`) resumes
+/// fine with 2 (or serially, or store-less).
 pub fn options_fingerprint(opts: &BatchOptions) -> u64 {
     let mut h = FNV_OFFSET;
     let deadline_ms = opts.deadline.map(|d| d.as_millis() as u64);

@@ -15,6 +15,11 @@
 //!   verification, and result serialization;
 //! - [`journal`] — the fsync'd write-ahead results journal behind
 //!   checkpoint/resume;
+//! - [`framing`] — the shared CRC32 + record-framing codec for binary
+//!   durable files;
+//! - [`store`] — the durable canonical circuit store (crash-safe,
+//!   corruption-detecting, verified on load) that persists the cache
+//!   across runs;
 //! - [`fsutil`] — temp-file + atomic-rename writes for results and
 //!   reports;
 //! - [`signal`] — two-stage SIGINT shutdown (drain, then abort).
@@ -38,11 +43,13 @@
 pub mod cache;
 pub mod canon;
 pub mod engine;
+pub mod framing;
 pub mod fsutil;
 pub mod journal;
 pub mod manifest;
 pub mod runner;
 pub mod signal;
+pub mod store;
 pub mod telemetry;
 
 pub use cache::{CacheKey, CircuitCache, SharedCache};
@@ -51,7 +58,7 @@ pub use engine::{
     run_batch, run_batch_resumable, BatchCounters, BatchOptions, BatchRun, JobOutcome, JobRecord,
     SinkFactory, SolveTier, BATCH_SCHEMA_VERSION,
 };
-pub use fsutil::write_atomic;
+pub use fsutil::{write_atomic, write_atomic_bytes};
 pub use journal::{
     manifest_hash, options_fingerprint, read_journal, CompletedJob, JournalHeader, JournalWriter,
     ResumeData, JOURNAL_SCHEMA_VERSION,
@@ -61,4 +68,8 @@ pub use manifest::{
 };
 pub use runner::JobRunner;
 pub use signal::ShutdownHandles;
+pub use store::{
+    fsck, CircuitStore, FsckReport, InsertOutcome, SharedStore, StoreEntry, StoreStats,
+    STORE_SCHEMA_VERSION,
+};
 pub use telemetry::{BatchTelemetry, JobState, JobStatus, JobStatusRegistry, SAMPLE_INTERVAL};

@@ -11,8 +11,8 @@
 use std::sync::Mutex;
 
 use rmrls_engine::{
-    read_journal, run_batch, run_batch_resumable, suite_admissions, BatchOptions, JobOutcome,
-    JournalHeader, JournalWriter, ShutdownHandles,
+    fsck, read_journal, run_batch, run_batch_resumable, suite_admissions, BatchOptions, JobOutcome,
+    JournalHeader, JournalWriter, SharedStore, ShutdownHandles,
 };
 use rmrls_obs::{fail, Json, RecorderSnapshot, TraceKind};
 
@@ -359,6 +359,156 @@ fn budget_poll_fault_is_deterministic_across_thread_counts() {
             ),
         }
     }
+}
+
+#[test]
+fn injected_store_append_failure_is_tallied_rolled_back_and_dumped() {
+    let _g = serial();
+    let path = scratch("store-append-err.store");
+    let _ = std::fs::remove_file(&path);
+    let dir = std::env::temp_dir().join("rmrls-fault-dump-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = suite_admissions("examples").unwrap();
+    let mut opts = BatchOptions {
+        trace_dir: Some(dir.to_str().unwrap().to_string()),
+        ..options()
+    };
+    opts.store = Some(SharedStore::open(&path).unwrap());
+    fail::configure("engine/store/append=err@2").unwrap();
+    let run = run_batch(&jobs, &opts, &ShutdownHandles::new());
+    fail::clear();
+    drop(opts);
+    // The store merely under-remembers: every job completes and
+    // verifies, one append is tallied as an error and surfaced in the
+    // job's anomaly dump.
+    assert_eq!(run.counters.jobs_completed, 8);
+    assert_eq!(run.counters.verify_failures, 0);
+    assert_eq!(run.counters.store_append_errors, 1);
+    assert!(run.counters.store_inserts >= 1);
+    assert!(
+        any_dump_names(&dir, "store_append_failed", "engine/store/append"),
+        "append fault must surface in the job's anomaly dump"
+    );
+    // The failed append was rolled back, leaving a structurally clean
+    // file holding exactly the successful inserts.
+    let report = fsck(&path).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.valid_records, run.counters.store_inserts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_store_load_failure_degrades_to_no_store() {
+    let _g = serial();
+    let path = scratch("store-load-err.store");
+    let _ = std::fs::remove_file(&path);
+    fail::configure("engine/store/load=err").unwrap();
+    let opened = SharedStore::open(&path);
+    fail::clear();
+    let e = opened.expect_err("injected load fault must fail the open");
+    assert!(e.contains("engine/store/load"), "{e}");
+    // The caller (the CLI) answers a failed open by running store-less;
+    // the same batch without a store is unaffected.
+    let jobs = suite_admissions("examples").unwrap();
+    let run = run_batch(&jobs, &options(), &ShutdownHandles::new());
+    assert_eq!(run.counters.jobs_completed, 8);
+    assert_eq!(run.counters.verify_failures, 0);
+}
+
+#[test]
+fn injected_compact_failure_leaves_the_file_untouched() {
+    let _g = serial();
+    let path = scratch("store-compact-err.store");
+    let _ = std::fs::remove_file(&path);
+    let jobs = suite_admissions("examples").unwrap();
+    let mut opts = options();
+    opts.store = Some(SharedStore::open(&path).unwrap());
+    let run = run_batch(&jobs, &opts, &ShutdownHandles::new());
+    assert!(run.counters.store_inserts >= 1);
+    let before = std::fs::read(&path).unwrap();
+
+    let shared = opts.store.take().unwrap();
+    fail::configure("engine/store/compact=err").unwrap();
+    let compacted = shared.lock().compact();
+    fail::clear();
+    let e = compacted.expect_err("injected compact fault must fail the compact");
+    assert!(e.contains("engine/store/compact"), "{e}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "a failed compact must not modify the store"
+    );
+    // And the store is still fully usable afterwards.
+    assert!(fsck(&path).unwrap().clean());
+    drop(shared);
+    let reopened = SharedStore::open(&path).unwrap();
+    assert_eq!(reopened.len() as u64, run.counters.store_inserts);
+}
+
+#[test]
+fn a_crash_mid_append_truncates_cleanly_and_the_rerun_is_byte_identical() {
+    let _g = serial();
+    // The crash-safety acceptance path, end to end: a panic injected
+    // between the two halves of a frame write leaves exactly the torn
+    // tail a SIGKILL would; reopening truncates it; the rerun re-solves
+    // the one lost job and serves the rest from the store,
+    // byte-identical to a run that never involved a store.
+    let jobs = suite_admissions("examples").unwrap();
+    let reference = run_batch(&jobs, &options(), &ShutdownHandles::new());
+
+    // Cold run, counting the appends so the panic can be aimed at the
+    // LAST one (the torn tail must stay at end of file: a later append
+    // from the same stale handle would paper over it).
+    let path = scratch("store-crash.store");
+    let _ = std::fs::remove_file(&path);
+    let mut opts = options();
+    opts.store = Some(SharedStore::open(&path).unwrap());
+    let cold = run_batch(&jobs, &opts, &ShutdownHandles::new());
+    let inserts = cold.counters.store_inserts;
+    assert!(inserts >= 2, "need at least two unique canonicals");
+    assert_eq!(cold.results_jsonl(), reference.results_jsonl());
+
+    let crash_path = scratch("store-crash-torn.store");
+    let _ = std::fs::remove_file(&crash_path);
+    let mut opts = options();
+    opts.store = Some(SharedStore::open(&crash_path).unwrap());
+    fail::configure(&format!("engine/store/append=panic@{inserts}")).unwrap();
+    let crashed = run_batch(&jobs, &opts, &ShutdownHandles::new());
+    fail::clear();
+    drop(opts);
+    assert_eq!(crashed.counters.panics_contained, 1, "crash is contained");
+
+    // fsck (read-only) sees the torn tail and the intact prefix.
+    let report = fsck(&crash_path).unwrap();
+    assert!(!report.clean(), "{report:?}");
+    assert!(report.torn_tail_bytes > 0, "{report:?}");
+    assert!(report.quarantined.is_empty(), "a tear is not corruption");
+    assert_eq!(report.valid_records, inserts - 1);
+
+    // Reopen: the tail is physically truncated, every surviving record
+    // re-verified; nothing corrupt can reach the cache.
+    let store = SharedStore::open(&crash_path).unwrap();
+    let stats = store.stats();
+    assert!(stats.torn_bytes_truncated > 0, "{stats:?}");
+    assert_eq!(stats.entries, inserts - 1);
+    assert_eq!(stats.verify_rejected, 0);
+
+    // Rerun against the recovered store: byte-identical results, the
+    // survivors served from the store, the lost circuit re-solved and
+    // re-inserted.
+    let mut opts = options();
+    opts.store = Some(store);
+    let rerun = run_batch(&jobs, &opts, &ShutdownHandles::new());
+    assert_eq!(rerun.results_jsonl(), reference.results_jsonl());
+    assert!(
+        rerun.counters.store_hits >= inserts - 1,
+        "{:?}",
+        rerun.counters
+    );
+    assert_eq!(rerun.counters.store_inserts, 1, "the torn record re-solves");
+    assert_eq!(rerun.counters.verify_failures, 0);
+    assert!(fsck(&crash_path).unwrap().clean());
 }
 
 #[test]

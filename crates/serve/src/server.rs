@@ -31,7 +31,8 @@ use std::time::Duration;
 
 use rmrls_core::Budget;
 use rmrls_engine::{
-    Admission, BatchOptions, BatchTelemetry, JobRunner, ShutdownHandles, SAMPLE_INTERVAL,
+    Admission, BatchOptions, BatchTelemetry, JobRunner, SharedStore, ShutdownHandles,
+    SAMPLE_INTERVAL,
 };
 use rmrls_obs::{Event, EventSink, Json, SyncCounter, SyncGauge};
 use rmrls_telemetry::{
@@ -124,6 +125,15 @@ struct Shared {
     cache_hit_rate: Arc<SyncGauge>,
     cache_hits: Arc<SyncCounter>,
     cache_misses: Arc<SyncCounter>,
+    /// The durable circuit store (when `--store` is configured): the
+    /// warm cache that survives restarts. Sampled into the
+    /// `store_*` gauges each telemetry beat.
+    store: Option<SharedStore>,
+    store_entries: Arc<SyncGauge>,
+    store_file_bytes: Arc<SyncGauge>,
+    store_quarantined: Arc<SyncGauge>,
+    store_verify_rejected: Arc<SyncGauge>,
+    store_append_errors: Arc<SyncGauge>,
 }
 
 impl Shared {
@@ -200,6 +210,7 @@ impl ServeDaemon {
         let mut batch = opts.batch.clone();
         batch.telemetry = Some(Arc::clone(&telemetry));
         let memory_budget = batch.synthesis.budget.clone();
+        let store = batch.store.clone();
         let runner = JobRunner::new(batch);
 
         let registry = RequestRegistry::new();
@@ -255,8 +266,15 @@ impl ServeDaemon {
             cache_hit_rate: r.gauge("cache_hit_rate_percent"),
             cache_hits: r.counter("cache_hits"),
             cache_misses: r.counter("cache_misses"),
+            store,
+            store_entries: r.gauge("store_entries"),
+            store_file_bytes: r.gauge("store_file_bytes"),
+            store_quarantined: r.gauge("store_quarantined_records"),
+            store_verify_rejected: r.gauge("store_verify_rejected"),
+            store_append_errors: r.gauge("store_append_errors"),
             telemetry,
         });
+        sample_once(&shared);
 
         if !replayed.is_empty() {
             shared.requests_replayed.add(replayed.len() as u64);
@@ -478,6 +496,14 @@ fn sample_once(shared: &Shared) {
     let total = hits + shared.cache_misses.get();
     if let Some(rate) = (hits * 100).checked_div(total) {
         shared.cache_hit_rate.set(rate);
+    }
+    if let Some(store) = &shared.store {
+        let st = store.stats();
+        shared.store_entries.set(st.entries);
+        shared.store_file_bytes.set(st.file_bytes);
+        shared.store_quarantined.set(st.quarantined_records);
+        shared.store_verify_rejected.set(st.verify_rejected);
+        shared.store_append_errors.set(st.append_errors);
     }
 }
 

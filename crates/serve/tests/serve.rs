@@ -192,6 +192,78 @@ fn malformed_requests_get_clean_errors_and_the_daemon_survives() {
 }
 
 #[test]
+fn content_length_edge_cases_get_clean_errors() {
+    let daemon = start(ServeOptions {
+        max_body_bytes: 1024,
+        ..ServeOptions::default()
+    });
+    let addr = daemon.local_addr();
+
+    // A POST with no Content-Length parses as an empty body, which is
+    // not valid JSON — a 400, not a hang waiting for bytes.
+    let missing = send_raw(addr, b"POST /synthesize HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(missing.status, 400, "{}", missing.body);
+    assert!(missing.body.contains("not valid JSON"), "{}", missing.body);
+
+    // Non-numeric and negative lengths are malformed.
+    let bad = send_raw(
+        addr,
+        b"POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: ten\r\n\r\n",
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("Content-Length"), "{}", bad.body);
+    let negative = send_raw(
+        addr,
+        b"POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n\r\n",
+    );
+    assert_eq!(negative.status, 400, "{}", negative.body);
+
+    // An oversized *declared* length is refused from the header alone:
+    // the 413 arrives although no body byte was ever sent.
+    let declared = send_raw(
+        addr,
+        b"POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert_eq!(declared.status, 413, "{}", declared.body);
+
+    // The daemon shrugged all of it off.
+    let ok = post(addr, "/synthesize", &easy_body("fine"));
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    daemon.drain();
+    daemon.wait();
+}
+
+#[test]
+fn a_slow_loris_body_is_cut_off_by_the_read_timeout() {
+    use std::io::{Read, Write};
+
+    let daemon = start(ServeOptions::default());
+    let addr = daemon.local_addr();
+
+    // Send a complete head that promises a body, then stall with the
+    // socket held open. The server's read timeout must cut the
+    // connection (no response — nobody honest is listening) without
+    // tying up the daemon.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\n{\"kind")
+        .unwrap();
+    let mut text = String::new();
+    s.read_to_string(&mut text)
+        .expect("server closes the socket");
+    assert_eq!(text, "", "a stalled body earns no response");
+
+    // Connection threads are detached, so the daemon served everyone
+    // else all along and is still healthy.
+    let ok = post(addr, "/synthesize", &easy_body("alive"));
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    daemon.drain();
+    daemon.wait();
+}
+
+#[test]
 fn a_disconnected_client_cancels_its_request() {
     let daemon = start(hard_opts());
     let addr = daemon.local_addr();

@@ -470,6 +470,41 @@ mod tests {
         ));
     }
 
+    /// A slow-loris body: the head (with its `Content-Length`) arrives
+    /// promptly, then the peer stalls and the socket's read timeout
+    /// fires on every subsequent read.
+    struct StalledBody {
+        head: &'static [u8],
+        at: usize,
+    }
+
+    impl io::Read for StalledBody {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at < self.head.len() {
+                let n = buf.len().min(self.head.len() - self.at);
+                buf[..n].copy_from_slice(&self.head[self.at..self.at + n]);
+                self.at += n;
+                Ok(n)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"))
+            }
+        }
+    }
+
+    #[test]
+    fn a_stalled_body_surfaces_as_a_timeout_not_a_hang() {
+        // The read timeout interrupts the body read; the error is
+        // recognizably a timeout (so servers log it as a stalled
+        // client) and earns no response (nobody is listening).
+        let stalled = StalledBody {
+            head: b"POST /synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 50\r\n\r\n{\"kind",
+            at: 0,
+        };
+        let e = read_request(stalled).unwrap_err();
+        assert!(e.is_timeout(), "{e:?}");
+        assert!(e.to_response().is_none());
+    }
+
     #[test]
     fn rejects_garbage_and_eof() {
         assert!(matches!(
